@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate every table/figure of the paper (see DESIGN.md's
+per-experiment index).  They default to the ``small`` synthetic DBLP scale
+(5,000 authors, ~25k associations) so the whole suite finishes in a couple of
+minutes; set ``REPRO_BENCH_SCALE=medium`` (50k authors) or ``paper`` for
+larger runs.
+
+Every benchmark writes its reproduced table to ``benchmarks/results/`` as both
+JSON and plain text, so the numbers are inspectable without re-running.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.datasets.registry import load_dataset
+from repro.evaluation.figure1 import Figure1Config, build_figure1_hierarchy
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Scale used for the DBLP-like benchmark graph (override with REPRO_BENCH_SCALE).
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+#: Seed shared by all benchmarks so reported numbers are reproducible.
+BENCH_SEED = 20170605
+
+
+@pytest.fixture(scope="session")
+def bench_graph():
+    """The DBLP-like graph all figure benchmarks run on."""
+    return load_dataset("dblp", scale=BENCH_SCALE, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_hierarchy(bench_graph):
+    """A 9-level specialization of the benchmark graph (built once per session)."""
+    config = Figure1Config(num_levels=9, scale=BENCH_SCALE, seed=BENCH_SEED)
+    return build_figure1_hierarchy(bench_graph, config, rng=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory the reproduced tables are written to."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_text(path: Path, text: str) -> None:
+    """Write a plain-text artefact (helper used by the benchmark modules)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,56 @@
+"""Experiment E4 (ablation) — how the split-selection strategy affects utility.
+
+Compares the Exponential-Mechanism specializer (the paper's choice) against a
+non-private deterministic median splitter and a data-independent random
+splitter.  The comparison is on the expected RER of the count query per level
+(given the same epsilon_g) plus the privacy cost of the specialization phase
+itself, which is where the three differ.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import BENCH_SEED, save_text
+from repro.evaluation.experiments import run_e4_ablation_split
+from repro.evaluation.reporting import format_table
+from repro.utils.serialization import to_json_file
+
+
+def test_bench_ablation_split_strategies(benchmark, bench_graph, results_dir):
+    """Expected per-level RER under exponential / deterministic / random specialization."""
+    rows = benchmark.pedantic(
+        run_e4_ablation_split,
+        kwargs={"num_levels": 7, "epsilon_g": 0.999, "seed": BENCH_SEED, "graph": bench_graph},
+        rounds=1,
+        iterations=1,
+    )
+
+    to_json_file({"rows": rows}, results_dir / "ablation_split.json")
+    save_text(results_dir / "ablation_split.txt", format_table(rows))
+    print()
+    print(format_table(rows))
+
+    methods = {row["method"] for row in rows}
+    assert methods == {"exponential", "deterministic", "random"}
+
+    by_method = {
+        method: {row["level"]: row for row in rows if row["method"] == method} for method in methods
+    }
+
+    # Privacy cost of the grouping structure: only the Exponential Mechanism
+    # provides a finite, non-zero DP guarantee for the structure itself.
+    assert math.isinf(next(iter(by_method["deterministic"].values()))["specialization_epsilon"])
+    assert next(iter(by_method["random"].values()))["specialization_epsilon"] == 0.0
+    assert 0 < next(iter(by_method["exponential"].values()))["specialization_epsilon"] < math.inf
+
+    # Utility: the EM-driven grouping should be competitive with the
+    # non-private deterministic grouping (within 2x on every level) and both
+    # preserve the monotone level structure.
+    for method in methods:
+        levels = sorted(by_method[method])
+        rers = [by_method[method][level]["expected_rer"] for level in levels]
+        assert all(b >= a - 1e-12 for a, b in zip(rers, rers[1:]))
+    for level, row in by_method["exponential"].items():
+        deterministic_rer = by_method["deterministic"][level]["expected_rer"]
+        assert row["expected_rer"] <= 2.5 * deterministic_rer + 1e-9

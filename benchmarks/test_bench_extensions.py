@@ -1,0 +1,54 @@
+"""Extension benchmarks (beyond the paper's figure): depth and delta sweeps.
+
+These back the "optional / future work" analysis in EXPERIMENTS.md: how the
+privilege gap grows with hierarchy depth, and what the Gaussian delta costs
+in accuracy at a fixed epsilon_g.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SEED, save_text
+from repro.evaluation.extensions import run_delta_sweep, run_depth_sweep
+from repro.evaluation.reporting import format_table
+from repro.utils.serialization import to_json_file
+
+
+def test_bench_depth_sweep(benchmark, bench_graph, results_dir):
+    """Privilege gap and per-level error vs hierarchy depth."""
+    rows = benchmark.pedantic(
+        run_depth_sweep,
+        kwargs={"depths": (3, 5, 7, 9), "seed": BENCH_SEED, "graph": bench_graph},
+        rounds=1,
+        iterations=1,
+    )
+    to_json_file({"rows": rows}, results_dir / "extension_depth.json")
+    save_text(results_dir / "extension_depth.txt", format_table(rows))
+    print()
+    print(format_table([row for row in rows if row["kind"] == "summary"]))
+
+    summaries = {row["depth"]: row for row in rows if row["kind"] == "summary"}
+    assert set(summaries) == {3, 5, 7, 9}
+    # More levels -> more distinct privilege tiers and a wider accuracy gap.
+    assert summaries[9]["num_released_levels"] > summaries[3]["num_released_levels"]
+    assert summaries[9]["privilege_gap"] >= summaries[3]["privilege_gap"]
+
+
+def test_bench_delta_sweep(benchmark, bench_graph, results_dir):
+    """Per-level error vs the Gaussian mechanism's delta."""
+    rows = benchmark.pedantic(
+        run_delta_sweep,
+        kwargs={"deltas": (1e-3, 1e-5, 1e-7, 1e-9), "num_levels": 9, "seed": BENCH_SEED, "graph": bench_graph},
+        rounds=1,
+        iterations=1,
+    )
+    to_json_file({"rows": rows}, results_dir / "extension_delta.json")
+    save_text(results_dir / "extension_delta.txt", format_table(rows))
+
+    by_delta = {}
+    for row in rows:
+        by_delta.setdefault(row["delta"], {})[row["level"]] = row["expected_rer"]
+    # Error grows as delta shrinks, at every level, but only logarithmically:
+    # six orders of magnitude in delta cost less than a 2x error increase.
+    for level in by_delta[1e-3]:
+        assert by_delta[1e-9][level] > by_delta[1e-3][level]
+        assert by_delta[1e-9][level] < 2.0 * by_delta[1e-3][level]

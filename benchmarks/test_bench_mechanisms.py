@@ -1,0 +1,42 @@
+"""Micro-benchmarks of the DP mechanism primitives.
+
+Not tied to a specific paper artefact; they document the throughput of the
+noise samplers and the Exponential-Mechanism selection step, which together
+dominate the pipeline's phase-2 and phase-1 inner loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mechanisms.exponential import ExponentialMechanism
+from repro.mechanisms.gaussian import GaussianMechanism
+from repro.mechanisms.geometric import GeometricMechanism
+from repro.mechanisms.laplace import LaplaceMechanism
+
+VECTOR = np.arange(10_000, dtype=float)
+
+
+def test_bench_laplace_vector_noise(benchmark):
+    mech = LaplaceMechanism(epsilon=0.5, sensitivity=3.0, rng=0)
+    out = benchmark(mech.randomise, VECTOR)
+    assert out.shape == VECTOR.shape
+
+
+def test_bench_gaussian_vector_noise(benchmark):
+    mech = GaussianMechanism(epsilon=0.5, delta=1e-5, sensitivity=3.0, rng=0)
+    out = benchmark(mech.randomise, VECTOR)
+    assert out.shape == VECTOR.shape
+
+
+def test_bench_geometric_vector_noise(benchmark):
+    mech = GeometricMechanism(epsilon=0.5, sensitivity=3.0, rng=0)
+    out = benchmark(mech.randomise, VECTOR)
+    assert out.shape == VECTOR.shape
+
+
+def test_bench_exponential_selection(benchmark):
+    mech = ExponentialMechanism(epsilon=1.0, rng=0)
+    scores = np.linspace(-5.0, 5.0, 64).tolist()
+    index = benchmark(mech.select_index, scores)
+    assert 0 <= index < 64

@@ -1,0 +1,64 @@
+"""Experiment E3 — scalability of the disclosure pipeline.
+
+The paper claims the techniques are "effective, scalable".  This benchmark
+times specialization and noise injection on DBLP-like graphs of increasing
+size and checks that the end-to-end cost grows roughly linearly with the
+association count (sub-quadratic is asserted, linear is typical).
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import save_text
+from repro.evaluation.scalability import run_scalability
+from repro.utils.serialization import to_json_file
+
+#: Author counts for the scaling sweep (override the largest via env for big runs).
+AUTHOR_COUNTS = (500, 1_000, 2_000, 4_000)
+if os.environ.get("REPRO_BENCH_SCALE") in ("medium", "paper"):
+    AUTHOR_COUNTS = (1_000, 4_000, 16_000, 50_000)
+
+
+def test_bench_scalability_pipeline(benchmark, results_dir):
+    """Wall-clock of specialization + noise injection vs graph size."""
+    result = benchmark.pedantic(
+        run_scalability,
+        kwargs={"author_counts": AUTHOR_COUNTS, "num_levels": 6, "epsilon_g": 0.5, "seed": 3},
+        rounds=1,
+        iterations=1,
+    )
+
+    to_json_file(result.to_dict(), results_dir / "scalability.json")
+    save_text(results_dir / "scalability.txt", result.format_table())
+    print()
+    print(result.format_table())
+
+    sizes = result.sizes()
+    seconds = result.total_seconds()
+    assert len(sizes) == len(AUTHOR_COUNTS)
+    assert all(b > a for a, b in zip(sizes, sizes[1:])), "graphs must grow monotonically"
+
+    # Sub-quadratic scaling: time ratio grows slower than the square of the size ratio.
+    size_ratio = sizes[-1] / sizes[0]
+    time_ratio = max(seconds[-1], 1e-9) / max(seconds[0], 1e-9)
+    assert time_ratio < size_ratio**2, (
+        f"pipeline scaled super-quadratically: sizes x{size_ratio:.1f}, time x{time_ratio:.1f}"
+    )
+
+
+def test_bench_single_disclosure_run(benchmark, bench_graph, bench_hierarchy):
+    """Throughput of phase 2 alone (noise injection over all levels, hierarchy reused)."""
+    from repro.core.config import DisclosureConfig
+    from repro.core.discloser import MultiLevelDiscloser
+    from repro.grouping.specialization import SpecializationConfig
+
+    config = DisclosureConfig(
+        epsilon_g=0.999, specialization=SpecializationConfig(num_levels=9)
+    )
+
+    def run():
+        return MultiLevelDiscloser(config=config, rng=1).disclose(bench_graph, hierarchy=bench_hierarchy)
+
+    release = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert release.levels() == list(range(8))

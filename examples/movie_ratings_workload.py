@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Movie-rating scenario: multi-query workloads and baseline comparison.
+
+The paper's introduction also names movie-rating databases as a source of
+sensitive associations.  This example releases a richer workload — the total
+rating count *and* a viewer-degree histogram ("how many viewers rated k
+movies") — at three group levels, and contrasts the result with two
+alternatives:
+
+* the classical individual-DP release (very accurate, but its group-level
+  guarantee at the coarsest level is enormous), and
+* the naive group-DP baseline obtained from the group-privacy lemma (properly
+  private but far noisier than the paper's calibrated approach).
+
+Run with ``python examples/movie_ratings_workload.py [num_viewers]``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import DisclosureConfig, MultiLevelDiscloser, generate_movie_ratings
+from repro.baselines.individual_dp import IndividualDPDiscloser
+from repro.baselines.naive_group import NaiveGroupDPDiscloser
+from repro.evaluation.metrics import release_error_report
+from repro.evaluation.reporting import format_table
+from repro.grouping.specialization import SpecializationConfig
+from repro.queries.counts import TotalAssociationCountQuery
+from repro.queries.degree import DegreeHistogramQuery
+
+
+def main(num_viewers: int = 2_000) -> None:
+    graph = generate_movie_ratings(num_viewers=num_viewers, num_movies=300, seed=9)
+    print(f"Generated {graph!r}")
+
+    epsilon_g = 0.6
+    config = DisclosureConfig(
+        epsilon_g=epsilon_g,
+        specialization=SpecializationConfig(num_levels=5),
+        release_levels=[0, 2, 3],
+    )
+    workload = [TotalAssociationCountQuery(), DegreeHistogramQuery(max_degree=30)]
+    discloser = MultiLevelDiscloser(config=config, queries=workload, rng=4)
+    hierarchy = discloser.specializer.build(graph).hierarchy
+    release = discloser.disclose(graph, hierarchy=hierarchy)
+
+    from repro.queries.workload import QueryWorkload
+
+    report = release_error_report(release, graph, workload=QueryWorkload(workload))
+    rows = []
+    for level in release.levels():
+        rows.append(
+            {
+                "method": "group_dp_multilevel",
+                "level": f"I5,{level}",
+                "rer": f"{100 * report[level]['rer']:.2f}%",
+                "noise_scale": round(report[level]["noise_scale"], 1),
+                "group_epsilon": release.level(level).guarantee.epsilon,
+            }
+        )
+
+    naive = NaiveGroupDPDiscloser(epsilon_g=epsilon_g, rng=4).disclose(graph, hierarchy, levels=release.levels())
+    naive_report = release_error_report(naive, graph)
+    for level in naive.levels():
+        rows.append(
+            {
+                "method": "naive_group_dp",
+                "level": f"I5,{level}",
+                "rer": f"{100 * naive_report[level]['rer']:.2f}%",
+                "noise_scale": round(naive_report[level]["noise_scale"], 1),
+                "group_epsilon": naive.level(level).guarantee.epsilon,
+            }
+        )
+
+    individual = IndividualDPDiscloser(epsilon_i=epsilon_g, rng=4)
+    individual_release = individual.as_multi_level_release(graph, hierarchy, levels=release.levels())
+    individual_report = release_error_report(individual_release, graph)
+    for level in individual_release.levels():
+        rows.append(
+            {
+                "method": "individual_dp",
+                "level": f"I5,{level}",
+                "rer": f"{100 * individual_report[level]['rer']:.4f}%",
+                "noise_scale": round(individual_report[level]["noise_scale"], 2),
+                "group_epsilon": round(individual_release.level(level).guarantee.epsilon, 1),
+            }
+        )
+
+    print()
+    print(f"Total rating count release at epsilon_g = {epsilon_g} (RER of the count query):")
+    print(format_table(rows, columns=["method", "level", "rer", "noise_scale", "group_epsilon"]))
+    print()
+    print(
+        "Note how individual DP is nearly exact but its *group*-level epsilon explodes with the\n"
+        "group size, while the naive lemma-based baseline pays for proper group privacy with\n"
+        "orders of magnitude more noise than the calibrated multi-level release."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 2_000)

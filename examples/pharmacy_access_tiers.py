@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Pharmacy scenario: group-private aggregates with tiered user access.
+
+The paper motivates group privacy with a pharmacy example: the *number* of
+purchases made by a neighbourhood (a group of patients) can itself be
+sensitive — e.g. psychiatric-drug purchases per zipcode.  This example:
+
+1. generates a patient-drug purchase graph whose patients carry ``zipcode``
+   attributes and drugs carry ``category`` attributes;
+2. builds a multi-level group hierarchy over it and releases the association
+   count at every level under group differential privacy;
+3. defines an :class:`~repro.core.access.AccessPolicy` with three roles
+   (``regulator`` > ``insurer`` > ``public``) and shows the answer each role
+   actually receives — the regulator's view is far more accurate than the
+   public one, exactly the privilege/accuracy trade-off of the paper;
+4. additionally releases a per-zipcode psychiatric purchase count through the
+   grouped workload, demonstrating a custom (attribute-defined) protection
+   partition rather than a specialization-derived one.
+
+Run with ``python examples/pharmacy_access_tiers.py [num_patients]``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    AccessPolicy,
+    DisclosureConfig,
+    MultiLevelDiscloser,
+    generate_pharmacy_purchases,
+)
+from repro.evaluation.metrics import relative_error_rate
+from repro.evaluation.reporting import format_table
+from repro.grouping.partition import Group, Partition
+from repro.grouping.specialization import SpecializationConfig
+from repro.mechanisms.laplace import LaplaceMechanism
+
+
+def tiered_release(graph) -> None:
+    """Release the purchase count at several levels and show per-role views."""
+    config = DisclosureConfig(
+        epsilon_g=0.8,
+        specialization=SpecializationConfig(num_levels=6),
+    )
+    discloser = MultiLevelDiscloser(config=config, rng=3)
+    release = discloser.disclose(graph)
+
+    policy = AccessPolicy({"regulator": 0, "insurer": 2, "public": 4}, top_level=6)
+    true_count = graph.num_associations()
+
+    rows = []
+    for role in policy.roles():
+        view = policy.view_for(role, release)
+        noisy = view.scalar_answer("total_association_count")
+        rows.append(
+            {
+                "role": role,
+                "information_level": policy.information_level(role).name,
+                "noisy_total_purchases": round(noisy, 1),
+                "RER": f"{100 * relative_error_rate(noisy, true_count):.2f}%",
+                "epsilon_g": view.guarantee.epsilon,
+            }
+        )
+    print("Per-role views of the total purchase count "
+          f"(true value, never released: {true_count})")
+    print(format_table(rows))
+
+
+def zipcode_release(graph) -> None:
+    """Release per-zipcode psychiatric purchase counts under zipcode-group privacy.
+
+    The protection unit is a whole zipcode's patient population: the released
+    vector must change by at most the worst zipcode's psychiatric purchase
+    count when one zipcode is added or removed, which is exactly the
+    group-workload sensitivity computed below.
+    """
+    by_zip = {}
+    for patient in graph.left_nodes():
+        by_zip.setdefault(graph.node_attributes(patient)["zipcode"], set()).add(patient)
+    psychiatric = {
+        d for d in graph.right_nodes() if graph.node_attributes(d)["category"] == "psychiatric"
+    }
+
+    # Protection partition: one group per zipcode over the patient universe.
+    zipcode_partition = Partition(
+        [
+            Group(f"zip:{zipcode}", frozenset(members), side="left")
+            for zipcode, members in sorted(by_zip.items())
+        ]
+    )
+    # Removing one zipcode's patients changes only that zipcode's coordinate
+    # of the released vector, by its own psychiatric purchase count — so the
+    # sensitivity is the largest per-zipcode psychiatric purchase count.
+    per_zip_truth = {
+        group.group_id.replace("zip:", ""): graph.association_count_between(group.members, psychiatric)
+        for group in zipcode_partition.groups()
+    }
+    epsilon = 0.8
+    sensitivity = max(1.0, float(max(per_zip_truth.values())))
+    mechanism = LaplaceMechanism(epsilon=epsilon, sensitivity=sensitivity, rng=11)
+
+    rows = []
+    for zipcode, true_value in per_zip_truth.items():
+        rows.append(
+            {
+                "zipcode": zipcode,
+                "true_psychiatric_purchases": true_value,
+                "noisy_release": round(mechanism.randomise(true_value), 1),
+            }
+        )
+    print()
+    print(
+        f"Per-zipcode psychiatric purchase counts (Laplace, epsilon={epsilon}, "
+        f"zipcode-group sensitivity={sensitivity:g})"
+    )
+    print(format_table(rows[:10]))
+
+
+def main(num_patients: int = 1_500) -> None:
+    graph = generate_pharmacy_purchases(num_patients=num_patients, num_drugs=120, seed=5)
+    print(f"Generated {graph!r}")
+    print()
+    tiered_release(graph)
+    zipcode_release(graph)
+
+
+if __name__ == "__main__":
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 1_500
+    main(size)

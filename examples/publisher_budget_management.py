@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Operating a publisher: repeated releases under one end-to-end budget.
+
+A data owner rarely publishes once.  This example drives
+:class:`repro.core.publisher.GraphPublisher` through a realistic sequence:
+
+1. fix a total privacy budget for the year (specialization included);
+2. publish a first multi-level release for internal analysts;
+3. publish a refreshed release a "quarter" later at a smaller εg;
+4. export per-role JSON views (owner / partner / public) of the latest
+   release — each file contains only the level that role may read;
+5. show the ledger, and demonstrate that the publisher refuses a release
+   that would overdraw the budget.
+
+Run with ``python examples/publisher_budget_management.py [num_authors]``.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import AccessPolicy, DisclosureConfig, PrivacyBudget, generate_dblp_like
+from repro.core.publisher import GraphPublisher
+from repro.exceptions import BudgetExceededError
+from repro.evaluation.reporting import format_table
+from repro.grouping.specialization import SpecializationConfig
+
+
+def main(num_authors: int = 1_500) -> None:
+    graph = generate_dblp_like(num_authors=num_authors, seed=13)
+    print(f"Publishing {graph!r}")
+
+    base_config = DisclosureConfig(
+        epsilon_g=0.8,
+        specialization=SpecializationConfig(num_levels=6, epsilon=1.0),
+    )
+    publisher = GraphPublisher(
+        graph,
+        total_budget=PrivacyBudget(epsilon=3.0, delta=1e-3),
+        base_config=base_config,
+        rng=2024,
+    )
+
+    first = publisher.release(label="annual-release")
+    second = publisher.release(epsilon_g=0.4, label="quarterly-refresh")
+    print(f"\nReleases so far: {len(publisher.releases())} "
+          f"(levels {first.levels()} each)")
+
+    policy = AccessPolicy({"owner": 0, "partner": 2, "public": 4}, top_level=6)
+    with tempfile.TemporaryDirectory() as tmp:
+        written = publisher.export_views(second, policy, Path(tmp) / "views")
+        print("Per-role export files:")
+        for role, path in written.items():
+            print(f"  {role:8s} -> {path.name} "
+                  f"(level {policy.level_for(role)}, {path.stat().st_size} bytes)")
+
+    print("\nPrivacy ledger:")
+    rows = [
+        {"label": entry.label, "epsilon": entry.cost.epsilon, "delta": entry.cost.delta}
+        for entry in publisher.ledger.entries()
+    ]
+    print(format_table(rows))
+    spent = publisher.spent()
+    remaining = publisher.remaining()
+    print(f"spent: epsilon={spent.epsilon:g}, delta={spent.delta:g}; "
+          f"remaining: epsilon={remaining.epsilon:g}, delta={remaining.delta:g}")
+
+    print("\nAttempting a release that would overdraw the budget...")
+    try:
+        publisher.release(epsilon_g=2.0, label="over-budget")
+    except BudgetExceededError as exc:
+        print(f"  refused, as required: {exc}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1_500)

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: disclose a DBLP-like association graph with group privacy.
+
+Runs the paper's two-phase pipeline end to end on a small synthetic
+author-paper graph and prints, for every information level ``I_{9,i}``:
+
+* the noisy association count released at that level,
+* the noise scale and group-level sensitivity it was calibrated to,
+* the relative error against the (normally hidden) true count, and
+* the privacy certificate of the whole release.
+
+Run with ``python examples/quickstart.py [num_authors]``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import DisclosureConfig, MultiLevelDiscloser, generate_dblp_like, verify_release
+from repro.evaluation.metrics import relative_error_rate
+from repro.evaluation.reporting import format_table
+
+
+def main(num_authors: int = 2_000) -> None:
+    graph = generate_dblp_like(num_authors=num_authors, seed=7)
+    print(f"Generated {graph!r}")
+
+    config = DisclosureConfig.paper_defaults(epsilon_g=0.999)
+    discloser = MultiLevelDiscloser(config=config, rng=42)
+    release = discloser.disclose(graph)
+
+    true_count = graph.num_associations()
+    rows = []
+    for level in release.levels():
+        level_release = release.level(level)
+        noisy = level_release.scalar_answer("total_association_count")
+        rows.append(
+            {
+                "information_level": f"I9,{level}",
+                "groups": level_release.guarantee.num_groups,
+                "sensitivity": level_release.sensitivity,
+                "noise_scale": level_release.noise_scale,
+                "noisy_count": round(noisy, 1),
+                "RER": f"{100 * relative_error_rate(noisy, true_count):.3f}%",
+            }
+        )
+    print()
+    print(f"True association count (kept by the publisher): {true_count}")
+    print(format_table(rows))
+
+    print()
+    certificate = verify_release(release)
+    print("\n".join(certificate.summary_lines()))
+
+
+if __name__ == "__main__":
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 2_000
+    main(size)

@@ -1,0 +1,35 @@
+"""Privacy-budget accounting: ledgers, composition theorems, allocation.
+
+The disclosure pipeline spends budget in two phases (specialization and noise
+injection) and across many information levels; this package tracks those
+spends, composes them into an overall guarantee, and provides the allocation
+strategies ablated in experiment E5.
+"""
+
+from repro.accounting.budget import BudgetLedger, LedgerEntry, PrivacyBudget
+from repro.accounting.composition import (
+    advanced_composition,
+    basic_composition,
+    parallel_composition,
+)
+from repro.accounting.allocation import (
+    AllocationStrategy,
+    GeometricAllocation,
+    ProportionalToSensitivityAllocation,
+    UniformAllocation,
+    make_allocation,
+)
+
+__all__ = [
+    "PrivacyBudget",
+    "BudgetLedger",
+    "LedgerEntry",
+    "basic_composition",
+    "advanced_composition",
+    "parallel_composition",
+    "AllocationStrategy",
+    "UniformAllocation",
+    "GeometricAllocation",
+    "ProportionalToSensitivityAllocation",
+    "make_allocation",
+]

@@ -1,0 +1,129 @@
+"""Privacy budgets and spend ledgers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.exceptions import BudgetExceededError, InvalidPrivacyParameterError
+from repro.mechanisms.base import PrivacyCost
+
+
+@dataclass(frozen=True)
+class PrivacyBudget:
+    """A total ``(epsilon, delta)`` budget available to a pipeline.
+
+    Budgets are immutable; spending happens through a :class:`BudgetLedger`.
+    """
+
+    epsilon: float
+    delta: float = 0.0
+
+    def __post_init__(self):
+        if not isinstance(self.epsilon, (int, float)) or isinstance(self.epsilon, bool):
+            raise InvalidPrivacyParameterError("epsilon must be a number")
+        if math.isnan(self.epsilon) or self.epsilon <= 0:
+            raise InvalidPrivacyParameterError(f"epsilon must be > 0, got {self.epsilon}")
+        if not 0.0 <= self.delta <= 1.0:
+            raise InvalidPrivacyParameterError(f"delta must be in [0, 1], got {self.delta}")
+        object.__setattr__(self, "epsilon", float(self.epsilon))
+        object.__setattr__(self, "delta", float(self.delta))
+
+    def split(self, fractions: List[float]) -> List["PrivacyBudget"]:
+        """Split the budget into sub-budgets according to ``fractions``.
+
+        Fractions must be positive and sum to at most 1 (a strict inequality
+        leaves head-room unspent).
+        """
+        if not fractions or any(f <= 0 for f in fractions):
+            raise InvalidPrivacyParameterError("fractions must be positive")
+        if sum(fractions) > 1.0 + 1e-9:
+            raise InvalidPrivacyParameterError(f"fractions sum to {sum(fractions)} > 1")
+        return [PrivacyBudget(self.epsilon * f, self.delta * f) for f in fractions]
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {"epsilon": self.epsilon, "delta": self.delta}
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One recorded spend against a ledger."""
+
+    label: str
+    cost: PrivacyCost
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {"label": self.label, "cost": self.cost.to_dict()}
+
+
+class BudgetLedger:
+    """Tracks privacy spends against a :class:`PrivacyBudget`.
+
+    Spends compose sequentially (basic composition).  Attempting to spend more
+    than the remaining budget raises :class:`BudgetExceededError`; this makes
+    over-spending a programming error rather than a silent privacy violation.
+
+    Parameters
+    ----------
+    budget:
+        The total budget, or ``None`` for an unlimited ledger that only
+        records spends (useful for the non-private baselines).
+    """
+
+    def __init__(self, budget: Optional[PrivacyBudget] = None):
+        self.budget = budget
+        self._entries: List[LedgerEntry] = []
+
+    def entries(self) -> List[LedgerEntry]:
+        """All recorded spends, in order."""
+        return list(self._entries)
+
+    def spent(self) -> PrivacyCost:
+        """Total spend so far under basic composition."""
+        total = PrivacyCost(0.0, 0.0)
+        for entry in self._entries:
+            total = total + entry.cost
+        return total
+
+    def remaining(self) -> Optional[PrivacyCost]:
+        """Remaining budget, or ``None`` for unlimited ledgers."""
+        if self.budget is None:
+            return None
+        spent = self.spent()
+        return PrivacyCost(
+            max(0.0, self.budget.epsilon - spent.epsilon),
+            max(0.0, self.budget.delta - spent.delta),
+        )
+
+    def can_spend(self, cost: PrivacyCost) -> bool:
+        """``True`` when ``cost`` fits in the remaining budget."""
+        if self.budget is None:
+            return True
+        spent = self.spent()
+        return (
+            spent.epsilon + cost.epsilon <= self.budget.epsilon + 1e-12
+            and spent.delta + cost.delta <= self.budget.delta + 1e-15
+        )
+
+    def charge(self, cost: PrivacyCost, label: str = "") -> LedgerEntry:
+        """Record a spend; raises :class:`BudgetExceededError` if it does not fit."""
+        if not self.can_spend(cost):
+            remaining = self.remaining()
+            raise BudgetExceededError(cost.to_dict(), remaining.to_dict() if remaining else None)
+        entry = LedgerEntry(label=label, cost=cost)
+        self._entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "budget": self.budget.to_dict() if self.budget is not None else None,
+            "entries": [entry.to_dict() for entry in self._entries],
+            "spent": self.spent().to_dict(),
+        }

@@ -1,0 +1,90 @@
+"""Composition theorems for differential privacy.
+
+The disclosure pipeline releases one noisy answer per information level and a
+differentially private grouping structure; these helpers compose the
+individual costs into an end-to-end guarantee.
+
+All three composition results hold for *any* adjacency relation, so they
+apply unchanged to the paper's group-level adjacency: composing two
+``g``-group-DP mechanisms is exactly composing two DP mechanisms under the
+group adjacency relation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+from repro.exceptions import InvalidPrivacyParameterError
+from repro.mechanisms.base import PrivacyCost
+
+
+def basic_composition(costs: Iterable[PrivacyCost]) -> PrivacyCost:
+    """Sequential (basic) composition: epsilons and deltas add."""
+    total_epsilon = 0.0
+    total_delta = 0.0
+    for cost in costs:
+        total_epsilon += cost.epsilon
+        total_delta += cost.delta
+    return PrivacyCost(total_epsilon, min(1.0, total_delta))
+
+
+def parallel_composition(costs: Iterable[PrivacyCost]) -> PrivacyCost:
+    """Parallel composition: mechanisms run on disjoint sub-datasets.
+
+    The overall guarantee is the worst (largest) of the individual costs.
+    Applies to the paper's pipeline when sibling groups are perturbed
+    independently: the groups are disjoint node sets, so a group-adjacent
+    change touches only one sibling's answer.
+    """
+    worst_epsilon = 0.0
+    worst_delta = 0.0
+    for cost in costs:
+        worst_epsilon = max(worst_epsilon, cost.epsilon)
+        worst_delta = max(worst_delta, cost.delta)
+    return PrivacyCost(worst_epsilon, worst_delta)
+
+
+def advanced_composition(
+    epsilon: float, delta: float, k: int, delta_prime: float
+) -> PrivacyCost:
+    """Advanced composition (Dwork–Roth Theorem 3.20).
+
+    ``k``-fold adaptive composition of ``(epsilon, delta)``-DP mechanisms is
+    ``(epsilon', k*delta + delta_prime)``-DP with
+
+    ``epsilon' = sqrt(2 k ln(1/delta_prime)) * epsilon + k * epsilon * (e^epsilon - 1)``.
+
+    Parameters
+    ----------
+    epsilon, delta:
+        Per-invocation parameters.
+    k:
+        Number of invocations.
+    delta_prime:
+        Slack added to the composed delta.
+    """
+    if epsilon < 0:
+        raise InvalidPrivacyParameterError(f"epsilon must be >= 0, got {epsilon}")
+    if not 0.0 <= delta <= 1.0:
+        raise InvalidPrivacyParameterError(f"delta must be in [0, 1], got {delta}")
+    if not 0.0 < delta_prime < 1.0:
+        raise InvalidPrivacyParameterError(f"delta_prime must be in (0, 1), got {delta_prime}")
+    if k <= 0:
+        raise InvalidPrivacyParameterError(f"k must be positive, got {k}")
+    epsilon_prime = math.sqrt(2.0 * k * math.log(1.0 / delta_prime)) * epsilon + k * epsilon * (
+        math.exp(epsilon) - 1.0
+    )
+    return PrivacyCost(epsilon_prime, min(1.0, k * delta + delta_prime))
+
+
+def tighter_of(costs: List[PrivacyCost]) -> PrivacyCost:
+    """Return the cost with the smallest epsilon (ties broken by delta).
+
+    Useful when several composition bounds are available for the same release
+    (e.g. basic vs advanced composition) and the report should quote the
+    tightest valid one.
+    """
+    if not costs:
+        raise InvalidPrivacyParameterError("at least one cost is required")
+    return min(costs, key=lambda c: (c.epsilon, c.delta))

@@ -1,0 +1,31 @@
+"""Baseline disclosure algorithms the paper's approach is compared against.
+
+None of these is the paper's contribution; they exist so the benchmark
+harness (experiment E6 in DESIGN.md) can quantify what group-aware
+calibration buys:
+
+* :class:`~repro.baselines.individual_dp.IndividualDPDiscloser` — classical
+  record-level DP release that ignores group privacy entirely;
+* :class:`~repro.baselines.naive_group.NaiveGroupDPDiscloser` — obtains group
+  privacy from the generic group-privacy lemma (scale the budget down by the
+  worst-case group record count) instead of measuring the actual group
+  sensitivity;
+* :class:`~repro.baselines.safe_grouping.SafeGroupingDiscloser` — a
+  syntactic, noise-free safe-grouping release in the spirit of Cormode et al.
+  (VLDB 2008), included as the non-DP point of comparison;
+* :class:`~repro.baselines.uniform_noise.UniformNoiseDiscloser` — a strawman
+  that protects every level with the noise required by the coarsest level.
+"""
+
+from repro.baselines.individual_dp import IndividualDPDiscloser
+from repro.baselines.naive_group import NaiveGroupDPDiscloser
+from repro.baselines.safe_grouping import SafeGroupingDiscloser, SafeGroupingRelease
+from repro.baselines.uniform_noise import UniformNoiseDiscloser
+
+__all__ = [
+    "IndividualDPDiscloser",
+    "NaiveGroupDPDiscloser",
+    "SafeGroupingDiscloser",
+    "SafeGroupingRelease",
+    "UniformNoiseDiscloser",
+]

@@ -1,0 +1,98 @@
+"""Uniform-noise strawman: protect every level like the coarsest one.
+
+A publisher that does not want per-level calibration could simply determine
+the noise needed by the most demanding (coarsest) group level and apply that
+same noise to every information level.  This trivially satisfies every
+level's guarantee but wastes all the utility head-room at the fine-grained
+levels — experiment E6 uses it to show that the *multi-level* aspect of the
+paper's pipeline (different noise per level) is what delivers the privilege /
+accuracy trade-off, not merely the group-aware sensitivity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Union
+
+import numpy as np
+
+from repro.core.release import LevelRelease, MultiLevelRelease
+from repro.graphs.bipartite import BipartiteGraph
+from repro.grouping.hierarchy import GroupHierarchy
+from repro.mechanisms.base import PrivacyCost
+from repro.mechanisms.gaussian import GaussianMechanism
+from repro.privacy.guarantees import GroupPrivacyGuarantee, PrivacyUnit
+from repro.privacy.sensitivity import group_count_sensitivity
+from repro.queries.base import Query
+from repro.queries.counts import TotalAssociationCountQuery
+from repro.queries.workload import QueryWorkload
+from repro.utils.rng import RandomState, derive_rng
+from repro.utils.validation import check_fraction, check_positive
+
+
+class UniformNoiseDiscloser:
+    """Apply the coarsest level's Gaussian noise to every released level."""
+
+    def __init__(
+        self,
+        epsilon_g: float = 1.0,
+        delta: float = 1e-5,
+        queries: Union[None, Query, Iterable[Query], QueryWorkload] = None,
+        rng: RandomState = None,
+    ):
+        self.epsilon_g = check_positive(epsilon_g, "epsilon_g")
+        self.delta = check_fraction(delta, "delta")
+        if queries is None:
+            self.workload = QueryWorkload([TotalAssociationCountQuery()], name="uniform-noise-baseline")
+        elif isinstance(queries, QueryWorkload):
+            self.workload = queries
+        elif isinstance(queries, Query):
+            self.workload = QueryWorkload([queries])
+        else:
+            self.workload = QueryWorkload(list(queries))
+        self._rng = derive_rng(rng, "uniform-noise-baseline")
+
+    def disclose(
+        self,
+        graph: BipartiteGraph,
+        hierarchy: GroupHierarchy,
+        levels: Optional[Iterable[int]] = None,
+    ) -> MultiLevelRelease:
+        """Release every level with noise calibrated to the coarsest level."""
+        if levels is None:
+            levels = [level for level in hierarchy.level_indices() if level < hierarchy.top_level]
+        levels = sorted(levels)
+        coarsest = max(levels)
+        worst_sensitivity = group_count_sensitivity(graph, hierarchy.partition_at(coarsest))
+        true_answers = self.workload.evaluate(graph)
+        level_releases: Dict[int, LevelRelease] = {}
+        for level in levels:
+            partition = hierarchy.partition_at(level)
+            mech = GaussianMechanism(self.epsilon_g, self.delta, worst_sensitivity, rng=self._rng)
+            answers: Dict[str, Dict[str, float]] = {}
+            for name, answer in true_answers.items():
+                noisy = np.atleast_1d(np.asarray(mech.randomise(answer.values), dtype=float))
+                answers[name] = {label: float(v) for label, v in zip(answer.labels, noisy)}
+            guarantee = GroupPrivacyGuarantee(
+                epsilon=self.epsilon_g,
+                delta=self.delta,
+                unit=PrivacyUnit.GROUP,
+                description="uniform noise calibrated to the coarsest level",
+                level=level,
+                num_groups=partition.num_groups(),
+                max_group_size=partition.max_group_size(),
+            )
+            level_releases[level] = LevelRelease(
+                level=level,
+                answers=answers,
+                guarantee=guarantee,
+                mechanism="gaussian",
+                noise_scale=mech.noise_scale(),
+                sensitivity=worst_sensitivity,
+            )
+        return MultiLevelRelease(
+            dataset_name=graph.name,
+            level_releases=level_releases,
+            level_statistics=hierarchy.level_statistics(),
+            specialization_cost=PrivacyCost(0.0, 0.0),
+            config={"baseline": "uniform_noise", "epsilon_g": self.epsilon_g, "delta": self.delta},
+        )

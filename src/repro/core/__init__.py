@@ -1,0 +1,39 @@
+"""The paper's primary contribution: multi-level group-private disclosure.
+
+The :class:`~repro.core.discloser.MultiLevelDiscloser` implements the
+two-phase pipeline of Section III:
+
+1. **Specialization** — partition the bipartite association graph into a
+   multi-level group hierarchy with the Exponential Mechanism
+   (:mod:`repro.grouping`);
+2. **Noise injection** — for every information level, answer the configured
+   query workload through a Gaussian (or alternative) mechanism whose noise
+   is calibrated to the *group-level* sensitivity of that level, so the
+   release satisfies :math:`\\epsilon_g`-group differential privacy at the
+   corresponding granularity.
+
+The output is a :class:`~repro.core.release.MultiLevelRelease`: one noisy
+answer set per information level ``I_{L,i}``, each carrying its own
+:class:`~repro.privacy.guarantees.GroupPrivacyGuarantee`, plus an
+:class:`~repro.core.access.AccessPolicy` that hands users the level matching
+their privilege.
+"""
+
+from repro.core.config import DisclosureConfig
+from repro.core.discloser import MultiLevelDiscloser
+from repro.core.release import LevelRelease, MultiLevelRelease
+from repro.core.access import AccessPolicy, InformationLevel
+from repro.core.certificate import PrivacyCertificate, verify_release
+from repro.core.publisher import GraphPublisher
+
+__all__ = [
+    "DisclosureConfig",
+    "MultiLevelDiscloser",
+    "LevelRelease",
+    "MultiLevelRelease",
+    "AccessPolicy",
+    "InformationLevel",
+    "PrivacyCertificate",
+    "verify_release",
+    "GraphPublisher",
+]

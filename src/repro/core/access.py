@@ -1,0 +1,121 @@
+"""Access levels: mapping user privileges onto information levels.
+
+The paper motivates multi-level disclosure with users that hold different
+access privileges: a user entitled to information level ``I_{9,1}`` receives
+an answer that is both more sensitive and more accurate than the one handed
+to a user entitled only to ``I_{9,7}``.  :class:`AccessPolicy` encodes that
+mapping and produces per-user views of a :class:`~repro.core.release.MultiLevelRelease`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.exceptions import AccessLevelError, ValidationError
+from repro.core.release import LevelRelease, MultiLevelRelease
+
+
+@dataclass(frozen=True)
+class InformationLevel:
+    """A named information level ``I_{top, level}``.
+
+    ``top`` is the hierarchy's top level index (9 in the paper), ``level`` the
+    protection level the answers are calibrated to.  Lower ``level`` means
+    finer groups, less noise, and a higher required privilege.
+    """
+
+    top: int
+    level: int
+
+    def __post_init__(self):
+        if self.level < 0 or self.level > self.top:
+            raise ValidationError(f"level must be in [0, {self.top}], got {self.level}")
+
+    @property
+    def name(self) -> str:
+        """The paper's notation, e.g. ``"I9,3"``."""
+        return f"I{self.top},{self.level}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+class AccessPolicy:
+    """Maps named user roles to the information level they may read.
+
+    Parameters
+    ----------
+    role_levels:
+        Mapping ``role name -> hierarchy level``.  Lower levels are more
+        privileged.
+    top_level:
+        The hierarchy's top level index, used only for the ``I_{top, i}``
+        naming.
+
+    Examples
+    --------
+    >>> policy = AccessPolicy({"analyst": 1, "partner": 5, "public": 7}, top_level=9)
+    >>> policy.information_level("partner").name
+    'I9,5'
+    """
+
+    def __init__(self, role_levels: Mapping[str, int], top_level: int):
+        if not role_levels:
+            raise ValidationError("role_levels must not be empty")
+        self.top_level = int(top_level)
+        self._role_levels: Dict[str, int] = {}
+        for role, level in role_levels.items():
+            level = int(level)
+            if level < 0 or level > self.top_level:
+                raise ValidationError(
+                    f"role {role!r} maps to level {level}, outside [0, {self.top_level}]"
+                )
+            self._role_levels[str(role)] = level
+
+    def roles(self) -> List[str]:
+        """All configured roles, most privileged (lowest level) first."""
+        return sorted(self._role_levels, key=lambda role: self._role_levels[role])
+
+    def level_for(self, role: str) -> int:
+        """The hierarchy level a role is entitled to."""
+        if role not in self._role_levels:
+            raise AccessLevelError(role, self._role_levels.keys())
+        return self._role_levels[role]
+
+    def information_level(self, role: str) -> InformationLevel:
+        """The ``I_{top, i}`` tag for a role."""
+        return InformationLevel(top=self.top_level, level=self.level_for(role))
+
+    def view_for(self, role: str, release: MultiLevelRelease) -> LevelRelease:
+        """Return the single :class:`LevelRelease` a role may read.
+
+        A role entitled to level ``i`` receives exactly the level-``i``
+        release.  If the release does not contain that level (e.g. the
+        publisher chose not to materialise it), the nearest *coarser* level is
+        returned — never a finer one, so a user can never read data protected
+        below their privilege.
+        """
+        target = self.level_for(role)
+        available = release.levels()
+        if target in available:
+            return release.level(target)
+        coarser = [level for level in available if level > target]
+        if not coarser:
+            raise AccessLevelError(target, available)
+        return release.level(min(coarser))
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {"top_level": self.top_level, "role_levels": dict(self._role_levels)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "AccessPolicy":
+        """Inverse of :meth:`to_dict`."""
+        return cls(role_levels=data["role_levels"], top_level=data["top_level"])
+
+    @classmethod
+    def uniform_tiers(cls, levels: List[int], top_level: int, prefix: str = "tier") -> "AccessPolicy":
+        """One role per released level, named ``tier0`` (most privileged) upward."""
+        role_levels = {f"{prefix}{index}": level for index, level in enumerate(sorted(levels))}
+        return cls(role_levels=role_levels, top_level=top_level)

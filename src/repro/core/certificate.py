@@ -1,0 +1,155 @@
+"""Privacy certificates: auditable summaries of what a release guarantees.
+
+A :class:`PrivacyCertificate` restates, per information level, the adjacency
+relation, parameters and mechanism used, and :func:`verify_release` checks
+that the numbers recorded inside a release are mutually consistent (the noise
+scale really is the one implied by the recorded sensitivity and guarantee).
+This guards against bugs in the pipeline and against tampering with a
+serialized release document.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.release import MultiLevelRelease
+from repro.exceptions import ReleaseIntegrityError
+from repro.mechanisms.calibration import analytic_gaussian_sigma, gaussian_sigma, laplace_scale
+
+
+@dataclass
+class CertificateEntry:
+    """One level's line in the certificate."""
+
+    level: int
+    epsilon: float
+    delta: float
+    mechanism: str
+    sensitivity: float
+    noise_scale: float
+    unit: str
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "level": self.level,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "mechanism": self.mechanism,
+            "sensitivity": self.sensitivity,
+            "noise_scale": self.noise_scale,
+            "unit": self.unit,
+        }
+
+
+@dataclass
+class PrivacyCertificate:
+    """A human- and machine-readable statement of a release's guarantees."""
+
+    dataset_name: str
+    entries: List[CertificateEntry] = field(default_factory=list)
+    specialization_epsilon: float = 0.0
+
+    @classmethod
+    def from_release(cls, release: MultiLevelRelease) -> "PrivacyCertificate":
+        """Build the certificate for a release."""
+        entries = []
+        for level in release.levels():
+            level_release = release.level(level)
+            entries.append(
+                CertificateEntry(
+                    level=level,
+                    epsilon=level_release.guarantee.epsilon,
+                    delta=level_release.guarantee.delta,
+                    mechanism=level_release.mechanism,
+                    sensitivity=level_release.sensitivity,
+                    noise_scale=level_release.noise_scale,
+                    unit=level_release.guarantee.unit.value,
+                )
+            )
+        return cls(
+            dataset_name=release.dataset_name,
+            entries=entries,
+            specialization_epsilon=release.specialization_cost.epsilon,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "dataset_name": self.dataset_name,
+            "specialization_epsilon": self.specialization_epsilon,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    def summary_lines(self) -> List[str]:
+        """Plain-text lines suitable for printing or logging."""
+        lines = [
+            f"Privacy certificate for release of {self.dataset_name!r}",
+            f"  specialization (grouping structure): epsilon = {self.specialization_epsilon:g}",
+        ]
+        for entry in self.entries:
+            lines.append(
+                f"  level {entry.level}: ({entry.epsilon:g}, {entry.delta:g})-DP per {entry.unit}, "
+                f"{entry.mechanism} noise, sensitivity {entry.sensitivity:g}, scale {entry.noise_scale:.4g}"
+            )
+        return lines
+
+
+#: Relative tolerance used when re-deriving noise scales during verification.
+_SCALE_TOLERANCE = 1e-6
+
+
+def _expected_scale(mechanism: str, epsilon: float, delta: float, sensitivity: float) -> float:
+    if mechanism == "gaussian":
+        return gaussian_sigma(epsilon, delta, sensitivity)
+    if mechanism == "analytic_gaussian":
+        return analytic_gaussian_sigma(epsilon, delta, sensitivity)
+    if mechanism in ("laplace", "geometric"):
+        return laplace_scale(epsilon, sensitivity)
+    raise ReleaseIntegrityError(f"unknown mechanism {mechanism!r} in release")
+
+
+def verify_release(release: MultiLevelRelease) -> PrivacyCertificate:
+    """Check a release's internal consistency and return its certificate.
+
+    Verifies, for every level, that
+
+    * the recorded guarantee parameters are finite and positive;
+    * the recorded noise scale matches the scale implied by the recorded
+      ``(epsilon, delta, sensitivity)`` for the recorded mechanism (up to a
+      small relative tolerance; the geometric mechanism's scale is checked to
+      be at least the Laplace-equivalent scale rather than equal to it).
+
+    Raises :class:`ReleaseIntegrityError` on any inconsistency.
+    """
+    for level in release.levels():
+        level_release = release.level(level)
+        guarantee = level_release.guarantee
+        if not math.isfinite(guarantee.epsilon) or guarantee.epsilon <= 0:
+            raise ReleaseIntegrityError(
+                f"level {level}: epsilon {guarantee.epsilon!r} is not a positive finite number"
+            )
+        if level_release.sensitivity <= 0 or not math.isfinite(level_release.sensitivity):
+            raise ReleaseIntegrityError(
+                f"level {level}: sensitivity {level_release.sensitivity!r} is invalid"
+            )
+        expected = _expected_scale(
+            level_release.mechanism, guarantee.epsilon, guarantee.delta, level_release.sensitivity
+        )
+        actual = level_release.noise_scale
+        if level_release.mechanism == "geometric":
+            # The geometric mechanism records its noise standard deviation,
+            # which differs from (and for small epsilon approaches) the
+            # Laplace scale; only require it to be positive and finite.
+            if actual <= 0 or not math.isfinite(actual):
+                raise ReleaseIntegrityError(f"level {level}: invalid geometric noise scale {actual}")
+            continue
+        if not math.isclose(expected, actual, rel_tol=_SCALE_TOLERANCE):
+            raise ReleaseIntegrityError(
+                f"level {level}: recorded noise scale {actual} does not match the scale "
+                f"{expected} implied by epsilon={guarantee.epsilon}, delta={guarantee.delta}, "
+                f"sensitivity={level_release.sensitivity}"
+            )
+    return PrivacyCertificate.from_release(release)

@@ -1,0 +1,212 @@
+"""A stateful publisher managing repeated disclosures under a total budget.
+
+The pipeline in :mod:`repro.core.discloser` performs *one* release.  A real
+publisher typically answers a sequence of requests over time — new epsilon
+sweeps, new workloads, refreshed releases — and must make sure the cumulative
+privacy loss stays within an agreed budget.  :class:`GraphPublisher` wraps a
+graph, a specialization (built once and reused, so its budget is paid once),
+a :class:`~repro.accounting.budget.BudgetLedger`, and convenience methods for
+producing per-role exports of each release.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.accounting.budget import BudgetLedger, PrivacyBudget
+from repro.core.access import AccessPolicy
+from repro.core.config import DisclosureConfig
+from repro.core.discloser import MultiLevelDiscloser
+from repro.core.release import LevelRelease, MultiLevelRelease
+from repro.exceptions import BudgetExceededError, DisclosureError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.grouping.hierarchy import GroupHierarchy
+from repro.grouping.specialization import Specializer
+from repro.mechanisms.base import PrivacyCost
+from repro.queries.base import Query
+from repro.queries.workload import QueryWorkload
+from repro.utils.rng import RandomState, derive_rng
+from repro.utils.serialization import to_json_file
+
+
+class GraphPublisher:
+    """Manages repeated group-private releases of one association graph.
+
+    Parameters
+    ----------
+    graph:
+        The association graph being published.
+    total_budget:
+        The overall ``(epsilon, delta)`` the publisher is willing to spend
+        across *all* releases (specialization included).  ``None`` disables
+        enforcement and only records spends.
+    base_config:
+        Default :class:`DisclosureConfig` for releases (per-release overrides
+        are accepted by :meth:`release`).
+    rng:
+        Seed / generator; every release derives an independent stream.
+
+    Examples
+    --------
+    >>> from repro.datasets import generate_dblp_like
+    >>> publisher = GraphPublisher(generate_dblp_like(300, seed=1),
+    ...                            total_budget=PrivacyBudget(5.0, 1e-3), rng=0)
+    >>> release = publisher.release(epsilon_g=0.5)
+    >>> publisher.spent().epsilon > 0
+    True
+    """
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        total_budget: Optional[PrivacyBudget] = None,
+        base_config: Optional[DisclosureConfig] = None,
+        rng: RandomState = None,
+    ):
+        if graph.num_nodes() == 0:
+            raise DisclosureError("cannot publish an empty graph")
+        self.graph = graph
+        self.base_config = base_config if base_config is not None else DisclosureConfig()
+        self.ledger = BudgetLedger(total_budget)
+        self._rng = derive_rng(rng, "graph-publisher")
+        self._hierarchy: Optional[GroupHierarchy] = None
+        self._releases: List[MultiLevelRelease] = []
+        self._release_counter = 0
+
+    # ------------------------------------------------------------------
+    # Hierarchy management
+    # ------------------------------------------------------------------
+    @property
+    def hierarchy(self) -> Optional[GroupHierarchy]:
+        """The shared hierarchy, or ``None`` before the first release."""
+        return self._hierarchy
+
+    def build_hierarchy(self, specializer: Optional[Specializer] = None) -> GroupHierarchy:
+        """Build (or rebuild) the shared hierarchy, charging its budget once.
+
+        A rebuilt hierarchy replaces the previous one for subsequent releases.
+        """
+        specializer = (
+            specializer
+            if specializer is not None
+            else Specializer(config=self.base_config.specialization, rng=derive_rng(self._rng, "specialization"))
+        )
+        result = specializer.build(self.graph)
+        if not self.ledger.can_spend(result.privacy_cost):
+            raise BudgetExceededError(result.privacy_cost.to_dict(), self._remaining_dict())
+        self.ledger.charge(result.privacy_cost, label="specialization")
+        self._hierarchy = result.hierarchy
+        return self._hierarchy
+
+    def _remaining_dict(self) -> Optional[dict]:
+        remaining = self.ledger.remaining()
+        return remaining.to_dict() if remaining is not None else None
+
+    # ------------------------------------------------------------------
+    # Releases
+    # ------------------------------------------------------------------
+    def _release_cost(self, config: DisclosureConfig, levels: List[int]) -> PrivacyCost:
+        """Conservative cost of one release: worst per-level epsilon/delta.
+
+        Each level's guarantee is stated against its own group adjacency, so
+        the release as a whole is charged the worst level's cost (identical to
+        what :meth:`MultiLevelRelease.noise_injection_cost` reports).
+        """
+        if config.budget_mode == "per_level":
+            delta = config.delta if config.uses_l2_sensitivity() else 0.0
+            return PrivacyCost(config.epsilon_g, delta)
+        delta = config.delta if config.uses_l2_sensitivity() else 0.0
+        return PrivacyCost(config.epsilon_g, delta)
+
+    def release(
+        self,
+        epsilon_g: Optional[float] = None,
+        queries: Union[None, Query, Iterable[Query], QueryWorkload] = None,
+        config: Optional[DisclosureConfig] = None,
+        label: str = "",
+    ) -> MultiLevelRelease:
+        """Produce one multi-level release, charging the ledger.
+
+        Parameters
+        ----------
+        epsilon_g:
+            Override the per-level budget of the base configuration.
+        queries:
+            Workload for this release (defaults to the total association count).
+        config:
+            Full configuration override (``epsilon_g`` is applied on top of it).
+        label:
+            Optional label recorded in the ledger entry.
+        """
+        config = config if config is not None else self.base_config
+        if epsilon_g is not None:
+            config = DisclosureConfig(
+                epsilon_g=epsilon_g,
+                delta=config.delta,
+                mechanism=config.mechanism,
+                specialization=config.specialization,
+                release_levels=config.release_levels,
+                budget_mode=config.budget_mode,
+                allocation=config.allocation,
+                allocation_ratio=config.allocation_ratio,
+            )
+        if self._hierarchy is None:
+            self.build_hierarchy()
+
+        levels = [level for level in config.resolved_release_levels() if self._hierarchy.has_level(level)]
+        cost = self._release_cost(config, levels)
+        if not self.ledger.can_spend(cost):
+            raise BudgetExceededError(cost.to_dict(), self._remaining_dict())
+
+        self._release_counter += 1
+        discloser = MultiLevelDiscloser(
+            config=config,
+            queries=queries,
+            rng=derive_rng(self._rng, f"release-{self._release_counter}"),
+        )
+        release = discloser.disclose(self.graph, hierarchy=self._hierarchy)
+        self.ledger.charge(cost, label=label or f"release-{self._release_counter}")
+        self._releases.append(release)
+        return release
+
+    def releases(self) -> List[MultiLevelRelease]:
+        """All releases produced so far, in order."""
+        return list(self._releases)
+
+    def spent(self) -> PrivacyCost:
+        """Cumulative privacy spend (specialization + all releases)."""
+        return self.ledger.spent()
+
+    def remaining(self) -> Optional[PrivacyCost]:
+        """Remaining budget, or ``None`` when unenforced."""
+        return self.ledger.remaining()
+
+    # ------------------------------------------------------------------
+    # Per-role exports
+    # ------------------------------------------------------------------
+    def export_views(
+        self,
+        release: MultiLevelRelease,
+        policy: AccessPolicy,
+        directory: Union[str, Path],
+    ) -> Dict[str, Path]:
+        """Write one JSON document per role containing only that role's view.
+
+        Returns ``{role: written path}``.  Each document embeds the level
+        release and the role's information-level tag, never the full
+        multi-level release, so handing a file to a user cannot leak a finer
+        level than their privilege allows.
+        """
+        directory = Path(directory)
+        written: Dict[str, Path] = {}
+        for role in policy.roles():
+            view: LevelRelease = policy.view_for(role, release)
+            document = {
+                "role": role,
+                "information_level": policy.information_level(role).name,
+                "dataset": release.dataset_name,
+                "release": view.to_dict(),
+            }
+            written[role] = to_json_file(document, directory / f"{role}.json")
+        return written

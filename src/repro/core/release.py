@@ -1,0 +1,189 @@
+"""Release objects produced by the disclosure pipeline.
+
+A :class:`MultiLevelRelease` is the artefact a data publisher hands out: one
+:class:`LevelRelease` per information level, each containing only noisy
+answers, the noise parameters, and the privacy guarantee — never the true
+answers or the raw group memberships (only per-level size statistics are
+retained so a user can interpret the granularity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.exceptions import AccessLevelError, ReleaseIntegrityError
+from repro.grouping.hierarchy import LevelStatistics
+from repro.mechanisms.base import PrivacyCost
+from repro.privacy.guarantees import GroupPrivacyGuarantee, PrivacyGuarantee
+
+
+@dataclass
+class LevelRelease:
+    """The noisy answers released for one information level ``I_{L,i}``.
+
+    Parameters
+    ----------
+    level:
+        The hierarchy level whose grouping defines the protection.
+    answers:
+        Mapping ``query name -> {label: noisy value}``.
+    guarantee:
+        The group-privacy guarantee the answers satisfy.
+    mechanism:
+        Name of the noise mechanism used.
+    noise_scale:
+        The mechanism's scale (Gaussian sigma / Laplace b), recorded so data
+        users can form confidence intervals around the noisy answers.
+    sensitivity:
+        The group-level sensitivity the noise was calibrated to.
+    """
+
+    level: int
+    answers: Dict[str, Dict[str, float]]
+    guarantee: PrivacyGuarantee
+    mechanism: str
+    noise_scale: float
+    sensitivity: float
+
+    def answer(self, query_name: str) -> Dict[str, float]:
+        """All noisy values of one query."""
+        if query_name not in self.answers:
+            raise KeyError(f"query {query_name!r} not in level-{self.level} release")
+        return dict(self.answers[query_name])
+
+    def scalar_answer(self, query_name: str) -> float:
+        """The noisy value of a scalar query."""
+        values = self.answer(query_name)
+        if len(values) != 1:
+            raise ValueError(f"query {query_name!r} has {len(values)} values, not 1")
+        return next(iter(values.values()))
+
+    def confidence_halfwidth(self, z: float = 1.96) -> float:
+        """Half-width of a (approximately) ``z``-sigma interval around any answer."""
+        return z * self.noise_scale
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "level": self.level,
+            "answers": {name: dict(values) for name, values in self.answers.items()},
+            "guarantee": self.guarantee.to_dict(),
+            "mechanism": self.mechanism,
+            "noise_scale": self.noise_scale,
+            "sensitivity": self.sensitivity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "LevelRelease":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            level=int(data["level"]),
+            answers={name: dict(values) for name, values in data["answers"].items()},
+            guarantee=GroupPrivacyGuarantee.from_dict(data["guarantee"]),
+            mechanism=data["mechanism"],
+            noise_scale=float(data["noise_scale"]),
+            sensitivity=float(data["sensitivity"]),
+        )
+
+
+@dataclass
+class MultiLevelRelease:
+    """The full multi-level disclosure artefact.
+
+    Parameters
+    ----------
+    dataset_name:
+        Name of the source graph (informational only).
+    level_releases:
+        Mapping ``level -> LevelRelease``.
+    level_statistics:
+        Per-level group-size statistics of the underlying hierarchy (no
+        memberships are included).
+    specialization_cost:
+        Privacy cost of phase 1.
+    config:
+        The disclosure configuration, as a plain dictionary.
+    """
+
+    dataset_name: str
+    level_releases: Dict[int, LevelRelease]
+    level_statistics: List[LevelStatistics] = field(default_factory=list)
+    specialization_cost: PrivacyCost = field(default_factory=lambda: PrivacyCost(0.0, 0.0))
+    config: dict = field(default_factory=dict)
+
+    def levels(self) -> List[int]:
+        """Released levels, ascending (finest first)."""
+        return sorted(self.level_releases)
+
+    def level(self, level: int) -> LevelRelease:
+        """The release for one level; raises :class:`AccessLevelError` if absent."""
+        if level not in self.level_releases:
+            raise AccessLevelError(level, self.level_releases.keys())
+        return self.level_releases[level]
+
+    def __contains__(self, level: int) -> bool:
+        return level in self.level_releases
+
+    def __len__(self) -> int:
+        return len(self.level_releases)
+
+    def finest_level(self) -> LevelRelease:
+        """The most accurate (lowest-level) release."""
+        return self.level(self.levels()[0])
+
+    def coarsest_level(self) -> LevelRelease:
+        """The most protected (highest-level) release."""
+        return self.level(self.levels()[-1])
+
+    def noise_injection_cost(self) -> PrivacyCost:
+        """Worst per-level cost (levels are protected independently).
+
+        Each level's guarantee is stated against its *own* group-adjacency
+        relation, so costs across levels are not summed — the release reports
+        the per-level guarantee and the maximum as a summary.
+        """
+        worst_epsilon = 0.0
+        worst_delta = 0.0
+        for release in self.level_releases.values():
+            worst_epsilon = max(worst_epsilon, release.guarantee.epsilon)
+            worst_delta = max(worst_delta, release.guarantee.delta)
+        return PrivacyCost(worst_epsilon, worst_delta)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "dataset_name": self.dataset_name,
+            "levels": {str(level): release.to_dict() for level, release in self.level_releases.items()},
+            "level_statistics": [stats.to_dict() for stats in self.level_statistics],
+            "specialization_cost": self.specialization_cost.to_dict(),
+            "config": dict(self.config),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MultiLevelRelease":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            level_releases = {
+                int(level): LevelRelease.from_dict(release) for level, release in data["levels"].items()
+            }
+            statistics = [
+                LevelStatistics(
+                    level=int(entry["level"]),
+                    num_groups=int(entry["num_groups"]),
+                    max_group_size=int(entry["max_group_size"]),
+                    min_group_size=int(entry["min_group_size"]),
+                    mean_group_size=float(entry["mean_group_size"]),
+                )
+                for entry in data.get("level_statistics", [])
+            ]
+            cost_data = data.get("specialization_cost", {"epsilon": 0.0, "delta": 0.0})
+            return cls(
+                dataset_name=data["dataset_name"],
+                level_releases=level_releases,
+                level_statistics=statistics,
+                specialization_cost=PrivacyCost(cost_data["epsilon"], cost_data.get("delta", 0.0)),
+                config=dict(data.get("config", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReleaseIntegrityError(f"malformed release document: {exc}") from exc

@@ -1,0 +1,30 @@
+"""Dataset generators and loaders.
+
+The paper evaluates on the DBLP author-paper association graph (1,295,100
+authors, 2,281,341 papers, 6,384,117 associations).  The raw DBLP XML dump is
+not redistributable and not available offline, so this package provides a
+seeded synthetic generator with the same structural characteristics (bipartite,
+heavy-tailed degree distributions, the same author : paper : association
+ratios) at a configurable scale, plus two further domain generators used by
+the examples (pharmacy purchases, movie ratings) and a loader for users who do
+have a DBLP edge-list export.
+"""
+
+from repro.datasets.dblp_like import (
+    DBLP_PAPER_STATS,
+    dblp_paper_scale,
+    generate_dblp_like,
+)
+from repro.datasets.pharmacy import generate_pharmacy_purchases
+from repro.datasets.movielens_like import generate_movie_ratings
+from repro.datasets.registry import available_datasets, load_dataset
+
+__all__ = [
+    "DBLP_PAPER_STATS",
+    "dblp_paper_scale",
+    "generate_dblp_like",
+    "generate_pharmacy_purchases",
+    "generate_movie_ratings",
+    "available_datasets",
+    "load_dataset",
+]

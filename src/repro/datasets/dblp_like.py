@@ -1,0 +1,133 @@
+"""Synthetic DBLP-like author-paper association graphs.
+
+The generator reproduces the structural features that matter for the paper's
+experiment:
+
+* a bipartite graph (authors on the left, papers on the right);
+* heavy-tailed degrees on both sides (a few prolific authors, a few
+  many-authored papers), produced by sampling edge endpoints from Zipf-like
+  weight distributions;
+* the DBLP author : paper : association ratios (1 : 1.76 : 4.93), so that a
+  scaled-down instance has the same *relative* count structure as the paper's
+  dataset and the relative error rates transfer.
+
+Generation is fully seeded and vectorised; a 250k-association instance builds
+in a couple of seconds and the full paper-scale instance (6.4M associations)
+in a few minutes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.validation import check_positive, check_positive_int
+
+#: The DBLP statistics quoted in the paper's evaluation section.
+DBLP_PAPER_STATS: Dict[str, int] = {
+    "num_authors": 1_295_100,
+    "num_papers": 2_281_341,
+    "num_associations": 6_384_117,
+}
+
+
+def dblp_paper_scale(num_authors: int) -> Dict[str, int]:
+    """Scale the paper's DBLP statistics down to ``num_authors`` authors.
+
+    Keeps the author : paper : association ratios of the original dataset.
+    """
+    num_authors = check_positive_int(num_authors, "num_authors")
+    ratio_papers = DBLP_PAPER_STATS["num_papers"] / DBLP_PAPER_STATS["num_authors"]
+    ratio_assoc = DBLP_PAPER_STATS["num_associations"] / DBLP_PAPER_STATS["num_authors"]
+    return {
+        "num_authors": num_authors,
+        "num_papers": max(1, int(round(num_authors * ratio_papers))),
+        "num_associations": max(1, int(round(num_authors * ratio_assoc))),
+    }
+
+
+def _power_law_weights(n: int, exponent: float, rng: np.random.Generator) -> np.ndarray:
+    """Weights with a Zipf-like tail: rank^(-exponent), randomly permuted."""
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks ** (-exponent)
+    rng.shuffle(weights)
+    return weights / weights.sum()
+
+
+def generate_dblp_like(
+    num_authors: int = 5_000,
+    num_papers: Optional[int] = None,
+    num_associations: Optional[int] = None,
+    author_exponent: float = 0.45,
+    paper_exponent: float = 0.35,
+    seed: RandomState = None,
+    name: str = "dblp-like",
+) -> BipartiteGraph:
+    """Generate a DBLP-like bipartite association graph.
+
+    Parameters
+    ----------
+    num_authors:
+        Number of left-side nodes.
+    num_papers, num_associations:
+        Right-side node count and target edge count.  When omitted they are
+        derived from ``num_authors`` using the DBLP ratios
+        (:func:`dblp_paper_scale`).
+    author_exponent, paper_exponent:
+        Power-law exponents of the endpoint weight distributions; larger
+        values concentrate more associations on fewer nodes.
+    seed:
+        Seed / generator for reproducible instances.
+    name:
+        Name recorded on the resulting graph.
+
+    Returns
+    -------
+    BipartiteGraph
+        Authors are ``"a{i}"`` left nodes, papers ``"p{j}"`` right nodes.
+        The realised association count can fall slightly below the target
+        when duplicates are pruned; it never exceeds it.
+    """
+    num_authors = check_positive_int(num_authors, "num_authors")
+    scale = dblp_paper_scale(num_authors)
+    if num_papers is None:
+        num_papers = scale["num_papers"]
+    if num_associations is None:
+        num_associations = scale["num_associations"]
+    num_papers = check_positive_int(num_papers, "num_papers")
+    num_associations = check_positive_int(num_associations, "num_associations")
+    check_positive(author_exponent, "author_exponent")
+    check_positive(paper_exponent, "paper_exponent")
+    if num_associations > num_authors * num_papers:
+        raise DatasetError(
+            f"cannot place {num_associations} associations between {num_authors} authors "
+            f"and {num_papers} papers"
+        )
+
+    rng = as_rng(seed)
+    author_weights = _power_law_weights(num_authors, author_exponent, rng)
+    paper_weights = _power_law_weights(num_papers, paper_exponent, rng)
+
+    pairs: set = set()
+    # Oversample in rounds; duplicate (author, paper) draws are discarded.
+    remaining_rounds = 30
+    while len(pairs) < num_associations and remaining_rounds > 0:
+        remaining_rounds -= 1
+        need = num_associations - len(pairs)
+        draw = int(need * 1.2) + 16
+        authors = rng.choice(num_authors, size=draw, p=author_weights)
+        papers = rng.choice(num_papers, size=draw, p=paper_weights)
+        for a, p in zip(authors.tolist(), papers.tolist()):
+            pairs.add((a, p))
+            if len(pairs) >= num_associations:
+                break
+
+    graph = BipartiteGraph(name=name)
+    graph.add_left_nodes(f"a{i}" for i in range(num_authors))
+    graph.add_right_nodes(f"p{j}" for j in range(num_papers))
+    graph.add_associations((f"a{a}", f"p{p}") for a, p in pairs)
+    return graph

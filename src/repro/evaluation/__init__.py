@@ -1,0 +1,54 @@
+"""Evaluation harness: metrics, sweeps and the paper's figure reproduction.
+
+The benchmark scripts under ``benchmarks/`` are thin wrappers around this
+package; everything that computes numbers lives here so it is importable,
+unit-testable and reusable from notebooks.
+"""
+
+from repro.evaluation.metrics import (
+    absolute_error,
+    expected_rer_gaussian,
+    expected_rer_laplace,
+    l1_error,
+    l2_error,
+    mean_relative_error,
+    relative_error_rate,
+    release_error_report,
+)
+from repro.evaluation.sweep import ParameterSweep, SweepResult
+from repro.evaluation.figure1 import (
+    Figure1Config,
+    Figure1Result,
+    run_figure1,
+    run_figure1_analytic,
+)
+from repro.evaluation.scalability import ScalabilityResult, run_scalability
+from repro.evaluation.experiments import EXPERIMENTS, run_experiment
+from repro.evaluation.extensions import privilege_gap, run_delta_sweep, run_depth_sweep
+from repro.evaluation.reporting import format_table, save_result
+
+__all__ = [
+    "relative_error_rate",
+    "mean_relative_error",
+    "absolute_error",
+    "l1_error",
+    "l2_error",
+    "expected_rer_gaussian",
+    "expected_rer_laplace",
+    "release_error_report",
+    "ParameterSweep",
+    "SweepResult",
+    "Figure1Config",
+    "Figure1Result",
+    "run_figure1",
+    "run_figure1_analytic",
+    "ScalabilityResult",
+    "run_scalability",
+    "EXPERIMENTS",
+    "run_experiment",
+    "privilege_gap",
+    "run_depth_sweep",
+    "run_delta_sweep",
+    "format_table",
+    "save_result",
+]

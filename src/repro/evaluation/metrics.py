@@ -1,0 +1,126 @@
+"""Utility metrics for noisy releases.
+
+The paper's performance measure is the relative error rate
+``RER = |P - T| / T`` where ``P`` is the perturbed and ``T`` the true answer;
+the helpers here compute it for scalars, vectors, and whole release objects,
+plus the closed-form expected values used by the analytic (deterministic)
+variant of the Figure 1 harness.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.release import MultiLevelRelease
+from repro.exceptions import EvaluationError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.queries.workload import QueryWorkload
+
+ArrayLike = Union[float, int, np.ndarray, list, tuple]
+
+
+def relative_error_rate(perturbed: ArrayLike, true: ArrayLike) -> float:
+    """The paper's RER: ``|P - T| / T`` (averaged over coordinates for vectors).
+
+    Coordinates with a true value of zero are skipped; if every coordinate is
+    zero an :class:`EvaluationError` is raised because the metric is
+    undefined there.
+    """
+    perturbed_arr = np.atleast_1d(np.asarray(perturbed, dtype=float))
+    true_arr = np.atleast_1d(np.asarray(true, dtype=float))
+    if perturbed_arr.shape != true_arr.shape:
+        raise EvaluationError(
+            f"shape mismatch: perturbed {perturbed_arr.shape} vs true {true_arr.shape}"
+        )
+    mask = true_arr != 0
+    if not mask.any():
+        raise EvaluationError("relative error rate is undefined when every true value is 0")
+    return float(np.mean(np.abs(perturbed_arr[mask] - true_arr[mask]) / np.abs(true_arr[mask])))
+
+
+def mean_relative_error(perturbed: ArrayLike, true: ArrayLike) -> float:
+    """Alias of :func:`relative_error_rate` (kept for readability at call sites)."""
+    return relative_error_rate(perturbed, true)
+
+
+def absolute_error(perturbed: ArrayLike, true: ArrayLike) -> float:
+    """Mean absolute error over coordinates."""
+    perturbed_arr = np.atleast_1d(np.asarray(perturbed, dtype=float))
+    true_arr = np.atleast_1d(np.asarray(true, dtype=float))
+    return float(np.mean(np.abs(perturbed_arr - true_arr)))
+
+
+def l1_error(perturbed: ArrayLike, true: ArrayLike) -> float:
+    """Summed absolute error."""
+    perturbed_arr = np.atleast_1d(np.asarray(perturbed, dtype=float))
+    true_arr = np.atleast_1d(np.asarray(true, dtype=float))
+    return float(np.sum(np.abs(perturbed_arr - true_arr)))
+
+
+def l2_error(perturbed: ArrayLike, true: ArrayLike) -> float:
+    """Euclidean error."""
+    perturbed_arr = np.atleast_1d(np.asarray(perturbed, dtype=float))
+    true_arr = np.atleast_1d(np.asarray(true, dtype=float))
+    return float(np.linalg.norm(perturbed_arr - true_arr))
+
+
+def expected_rer_gaussian(sigma: float, true_value: float) -> float:
+    """Closed-form E[RER] for Gaussian noise: ``sigma * sqrt(2/pi) / T``."""
+    if true_value == 0:
+        raise EvaluationError("expected RER is undefined for a true value of 0")
+    if sigma < 0:
+        raise EvaluationError(f"sigma must be >= 0, got {sigma}")
+    return sigma * math.sqrt(2.0 / math.pi) / abs(true_value)
+
+
+def expected_rer_laplace(scale: float, true_value: float) -> float:
+    """Closed-form E[RER] for Laplace noise: ``b / T``."""
+    if true_value == 0:
+        raise EvaluationError("expected RER is undefined for a true value of 0")
+    if scale < 0:
+        raise EvaluationError(f"scale must be >= 0, got {scale}")
+    return scale / abs(true_value)
+
+
+def release_error_report(
+    release: MultiLevelRelease,
+    graph: BipartiteGraph,
+    workload: Optional[QueryWorkload] = None,
+) -> Dict[int, Dict[str, float]]:
+    """Per-level error metrics of a release against the true graph.
+
+    Returns ``{level: {"rer": ..., "absolute_error": ..., "noise_scale": ...}}``
+    computed over all answers of the workload (the workload defaults to the
+    queries found in the release).
+    """
+    from repro.queries.counts import TotalAssociationCountQuery
+
+    if workload is None:
+        workload = QueryWorkload([TotalAssociationCountQuery()])
+    true_answers = workload.evaluate(graph)
+    report: Dict[int, Dict[str, float]] = {}
+    for level in release.levels():
+        level_release = release.level(level)
+        perturbed_all = []
+        true_all = []
+        for query in workload:
+            if query.name not in level_release.answers:
+                continue
+            truth = true_answers[query.name]
+            noisy = level_release.answer(query.name)
+            for label, true_value in zip(truth.labels, truth.values):
+                if label in noisy:
+                    perturbed_all.append(noisy[label])
+                    true_all.append(float(true_value))
+        if not true_all:
+            raise EvaluationError(f"level {level} release contains none of the workload queries")
+        report[level] = {
+            "rer": relative_error_rate(perturbed_all, true_all),
+            "absolute_error": absolute_error(perturbed_all, true_all),
+            "noise_scale": level_release.noise_scale,
+            "sensitivity": level_release.sensitivity,
+        }
+    return report

@@ -1,0 +1,63 @@
+"""Plain-text and JSON reporting helpers shared by examples and benchmarks."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.utils.serialization import to_json_file
+
+PathLike = Union[str, Path]
+
+
+def format_table(
+    rows: Iterable[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render a list of row mappings as an aligned text table.
+
+    Parameters
+    ----------
+    rows:
+        Row dictionaries; missing cells render as empty strings.
+    columns:
+        Column order; defaults to the union of keys in first-seen order.
+    float_format:
+        Format applied to float cells.
+    """
+    rows = [dict(row) for row in rows]
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    columns = list(columns)
+
+    def render(value: Any) -> str:
+        if value is None:
+            return ""
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(column)) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(row[i]) for row in rendered)) if rendered else len(str(column))
+        for i, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    lines.append("  ".join(str(column).ljust(width) for column, width in zip(columns, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def save_result(result: Any, path: PathLike) -> Path:
+    """Persist any result object exposing ``to_dict()`` (or a plain mapping) as JSON."""
+    payload = result.to_dict() if hasattr(result, "to_dict") else result
+    return to_json_file(payload, path)

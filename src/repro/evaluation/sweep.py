@@ -1,0 +1,99 @@
+"""Generic parameter-sweep runner used by the benchmark harnesses."""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping
+
+from repro.exceptions import EvaluationError
+
+
+@dataclass
+class SweepResult:
+    """All rows produced by a :class:`ParameterSweep` run."""
+
+    name: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def column(self, key: str) -> List[Any]:
+        """All values of one column, in row order."""
+        return [row.get(key) for row in self.rows]
+
+    def filter(self, **criteria) -> "SweepResult":
+        """Rows whose values match every keyword criterion."""
+        rows = [
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in criteria.items())
+        ]
+        return SweepResult(name=self.name, rows=rows)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {"name": self.name, "rows": list(self.rows)}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class ParameterSweep:
+    """Run a callable over the Cartesian product of a parameter grid.
+
+    Parameters
+    ----------
+    runner:
+        Callable invoked as ``runner(**params)``; must return a mapping of
+        result columns (merged with the parameter columns into one row).
+    grid:
+        Mapping ``parameter name -> iterable of values``.
+    name:
+        Label stored on the result.
+
+    Examples
+    --------
+    >>> sweep = ParameterSweep(lambda x, y: {"sum": x + y}, {"x": [1, 2], "y": [10]})
+    >>> len(sweep.run().rows)
+    2
+    """
+
+    def __init__(
+        self,
+        runner: Callable[..., Mapping[str, Any]],
+        grid: Mapping[str, Iterable[Any]],
+        name: str = "sweep",
+    ):
+        if not callable(runner):
+            raise EvaluationError("runner must be callable")
+        if not grid:
+            raise EvaluationError("grid must contain at least one parameter")
+        self.runner = runner
+        self.grid = {key: list(values) for key, values in grid.items()}
+        for key, values in self.grid.items():
+            if not values:
+                raise EvaluationError(f"parameter {key!r} has no values")
+        self.name = str(name)
+
+    def combinations(self) -> List[Dict[str, Any]]:
+        """All parameter combinations, in deterministic order."""
+        keys = list(self.grid)
+        return [dict(zip(keys, combo)) for combo in itertools.product(*(self.grid[k] for k in keys))]
+
+    def run(self, record_time: bool = False) -> SweepResult:
+        """Execute the runner for every combination and collect rows."""
+        result = SweepResult(name=self.name)
+        for params in self.combinations():
+            start = time.perf_counter()
+            output = self.runner(**params)
+            elapsed = time.perf_counter() - start
+            if not isinstance(output, Mapping):
+                raise EvaluationError(
+                    f"runner must return a mapping of result columns, got {type(output).__name__}"
+                )
+            row = dict(params)
+            row.update(output)
+            if record_time:
+                row["elapsed_seconds"] = elapsed
+            result.rows.append(row)
+        return result

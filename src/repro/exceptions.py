@@ -1,0 +1,114 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  Errors are grouped by the subsystem that raises
+them (graphs, privacy, grouping, disclosure, ...) to make failure modes easy
+to distinguish in tests and applications.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong type, range, or structure)."""
+
+
+class GraphError(ReproError):
+    """Base class for errors raised by the bipartite-graph substrate."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A referenced node does not exist in the graph."""
+
+    def __init__(self, node, side=None):
+        self.node = node
+        self.side = side
+        suffix = f" on side {side!r}" if side is not None else ""
+        super().__init__(f"node {node!r} not found{suffix}")
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """A referenced association (edge) does not exist in the graph."""
+
+    def __init__(self, left, right):
+        self.left = left
+        self.right = right
+        super().__init__(f"association ({left!r}, {right!r}) not found")
+
+
+class DuplicateNodeError(GraphError, ValueError):
+    """A node was added twice (possibly on different sides)."""
+
+    def __init__(self, node):
+        self.node = node
+        super().__init__(f"node {node!r} already exists")
+
+
+class PrivacyError(ReproError):
+    """Base class for errors in privacy parameters or guarantees."""
+
+
+class InvalidPrivacyParameterError(PrivacyError, ValueError):
+    """An ``epsilon`` or ``delta`` value is outside its valid range."""
+
+
+class BudgetExceededError(PrivacyError):
+    """A privacy-budget ledger would be overdrawn by the requested spend."""
+
+    def __init__(self, requested, remaining):
+        self.requested = requested
+        self.remaining = remaining
+        super().__init__(
+            f"requested privacy spend {requested} exceeds remaining budget {remaining}"
+        )
+
+
+class SensitivityError(PrivacyError, ValueError):
+    """A sensitivity value is missing, non-finite, or inconsistent."""
+
+
+class GroupingError(ReproError):
+    """Base class for errors in partitions, hierarchies, and specialization."""
+
+
+class InvalidPartitionError(GroupingError, ValueError):
+    """A partition does not cover the universe or has overlapping groups."""
+
+
+class HierarchyError(GroupingError, ValueError):
+    """A group hierarchy violates its structural invariants."""
+
+
+class SpecializationError(GroupingError):
+    """The specialization (recursive split) procedure could not proceed."""
+
+
+class DisclosureError(ReproError):
+    """Base class for errors raised by the multi-level disclosure pipeline."""
+
+
+class AccessLevelError(DisclosureError, KeyError):
+    """A requested access/information level does not exist in a release."""
+
+    def __init__(self, level, available):
+        self.level = level
+        self.available = tuple(available)
+        super().__init__(
+            f"access level {level!r} not available; release has levels {sorted(self.available)}"
+        )
+
+
+class ReleaseIntegrityError(DisclosureError):
+    """A release object is internally inconsistent (tampering or bug)."""
+
+
+class DatasetError(ReproError):
+    """Base class for dataset-generation and loading errors."""
+
+
+class EvaluationError(ReproError):
+    """Base class for errors raised by the evaluation harness."""

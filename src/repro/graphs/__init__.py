@@ -1,0 +1,68 @@
+"""Bipartite association-graph substrate.
+
+The paper models private data as *bipartite association graphs*: nodes on the
+left side are one kind of entity (e.g. authors, patients, viewers), nodes on
+the right side another kind (papers, drugs, movies), and each edge is one
+association (``author a wrote paper p``).  This package provides the graph
+data structure used by every other subsystem, plus builders, statistics,
+induced-subgraph utilities, projections and I/O.
+"""
+
+from repro.graphs.bipartite import BipartiteGraph, Side
+from repro.graphs.builders import (
+    from_association_list,
+    from_biadjacency,
+    from_networkx,
+    to_networkx,
+)
+from repro.graphs.stats import (
+    GraphSummary,
+    association_count,
+    cross_association_count,
+    degree_histogram,
+    degree_sequence,
+    density,
+    summarize,
+)
+from repro.graphs.subgraphs import (
+    induced_subgraph,
+    restrict_left,
+    restrict_right,
+    subgraph_association_count,
+)
+from repro.graphs.degree_bounding import cap_degrees, clipping_error
+from repro.graphs.projections import project_left, project_right
+from repro.graphs.io import (
+    read_edge_list,
+    write_edge_list,
+    read_json,
+    write_json,
+)
+
+__all__ = [
+    "BipartiteGraph",
+    "Side",
+    "from_association_list",
+    "from_biadjacency",
+    "from_networkx",
+    "to_networkx",
+    "GraphSummary",
+    "association_count",
+    "cross_association_count",
+    "degree_histogram",
+    "degree_sequence",
+    "density",
+    "summarize",
+    "induced_subgraph",
+    "restrict_left",
+    "restrict_right",
+    "subgraph_association_count",
+    "cap_degrees",
+    "clipping_error",
+    "project_left",
+    "project_right",
+    "read_edge_list",
+    "write_edge_list",
+    "read_json",
+    "write_json",
+]

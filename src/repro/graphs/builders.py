@@ -1,0 +1,109 @@
+"""Constructors that build :class:`BipartiteGraph` from other representations."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.graphs.bipartite import BipartiteGraph, Side
+
+Node = Hashable
+
+
+def from_association_list(
+    pairs: Iterable[Tuple[Node, Node]],
+    name: str = "bipartite-graph",
+    left_nodes: Optional[Iterable[Node]] = None,
+    right_nodes: Optional[Iterable[Node]] = None,
+) -> BipartiteGraph:
+    """Build a graph from an iterable of ``(left, right)`` association pairs.
+
+    Endpoints are created on demand.  ``left_nodes`` / ``right_nodes`` may be
+    provided to register isolated nodes (entities with no associations), which
+    matter for group sizes.
+    """
+    graph = BipartiteGraph(name=name)
+    if left_nodes is not None:
+        graph.add_left_nodes(left_nodes)
+    if right_nodes is not None:
+        graph.add_right_nodes(right_nodes)
+    graph.add_associations(pairs, auto_add=True)
+    return graph
+
+
+def from_biadjacency(
+    matrix: np.ndarray,
+    left_labels: Optional[Sequence[Node]] = None,
+    right_labels: Optional[Sequence[Node]] = None,
+    name: str = "bipartite-graph",
+) -> BipartiteGraph:
+    """Build a graph from a dense 0/1 biadjacency matrix.
+
+    ``matrix[i, j] != 0`` means left node ``i`` is associated with right node
+    ``j``.  Labels default to ``"L{i}"`` and ``"R{j}"``.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValidationError(f"biadjacency matrix must be 2-D, got shape {matrix.shape}")
+    n_left, n_right = matrix.shape
+    if left_labels is None:
+        left_labels = [f"L{i}" for i in range(n_left)]
+    if right_labels is None:
+        right_labels = [f"R{j}" for j in range(n_right)]
+    if len(left_labels) != n_left or len(right_labels) != n_right:
+        raise ValidationError("label lengths must match matrix dimensions")
+    graph = BipartiteGraph(name=name)
+    graph.add_left_nodes(left_labels)
+    graph.add_right_nodes(right_labels)
+    rows, cols = np.nonzero(matrix)
+    for i, j in zip(rows.tolist(), cols.tolist()):
+        graph.add_association(left_labels[i], right_labels[j])
+    return graph
+
+
+def to_networkx(graph: BipartiteGraph) -> nx.Graph:
+    """Convert to a :class:`networkx.Graph` with ``bipartite`` node attributes.
+
+    Left nodes get ``bipartite=0`` and right nodes ``bipartite=1``, following
+    the NetworkX bipartite convention, so the result can be fed directly to
+    ``networkx.algorithms.bipartite`` functions.
+    """
+    nxg = nx.Graph(name=graph.name)
+    for node in graph.left_nodes():
+        nxg.add_node(node, bipartite=0, **graph.node_attributes(node))
+    for node in graph.right_nodes():
+        nxg.add_node(node, bipartite=1, **graph.node_attributes(node))
+    nxg.add_edges_from(graph.associations())
+    return nxg
+
+
+def from_networkx(nxg: nx.Graph, name: Optional[str] = None) -> BipartiteGraph:
+    """Convert a NetworkX bipartite graph (``bipartite`` attribute = 0/1).
+
+    Raises :class:`ValidationError` if a node lacks the ``bipartite``
+    attribute or an edge connects two nodes on the same side.
+    """
+    graph = BipartiteGraph(name=name if name is not None else nxg.graph.get("name", "bipartite-graph"))
+    for node, data in nxg.nodes(data=True):
+        if "bipartite" not in data:
+            raise ValidationError(f"node {node!r} lacks a 'bipartite' attribute")
+        attrs = {k: v for k, v in data.items() if k != "bipartite"}
+        if data["bipartite"] == 0:
+            graph.add_left_node(node, **attrs)
+        elif data["bipartite"] == 1:
+            graph.add_right_node(node, **attrs)
+        else:
+            raise ValidationError(f"node {node!r} has invalid bipartite value {data['bipartite']!r}")
+    for u, v in nxg.edges():
+        u_side = graph.side_of(u)
+        v_side = graph.side_of(v)
+        if u_side == v_side:
+            raise ValidationError(f"edge ({u!r}, {v!r}) connects two {u_side.value} nodes")
+        if u_side is Side.LEFT:
+            graph.add_association(u, v)
+        else:
+            graph.add_association(v, u)
+    return graph

@@ -1,0 +1,92 @@
+"""Reading and writing bipartite association graphs.
+
+Two formats are supported:
+
+* **edge list** — one ``left<TAB>right`` pair per line, the format the DBLP
+  dump is usually converted to; isolated nodes can be declared with
+  ``#left <node>`` / ``#right <node>`` directive lines;
+* **JSON** — a structured document that round-trips node attributes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import ValidationError
+from repro.graphs.bipartite import BipartiteGraph
+
+PathLike = Union[str, Path]
+
+
+def write_edge_list(graph: BipartiteGraph, path: PathLike, delimiter: str = "\t") -> Path:
+    """Write the graph as an edge list (plus directives for isolated nodes)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for node in graph.left_nodes():
+            if graph.degree(node) == 0:
+                handle.write(f"#left{delimiter}{node}\n")
+        for node in graph.right_nodes():
+            if graph.degree(node) == 0:
+                handle.write(f"#right{delimiter}{node}\n")
+        for left, right in graph.associations():
+            handle.write(f"{left}{delimiter}{right}\n")
+    return path
+
+
+def read_edge_list(path: PathLike, delimiter: str = "\t", name: str = "bipartite-graph") -> BipartiteGraph:
+    """Read a graph written by :func:`write_edge_list` (node ids become ``str``)."""
+    path = Path(path)
+    graph = BipartiteGraph(name=name)
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.rstrip("\n")
+            if not line.strip():
+                continue
+            parts = line.split(delimiter)
+            if parts[0] == "#left" and len(parts) == 2:
+                graph.add_left_node(parts[1])
+                continue
+            if parts[0] == "#right" and len(parts) == 2:
+                graph.add_right_node(parts[1])
+                continue
+            if len(parts) != 2:
+                raise ValidationError(f"{path}:{lineno}: expected 2 fields, got {len(parts)}")
+            graph.add_association(parts[0], parts[1], auto_add=True)
+    return graph
+
+
+def write_json(graph: BipartiteGraph, path: PathLike) -> Path:
+    """Write the graph (with node attributes) as a JSON document."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "name": graph.name,
+        "left": {str(n): graph.node_attributes(n) for n in graph.left_nodes()},
+        "right": {str(n): graph.node_attributes(n) for n in graph.right_nodes()},
+        "associations": [[str(l), str(r)] for l, r in graph.associations()],
+    }
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def read_json(path: PathLike) -> BipartiteGraph:
+    """Read a graph written by :func:`write_json`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    for key in ("name", "left", "right", "associations"):
+        if key not in document:
+            raise ValidationError(f"graph JSON is missing key {key!r}")
+    graph = BipartiteGraph(name=document["name"])
+    for node, attrs in document["left"].items():
+        graph.add_left_node(node, **attrs)
+    for node, attrs in document["right"].items():
+        graph.add_right_node(node, **attrs)
+    for left, right in document["associations"]:
+        graph.add_association(left, right)
+    return graph

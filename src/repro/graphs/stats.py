@@ -1,0 +1,125 @@
+"""Aggregate statistics over bipartite association graphs.
+
+These are the *true* (un-noised) answers that the disclosure pipeline
+perturbs; they are also used by the evaluation harness to compute relative
+error rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional
+
+import numpy as np
+
+from repro.graphs.bipartite import BipartiteGraph, Side
+
+Node = Hashable
+
+
+def association_count(graph: BipartiteGraph) -> int:
+    """Total number of associations in the graph (the paper's count query)."""
+    return graph.num_associations()
+
+
+def cross_association_count(
+    graph: BipartiteGraph, left_nodes: Iterable[Node], right_nodes: Iterable[Node]
+) -> int:
+    """Number of associations between the two given node sets."""
+    return graph.association_count_between(left_nodes, right_nodes)
+
+
+def degree_sequence(graph: BipartiteGraph, side: Side = Side.LEFT) -> np.ndarray:
+    """Degrees of all nodes on ``side`` as a NumPy integer array."""
+    side = Side(side)
+    nodes = graph.left_nodes() if side is Side.LEFT else graph.right_nodes()
+    return np.array([graph.degree(n) for n in nodes], dtype=np.int64)
+
+
+def degree_histogram(graph: BipartiteGraph, side: Side = Side.LEFT) -> Dict[int, int]:
+    """Histogram mapping degree value -> number of nodes with that degree."""
+    degrees = degree_sequence(graph, side)
+    histogram: Dict[int, int] = {}
+    for value in degrees.tolist():
+        histogram[value] = histogram.get(value, 0) + 1
+    return histogram
+
+
+def density(graph: BipartiteGraph) -> float:
+    """Fraction of possible left-right associations that are present."""
+    possible = graph.num_left() * graph.num_right()
+    if possible == 0:
+        return 0.0
+    return graph.num_associations() / possible
+
+
+@dataclass
+class GraphSummary:
+    """A compact description of a bipartite association graph."""
+
+    name: str
+    num_left: int
+    num_right: int
+    num_associations: int
+    density: float
+    max_left_degree: int
+    max_right_degree: int
+    mean_left_degree: float
+    mean_right_degree: float
+    isolated_left: int
+    isolated_right: int
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Return a JSON-serialisable dictionary."""
+        return {
+            "name": self.name,
+            "num_left": self.num_left,
+            "num_right": self.num_right,
+            "num_associations": self.num_associations,
+            "density": self.density,
+            "max_left_degree": self.max_left_degree,
+            "max_right_degree": self.max_right_degree,
+            "mean_left_degree": self.mean_left_degree,
+            "mean_right_degree": self.mean_right_degree,
+            "isolated_left": self.isolated_left,
+            "isolated_right": self.isolated_right,
+            "extra": dict(self.extra),
+        }
+
+
+def summarize(graph: BipartiteGraph) -> GraphSummary:
+    """Compute a :class:`GraphSummary` for ``graph``."""
+    left_degrees = degree_sequence(graph, Side.LEFT)
+    right_degrees = degree_sequence(graph, Side.RIGHT)
+
+    def _max(arr: np.ndarray) -> int:
+        return int(arr.max()) if arr.size else 0
+
+    def _mean(arr: np.ndarray) -> float:
+        return float(arr.mean()) if arr.size else 0.0
+
+    def _isolated(arr: np.ndarray) -> int:
+        return int((arr == 0).sum()) if arr.size else 0
+
+    return GraphSummary(
+        name=graph.name,
+        num_left=graph.num_left(),
+        num_right=graph.num_right(),
+        num_associations=graph.num_associations(),
+        density=density(graph),
+        max_left_degree=_max(left_degrees),
+        max_right_degree=_max(right_degrees),
+        mean_left_degree=_mean(left_degrees),
+        mean_right_degree=_mean(right_degrees),
+        isolated_left=_isolated(left_degrees),
+        isolated_right=_isolated(right_degrees),
+    )
+
+
+def top_degree_nodes(graph: BipartiteGraph, side: Side, k: int) -> List[Node]:
+    """Return up to ``k`` node ids with the highest degree on ``side``."""
+    side = Side(side)
+    nodes = list(graph.left_nodes() if side is Side.LEFT else graph.right_nodes())
+    nodes.sort(key=lambda n: (-graph.degree(n), str(n)))
+    return nodes[: max(k, 0)]

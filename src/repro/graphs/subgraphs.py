@@ -1,0 +1,86 @@
+"""Induced-subgraph utilities.
+
+Phase 2 of the paper's pipeline answers aggregate queries on the *subgraphs
+induced by each group level*; these helpers extract those subgraphs and count
+their associations without materialising copies when only counts are needed.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional, Set
+
+from repro.graphs.bipartite import BipartiteGraph
+
+Node = Hashable
+
+
+def induced_subgraph(
+    graph: BipartiteGraph,
+    nodes: Iterable[Node],
+    name: Optional[str] = None,
+) -> BipartiteGraph:
+    """Return the subgraph induced by ``nodes`` (taken from both sides).
+
+    A node in ``nodes`` that is absent from ``graph`` is ignored.  An
+    association survives iff *both* endpoints are in ``nodes``.
+    """
+    node_set: Set[Node] = set(nodes)
+    sub = BipartiteGraph(name=name if name is not None else f"{graph.name}-induced")
+    for node in graph.left_nodes():
+        if node in node_set:
+            sub.add_left_node(node, **graph.node_attributes(node))
+    for node in graph.right_nodes():
+        if node in node_set:
+            sub.add_right_node(node, **graph.node_attributes(node))
+    for left, right in graph.associations():
+        if left in node_set and right in node_set:
+            sub.add_association(left, right)
+    return sub
+
+
+def restrict_left(graph: BipartiteGraph, left_nodes: Iterable[Node], name: Optional[str] = None) -> BipartiteGraph:
+    """Keep only the given left nodes (all right nodes are retained)."""
+    keep = set(left_nodes)
+    sub = BipartiteGraph(name=name if name is not None else f"{graph.name}-left-restricted")
+    for node in graph.left_nodes():
+        if node in keep:
+            sub.add_left_node(node, **graph.node_attributes(node))
+    for node in graph.right_nodes():
+        sub.add_right_node(node, **graph.node_attributes(node))
+    for left, right in graph.associations():
+        if left in keep:
+            sub.add_association(left, right)
+    return sub
+
+
+def restrict_right(graph: BipartiteGraph, right_nodes: Iterable[Node], name: Optional[str] = None) -> BipartiteGraph:
+    """Keep only the given right nodes (all left nodes are retained)."""
+    keep = set(right_nodes)
+    sub = BipartiteGraph(name=name if name is not None else f"{graph.name}-right-restricted")
+    for node in graph.left_nodes():
+        sub.add_left_node(node, **graph.node_attributes(node))
+    for node in graph.right_nodes():
+        if node in keep:
+            sub.add_right_node(node, **graph.node_attributes(node))
+    for left, right in graph.associations():
+        if right in keep:
+            sub.add_association(left, right)
+    return sub
+
+
+def subgraph_association_count(graph: BipartiteGraph, nodes: Iterable[Node]) -> int:
+    """Count associations whose *both* endpoints lie in ``nodes``.
+
+    This is the true answer of the paper's count query restricted to the
+    subgraph induced by a group, computed without building the subgraph.
+    Each association is counted once, from its left endpoint.
+    """
+    from repro.graphs.bipartite import Side
+
+    node_set: Set[Node] = set(nodes)
+    count = 0
+    for node in node_set:
+        if not graph.has_node(node) or graph.side_of(node) is not Side.LEFT:
+            continue
+        count += sum(1 for nb in graph.neighbors(node) if nb in node_set)
+    return count

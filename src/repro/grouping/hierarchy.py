@@ -1,0 +1,245 @@
+"""Multi-level group hierarchies.
+
+The paper forms ``L`` group levels by repeated specialization: the top level
+(``L``) is the entire dataset (one group holding every node of the bipartite
+graph), each group at level ``i`` is split into (up to) four subgroups at
+level ``i - 1`` — two from the left node set and two from the right node set
+— and level ``0`` is the individual level where every group is a single node.
+
+:class:`GroupHierarchy` stores one :class:`~repro.grouping.partition.Partition`
+per level together with the parent/child relation and validates the
+structural invariants:
+
+* every level is a partition of the same universe;
+* the children of a group partition exactly that group's members;
+* the bottom level consists of singletons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.exceptions import HierarchyError
+from repro.grouping.partition import Group, Partition
+
+Element = Hashable
+
+
+@dataclass(frozen=True)
+class LevelStatistics:
+    """Size statistics of one hierarchy level, used in reports and benches."""
+
+    level: int
+    num_groups: int
+    max_group_size: int
+    min_group_size: int
+    mean_group_size: float
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "level": self.level,
+            "num_groups": self.num_groups,
+            "max_group_size": self.max_group_size,
+            "min_group_size": self.min_group_size,
+            "mean_group_size": self.mean_group_size,
+        }
+
+
+class GroupHierarchy:
+    """An ordered stack of partitions from coarse (top) to fine (bottom).
+
+    Parameters
+    ----------
+    levels:
+        Mapping ``level index -> Partition``.  The largest index is the top
+        (coarsest) level; index 0, when present, is the individual level.
+    parents:
+        Mapping ``child group id -> parent group id`` for consecutive levels.
+        When omitted it is inferred by member containment.
+    validate:
+        Run the structural invariant checks (default ``True``).
+    """
+
+    def __init__(
+        self,
+        levels: Mapping[int, Partition],
+        parents: Optional[Mapping[str, str]] = None,
+        validate: bool = True,
+    ):
+        if not levels:
+            raise HierarchyError("a hierarchy needs at least one level")
+        self._levels: Dict[int, Partition] = dict(sorted(levels.items()))
+        self._parents: Dict[str, str] = dict(parents) if parents is not None else {}
+        self._children: Dict[str, List[str]] = {}
+        if not self._parents:
+            self._infer_parents()
+        for child, parent in self._parents.items():
+            self._children.setdefault(parent, []).append(child)
+        if validate:
+            self.validate()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _infer_parents(self) -> None:
+        """Infer the parent relation by member containment between consecutive levels."""
+        indices = self.level_indices()
+        for lower, upper in zip(indices, indices[1:]):
+            child_partition = self._levels[lower]
+            parent_partition = self._levels[upper]
+            for child in child_partition.groups():
+                representative = next(iter(child.members), None)
+                if representative is None:
+                    continue
+                try:
+                    parent = parent_partition.group_of(representative)
+                except KeyError as exc:
+                    raise HierarchyError(
+                        f"element {representative!r} of group {child.group_id!r} is missing "
+                        f"from level {upper}"
+                    ) from exc
+                self._parents[child.group_id] = parent.group_id
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def level_indices(self) -> List[int]:
+        """Sorted level indices, ascending (finest first)."""
+        return sorted(self._levels)
+
+    @property
+    def top_level(self) -> int:
+        """Index of the coarsest level."""
+        return self.level_indices()[-1]
+
+    @property
+    def bottom_level(self) -> int:
+        """Index of the finest level."""
+        return self.level_indices()[0]
+
+    def num_levels(self) -> int:
+        """Number of stored levels."""
+        return len(self._levels)
+
+    def partition_at(self, level: int) -> Partition:
+        """The partition at ``level``."""
+        if level not in self._levels:
+            raise HierarchyError(f"level {level} not in hierarchy (has {self.level_indices()})")
+        return self._levels[level]
+
+    def has_level(self, level: int) -> bool:
+        """``True`` when ``level`` exists in the hierarchy."""
+        return level in self._levels
+
+    def groups_at(self, level: int) -> List[Group]:
+        """All groups at ``level``."""
+        return self.partition_at(level).groups()
+
+    def universe(self) -> FrozenSet[Element]:
+        """The element universe (taken from the top level)."""
+        return self.partition_at(self.top_level).universe()
+
+    def parent_of(self, group_id: str) -> Optional[str]:
+        """The parent group id, or ``None`` for top-level groups."""
+        return self._parents.get(group_id)
+
+    def children_of(self, group_id: str) -> List[str]:
+        """The child group ids (empty for bottom-level groups)."""
+        return list(self._children.get(group_id, []))
+
+    def iter_levels(self) -> Iterator[Tuple[int, Partition]]:
+        """Iterate ``(level, partition)`` pairs from fine to coarse."""
+        for level in self.level_indices():
+            yield level, self._levels[level]
+
+    def level_statistics(self) -> List[LevelStatistics]:
+        """Per-level size statistics, fine to coarse."""
+        stats = []
+        for level, partition in self.iter_levels():
+            sizes = [len(group) for group in partition.groups()]
+            stats.append(
+                LevelStatistics(
+                    level=level,
+                    num_groups=len(sizes),
+                    max_group_size=max(sizes) if sizes else 0,
+                    min_group_size=min(sizes) if sizes else 0,
+                    mean_group_size=(sum(sizes) / len(sizes)) if sizes else 0.0,
+                )
+            )
+        return stats
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GroupHierarchy(levels={self.level_indices()}, "
+            f"universe={len(self.universe())} elements)"
+        )
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the hierarchy invariants; raise :class:`HierarchyError` on violation."""
+        indices = self.level_indices()
+        universe = self.partition_at(indices[-1]).universe()
+        for level in indices:
+            level_universe = self._levels[level].universe()
+            if level_universe != universe:
+                raise HierarchyError(
+                    f"level {level} covers {len(level_universe)} elements but the top level "
+                    f"covers {len(universe)}"
+                )
+        for lower, upper in zip(indices, indices[1:]):
+            child_partition = self._levels[lower]
+            parent_partition = self._levels[upper]
+            members_by_parent: Dict[str, set] = {g.group_id: set() for g in parent_partition.groups()}
+            for child in child_partition.groups():
+                parent_id = self._parents.get(child.group_id)
+                if parent_id is None:
+                    raise HierarchyError(f"group {child.group_id!r} at level {lower} has no parent")
+                if parent_id not in members_by_parent:
+                    raise HierarchyError(
+                        f"group {child.group_id!r} at level {lower} references unknown parent "
+                        f"{parent_id!r} at level {upper}"
+                    )
+                parent_group = parent_partition.group(parent_id)
+                if not child.members <= parent_group.members:
+                    raise HierarchyError(
+                        f"group {child.group_id!r} is not contained in its parent {parent_id!r}"
+                    )
+                members_by_parent[parent_id].update(child.members)
+            for parent_id, covered in members_by_parent.items():
+                expected = parent_partition.group(parent_id).members
+                if covered != set(expected):
+                    raise HierarchyError(
+                        f"children of {parent_id!r} cover {len(covered)} of its "
+                        f"{len(expected)} members"
+                    )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "levels": {str(level): partition.to_dict() for level, partition in self._levels.items()},
+            "parents": dict(self._parents),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "GroupHierarchy":
+        """Inverse of :meth:`to_dict`."""
+        levels = {int(level): Partition.from_dict(p) for level, p in data["levels"].items()}
+        return cls(levels, parents=data.get("parents") or None)
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def two_level(cls, universe: Iterable[Element], top_level: int = 1) -> "GroupHierarchy":
+        """The smallest useful hierarchy: one root group over singletons."""
+        universe = list(universe)
+        bottom = Partition.singletons(universe, level=0)
+        top = Partition.trivial(universe, level=top_level)
+        return cls({0: bottom, top_level: top})

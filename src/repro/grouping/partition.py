@@ -1,0 +1,243 @@
+"""Groups and partitions of a node universe.
+
+The paper (Definition 3) assumes the universe ``U`` is partitioned into
+non-overlapping subgroups ``G = {G1, ..., Gn}``; two datasets are group-level
+adjacent if they differ by exactly one whole subgroup.  :class:`Partition`
+captures such a grouping, enforces the cover/disjointness invariants, and
+provides the lookups the sensitivity analysis needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Mapping, Optional
+
+from repro.exceptions import InvalidPartitionError, ValidationError
+
+Element = Hashable
+
+
+@dataclass(frozen=True)
+class Group:
+    """A named, immutable set of universe elements.
+
+    Parameters
+    ----------
+    group_id:
+        Unique identifier of the group within its partition/hierarchy.  The
+        hierarchy uses path-style ids such as ``"L/0/1"`` (left side, first
+        split's first child, second child of that).
+    members:
+        The elements (node ids) belonging to the group.
+    side:
+        ``"left"``, ``"right"`` or ``"mixed"`` — which side(s) of the
+        bipartite graph the members come from.  Purely informational.
+    level:
+        The hierarchy level the group belongs to, when applicable.
+    """
+
+    group_id: str
+    members: FrozenSet[Element]
+    side: str = "mixed"
+    level: Optional[int] = None
+
+    def __post_init__(self):
+        if not isinstance(self.group_id, str) or not self.group_id:
+            raise ValidationError("group_id must be a non-empty string")
+        object.__setattr__(self, "members", frozenset(self.members))
+        if self.side not in ("left", "right", "mixed"):
+            raise ValidationError(f"side must be 'left', 'right' or 'mixed', got {self.side!r}")
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, element: Element) -> bool:
+        return element in self.members
+
+    def __iter__(self) -> Iterator[Element]:
+        return iter(self.members)
+
+    def is_singleton(self) -> bool:
+        """``True`` when the group contains exactly one element."""
+        return len(self.members) == 1
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (members sorted by string form)."""
+        return {
+            "group_id": self.group_id,
+            "members": sorted(self.members, key=str),
+            "side": self.side,
+            "level": self.level,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Group":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            group_id=data["group_id"],
+            members=frozenset(data["members"]),
+            side=data.get("side", "mixed"),
+            level=data.get("level"),
+        )
+
+
+class Partition:
+    """A set of non-overlapping groups covering a universe.
+
+    The constructor validates the two partition invariants from the paper's
+    setup: groups are pairwise disjoint, and their union equals the declared
+    universe (when a universe is given; otherwise the universe is defined as
+    the union of the groups).
+    """
+
+    def __init__(self, groups: Iterable[Group], universe: Optional[Iterable[Element]] = None):
+        self._groups: Dict[str, Group] = {}
+        self._element_to_group: Dict[Element, str] = {}
+        for group in groups:
+            if not isinstance(group, Group):
+                raise ValidationError(f"expected Group, got {type(group).__name__}")
+            if group.group_id in self._groups:
+                raise InvalidPartitionError(f"duplicate group id {group.group_id!r}")
+            for element in group.members:
+                if element in self._element_to_group:
+                    other = self._element_to_group[element]
+                    raise InvalidPartitionError(
+                        f"element {element!r} belongs to both {other!r} and {group.group_id!r}"
+                    )
+                self._element_to_group[element] = group.group_id
+            self._groups[group.group_id] = group
+        if universe is not None:
+            universe_set = set(universe)
+            covered = set(self._element_to_group)
+            missing = universe_set - covered
+            extra = covered - universe_set
+            if missing:
+                raise InvalidPartitionError(
+                    f"partition does not cover {len(missing)} universe element(s), e.g. "
+                    f"{sorted(missing, key=str)[:3]!r}"
+                )
+            if extra:
+                raise InvalidPartitionError(
+                    f"partition contains {len(extra)} element(s) outside the universe, e.g. "
+                    f"{sorted(extra, key=str)[:3]!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Iterable[Element]], level: Optional[int] = None) -> "Partition":
+        """Build a partition from ``{group_id: members}``."""
+        groups = [Group(group_id=gid, members=frozenset(members), level=level) for gid, members in mapping.items()]
+        return cls(groups)
+
+    @classmethod
+    def singletons(cls, universe: Iterable[Element], level: Optional[int] = 0, prefix: str = "u") -> "Partition":
+        """One group per element — the individual level of the hierarchy."""
+        groups = []
+        for index, element in enumerate(sorted(set(universe), key=str)):
+            groups.append(
+                Group(group_id=f"{prefix}:{element}", members=frozenset([element]), level=level)
+            )
+        return cls(groups)
+
+    @classmethod
+    def trivial(cls, universe: Iterable[Element], level: Optional[int] = None, group_id: str = "root") -> "Partition":
+        """A single group containing the whole universe — the top level."""
+        return cls([Group(group_id=group_id, members=frozenset(universe), level=level)])
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def groups(self) -> List[Group]:
+        """All groups, in insertion order."""
+        return list(self._groups.values())
+
+    def group_ids(self) -> List[str]:
+        """All group ids, in insertion order."""
+        return list(self._groups)
+
+    def group(self, group_id: str) -> Group:
+        """Return the group with the given id."""
+        if group_id not in self._groups:
+            raise KeyError(group_id)
+        return self._groups[group_id]
+
+    def group_of(self, element: Element) -> Group:
+        """Return the group containing ``element``."""
+        group_id = self._element_to_group.get(element)
+        if group_id is None:
+            raise KeyError(element)
+        return self._groups[group_id]
+
+    def contains_element(self, element: Element) -> bool:
+        """``True`` when some group contains ``element``."""
+        return element in self._element_to_group
+
+    def universe(self) -> FrozenSet[Element]:
+        """All covered elements."""
+        return frozenset(self._element_to_group)
+
+    def sizes(self) -> Dict[str, int]:
+        """Mapping ``group_id -> group size``."""
+        return {gid: len(group) for gid, group in self._groups.items()}
+
+    def max_group_size(self) -> int:
+        """The size of the largest group (0 for an empty partition)."""
+        if not self._groups:
+            return 0
+        return max(len(group) for group in self._groups.values())
+
+    def num_groups(self) -> int:
+        """Number of groups."""
+        return len(self._groups)
+
+    def num_elements(self) -> int:
+        """Number of covered elements."""
+        return len(self._element_to_group)
+
+    def __len__(self) -> int:
+        return self.num_groups()
+
+    def __iter__(self) -> Iterator[Group]:
+        return iter(self._groups.values())
+
+    def __contains__(self, group_id: str) -> bool:
+        return group_id in self._groups
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Partition(groups={self.num_groups()}, elements={self.num_elements()})"
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {"groups": [group.to_dict() for group in self._groups.values()]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Partition":
+        """Inverse of :meth:`to_dict`."""
+        return cls([Group.from_dict(g) for g in data["groups"]])
+
+    # ------------------------------------------------------------------
+    # Derived partitions
+    # ------------------------------------------------------------------
+    def restricted_to(self, elements: Iterable[Element]) -> "Partition":
+        """Intersect every group with ``elements`` and drop empty groups."""
+        keep = set(elements)
+        groups = []
+        for group in self._groups.values():
+            members = group.members & keep
+            if members:
+                groups.append(Group(group.group_id, members, side=group.side, level=group.level))
+        return Partition(groups)
+
+    def merged_with(self, other: "Partition") -> "Partition":
+        """Union of two partitions over disjoint universes."""
+        overlap = self.universe() & other.universe()
+        if overlap:
+            raise InvalidPartitionError(
+                f"cannot merge partitions with {len(overlap)} overlapping element(s)"
+            )
+        return Partition(self.groups() + other.groups())

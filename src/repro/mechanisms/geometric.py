@@ -1,0 +1,69 @@
+"""The (two-sided) geometric mechanism.
+
+A discrete analogue of the Laplace mechanism: noise is drawn from the
+two-sided geometric distribution, so integer-valued count queries stay
+integer-valued.  Useful as a baseline when releasing small association counts
+where post-processing rounding of Laplace noise would bias the answer.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.mechanisms.base import NumericMechanism, PrivacyCost
+from repro.mechanisms.calibration import geometric_alpha
+from repro.utils.rng import RandomState
+from repro.utils.validation import check_positive
+
+
+class GeometricMechanism(NumericMechanism):
+    """Add two-sided geometric noise for pure epsilon-DP on integer queries.
+
+    The noise takes value ``k`` (any integer) with probability proportional to
+    ``alpha^{|k|}`` where ``alpha = exp(-epsilon / sensitivity)``.
+    """
+
+    def __init__(self, epsilon: float, sensitivity: float = 1.0, rng: RandomState = None):
+        super().__init__(rng=rng)
+        self.epsilon = check_positive(epsilon, "epsilon")
+        self.sensitivity = check_positive(sensitivity, "sensitivity")
+        self.alpha = geometric_alpha(self.epsilon, self.sensitivity)
+
+    def noise_scale(self) -> float:
+        """Standard deviation of the two-sided geometric noise."""
+        a = self.alpha
+        return float(np.sqrt(2.0 * a) / (1.0 - a)) if a > 0 else 0.0
+
+    def noise_variance(self) -> float:
+        """Var[noise] = 2 alpha / (1 - alpha)^2."""
+        a = self.alpha
+        return 2.0 * a / (1.0 - a) ** 2
+
+    def sample_noise(self, size=None) -> Union[float, np.ndarray]:
+        """Draw two-sided geometric noise.
+
+        Sampling uses the difference of two i.i.d. geometric variables, which
+        has exactly the two-sided geometric distribution with parameter
+        ``alpha``.
+        """
+        p = 1.0 - self.alpha
+        if size is None:
+            g1 = self.rng.geometric(p) - 1
+            g2 = self.rng.geometric(p) - 1
+            return float(g1 - g2)
+        g1 = self.rng.geometric(p, size=size) - 1
+        g2 = self.rng.geometric(p, size=size) - 1
+        return (g1 - g2).astype(float)
+
+    def randomise(self, value):
+        """Perturb an integer-valued answer; the result stays integral."""
+        if np.isscalar(value):
+            return float(value) + self.sample_noise()
+        array = np.asarray(value, dtype=float)
+        return array + self.sample_noise(size=array.shape)
+
+    def privacy_cost(self) -> PrivacyCost:
+        """Pure epsilon-DP."""
+        return PrivacyCost(self.epsilon, 0.0)

@@ -1,0 +1,63 @@
+"""Randomized response for binary attributes.
+
+Not used by the disclosure pipeline directly, but part of the mechanism
+library because the individual-DP baseline and the examples use it to
+privately release *individual* association indicators ("did Bob buy
+insulin?") alongside the group-level aggregates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from repro.mechanisms.base import Mechanism, PrivacyCost
+from repro.utils.rng import RandomState
+from repro.utils.validation import check_positive
+
+
+class RandomizedResponse(Mechanism):
+    """Warner-style randomized response over {0, 1} values.
+
+    Each true bit is reported truthfully with probability
+    ``p = e^epsilon / (1 + e^epsilon)`` and flipped otherwise, which satisfies
+    epsilon-DP for a single binary attribute.
+    """
+
+    def __init__(self, epsilon: float, rng: RandomState = None):
+        super().__init__(rng=rng)
+        self.epsilon = check_positive(epsilon, "epsilon")
+        self.p_truth = math.exp(self.epsilon) / (1.0 + math.exp(self.epsilon))
+
+    def randomise(self, value: Union[int, bool, np.ndarray]):
+        """Perturb a bit or array of bits; returns int(s) in {0, 1}."""
+        if np.isscalar(value):
+            bit = int(bool(value))
+            keep = self.rng.uniform() < self.p_truth
+            return bit if keep else 1 - bit
+        bits = np.asarray(value).astype(int)
+        if not np.isin(bits, (0, 1)).all():
+            raise ValueError("randomized response requires binary inputs")
+        keep = self.rng.uniform(size=bits.shape) < self.p_truth
+        return np.where(keep, bits, 1 - bits)
+
+    randomize = randomise
+
+    def estimate_frequency(self, reported: np.ndarray) -> float:
+        """Debias the mean of reported bits back to an estimate of the true mean.
+
+        With truth probability ``p``, ``E[reported] = p q + (1-p)(1-q)`` for a
+        true frequency ``q``; inverting gives the unbiased estimator below.
+        """
+        reported = np.asarray(reported, dtype=float)
+        if reported.size == 0:
+            return 0.0
+        mean = float(reported.mean())
+        p = self.p_truth
+        return (mean - (1.0 - p)) / (2.0 * p - 1.0)
+
+    def privacy_cost(self) -> PrivacyCost:
+        """Pure epsilon-DP per bit."""
+        return PrivacyCost(self.epsilon, 0.0)

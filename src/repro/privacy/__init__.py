@@ -1,0 +1,65 @@
+"""Privacy definitions: adjacency relations, sensitivities, guarantees.
+
+This package encodes the paper's Section II formally:
+
+* :mod:`repro.privacy.adjacency` — the adjacency relations (individual-level,
+  group-level, and the node/edge graph variants) that define *what* is being
+  protected;
+* :mod:`repro.privacy.sensitivity` — sensitivity of association-count queries
+  under each relation (the quantity mechanisms must be calibrated to);
+* :mod:`repro.privacy.guarantees` — ``(epsilon, delta)`` guarantee records
+  attached to releases;
+* :mod:`repro.privacy.conversion` — the classic lemma converting an
+  individual-DP guarantee into a group-DP guarantee for groups of bounded
+  size (and the reverse direction used by the naive baseline).
+"""
+
+from repro.privacy.adjacency import (
+    AdjacencyRelation,
+    EdgeAdjacency,
+    GroupAdjacency,
+    IndividualAdjacency,
+    NodeAdjacency,
+)
+from repro.privacy.sensitivity import (
+    association_count_sensitivity,
+    group_count_sensitivity,
+    group_workload_l1_sensitivity,
+    group_workload_l2_sensitivity,
+    individual_count_sensitivity,
+    node_count_sensitivity,
+)
+from repro.privacy.guarantees import (
+    GroupPrivacyGuarantee,
+    IndividualPrivacyGuarantee,
+    PrivacyGuarantee,
+    PrivacyUnit,
+)
+from repro.privacy.conversion import (
+    group_guarantee_from_individual,
+    individual_budget_for_group_target,
+)
+from repro.privacy.audit import AuditResult, audit_count_release, audit_scalar_mechanism
+
+__all__ = [
+    "AdjacencyRelation",
+    "EdgeAdjacency",
+    "GroupAdjacency",
+    "IndividualAdjacency",
+    "NodeAdjacency",
+    "association_count_sensitivity",
+    "group_count_sensitivity",
+    "group_workload_l1_sensitivity",
+    "group_workload_l2_sensitivity",
+    "individual_count_sensitivity",
+    "node_count_sensitivity",
+    "GroupPrivacyGuarantee",
+    "IndividualPrivacyGuarantee",
+    "PrivacyGuarantee",
+    "PrivacyUnit",
+    "group_guarantee_from_individual",
+    "individual_budget_for_group_target",
+    "AuditResult",
+    "audit_count_release",
+    "audit_scalar_mechanism",
+]

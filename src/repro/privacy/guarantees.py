@@ -1,0 +1,150 @@
+"""Privacy-guarantee records attached to releases.
+
+A guarantee states *what* is protected (the privacy unit and, for group
+privacy, which grouping), and *how strongly* (``epsilon`` and ``delta``).
+Release objects carry one guarantee per information level so that a data user
+— or an auditor — can read off exactly which definition the noisy answers
+satisfy.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.exceptions import InvalidPrivacyParameterError
+
+
+class PrivacyUnit(str, enum.Enum):
+    """The unit of protection a guarantee refers to."""
+
+    ASSOCIATION = "association"
+    NODE = "node"
+    GROUP = "group"
+
+
+def _validate_epsilon(epsilon: float) -> float:
+    if not isinstance(epsilon, (int, float)) or isinstance(epsilon, bool):
+        raise InvalidPrivacyParameterError(f"epsilon must be a number, got {type(epsilon).__name__}")
+    epsilon = float(epsilon)
+    if math.isnan(epsilon) or epsilon < 0:
+        raise InvalidPrivacyParameterError(f"epsilon must be >= 0, got {epsilon}")
+    return epsilon
+
+
+def _validate_delta(delta: float) -> float:
+    if not isinstance(delta, (int, float)) or isinstance(delta, bool):
+        raise InvalidPrivacyParameterError(f"delta must be a number, got {type(delta).__name__}")
+    delta = float(delta)
+    if math.isnan(delta) or not 0.0 <= delta <= 1.0:
+        raise InvalidPrivacyParameterError(f"delta must be in [0, 1], got {delta}")
+    return delta
+
+
+@dataclass(frozen=True)
+class PrivacyGuarantee:
+    """An ``(epsilon, delta)`` differential-privacy guarantee.
+
+    Parameters
+    ----------
+    epsilon, delta:
+        The guarantee parameters.  ``delta = 0`` denotes pure DP; ``epsilon``
+        may be ``math.inf`` for explicitly non-private baselines.
+    unit:
+        The protected unit (:class:`PrivacyUnit`).
+    description:
+        Optional free-form context (e.g. which query the guarantee covers).
+    """
+
+    epsilon: float
+    delta: float = 0.0
+    unit: PrivacyUnit = PrivacyUnit.ASSOCIATION
+    description: str = ""
+
+    def __post_init__(self):
+        object.__setattr__(self, "epsilon", _validate_epsilon(self.epsilon))
+        object.__setattr__(self, "delta", _validate_delta(self.delta))
+        object.__setattr__(self, "unit", PrivacyUnit(self.unit))
+
+    def is_pure(self) -> bool:
+        """``True`` for pure (delta = 0) differential privacy."""
+        return self.delta == 0.0
+
+    def is_private(self) -> bool:
+        """``True`` unless epsilon is infinite (a non-private disclosure)."""
+        return math.isfinite(self.epsilon)
+
+    def stronger_than(self, other: "PrivacyGuarantee") -> bool:
+        """``True`` when this guarantee dominates ``other`` in both parameters."""
+        return self.epsilon <= other.epsilon and self.delta <= other.delta
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "unit": self.unit.value,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PrivacyGuarantee":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            epsilon=data["epsilon"],
+            delta=data.get("delta", 0.0),
+            unit=PrivacyUnit(data.get("unit", PrivacyUnit.ASSOCIATION)),
+            description=data.get("description", ""),
+        )
+
+
+@dataclass(frozen=True)
+class IndividualPrivacyGuarantee(PrivacyGuarantee):
+    """Guarantee under individual (record-level) adjacency — Definition 2."""
+
+    unit: PrivacyUnit = PrivacyUnit.ASSOCIATION
+
+
+@dataclass(frozen=True)
+class GroupPrivacyGuarantee(PrivacyGuarantee):
+    """Guarantee under group-level adjacency — the paper's Definition 4.
+
+    Parameters
+    ----------
+    level:
+        The hierarchy level whose grouping defines the adjacency relation.
+    num_groups, max_group_size:
+        Descriptive statistics of the grouping, recorded so the guarantee is
+        self-contained (an auditor does not need the hierarchy object to see
+        what "one group" means quantitatively).
+    """
+
+    unit: PrivacyUnit = PrivacyUnit.GROUP
+    level: Optional[int] = None
+    num_groups: Optional[int] = None
+    max_group_size: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        data = super().to_dict()
+        data.update(
+            {
+                "level": self.level,
+                "num_groups": self.num_groups,
+                "max_group_size": self.max_group_size,
+            }
+        )
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "GroupPrivacyGuarantee":
+        return cls(
+            epsilon=data["epsilon"],
+            delta=data.get("delta", 0.0),
+            unit=PrivacyUnit(data.get("unit", PrivacyUnit.GROUP)),
+            description=data.get("description", ""),
+            level=data.get("level"),
+            num_groups=data.get("num_groups"),
+            max_group_size=data.get("max_group_size"),
+        )

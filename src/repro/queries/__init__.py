@@ -1,0 +1,28 @@
+"""Query workloads over bipartite association graphs.
+
+A query maps a graph (and optionally a grouping) to one or more numeric
+answers and knows its own sensitivity under the supported adjacency
+relations.  The paper's evaluation uses a single query — the total number of
+associations in the dataset — but the disclosure pipeline accepts any query
+in this package, and the extended examples release per-group counts and
+degree histograms.
+"""
+
+from repro.queries.base import Query, QueryAnswer
+from repro.queries.counts import (
+    GroupedAssociationCountQuery,
+    TotalAssociationCountQuery,
+)
+from repro.queries.cross import CrossGroupCountQuery
+from repro.queries.degree import DegreeHistogramQuery
+from repro.queries.workload import QueryWorkload
+
+__all__ = [
+    "Query",
+    "QueryAnswer",
+    "TotalAssociationCountQuery",
+    "GroupedAssociationCountQuery",
+    "DegreeHistogramQuery",
+    "CrossGroupCountQuery",
+    "QueryWorkload",
+]

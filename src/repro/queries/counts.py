@@ -1,0 +1,90 @@
+"""Association-count queries.
+
+:class:`TotalAssociationCountQuery` is the paper's evaluation query ("what is
+the number of associations in the dataset?"); :class:`GroupedAssociationCountQuery`
+generalises it to a per-group vector for richer releases.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import SensitivityError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.subgraphs import subgraph_association_count
+from repro.grouping.partition import Partition
+from repro.privacy.sensitivity import (
+    group_count_sensitivity,
+    group_workload_l1_sensitivity,
+    node_count_sensitivity,
+)
+from repro.queries.base import Query, QueryAnswer
+
+
+class TotalAssociationCountQuery(Query):
+    """The total number of associations in the graph."""
+
+    name = "total_association_count"
+
+    def evaluate(self, graph: BipartiteGraph) -> QueryAnswer:
+        return QueryAnswer(name=self.name, values=np.array([graph.num_associations()], dtype=float), labels=["total"])
+
+    def l1_sensitivity(
+        self, graph: BipartiteGraph, adjacency: str = "individual", partition: Optional[Partition] = None
+    ) -> float:
+        self._require_partition(adjacency, partition)
+        if adjacency == "individual":
+            return 1.0
+        if adjacency == "node":
+            return node_count_sensitivity(graph)
+        return group_count_sensitivity(graph, partition)
+
+
+class GroupedAssociationCountQuery(Query):
+    """Per-group induced association counts for a fixed partition.
+
+    For every group ``H`` of ``query_partition`` the answer reports the
+    number of associations with both endpoints inside ``H``.
+
+    Parameters
+    ----------
+    query_partition:
+        The grouping whose induced subgraph counts are released.  Note this
+        may differ from the *protection* partition passed to
+        :meth:`l1_sensitivity` (a publisher may release fine-grained counts
+        while protecting coarser groups).
+    """
+
+    name = "grouped_association_count"
+
+    def __init__(self, query_partition: Partition):
+        if not isinstance(query_partition, Partition):
+            raise SensitivityError("query_partition must be a Partition")
+        self.query_partition = query_partition
+
+    def evaluate(self, graph: BipartiteGraph) -> QueryAnswer:
+        labels = []
+        values = []
+        for group in self.query_partition.groups():
+            labels.append(group.group_id)
+            values.append(subgraph_association_count(graph, group.members))
+        return QueryAnswer(name=self.name, values=np.array(values, dtype=float), labels=labels)
+
+    def l1_sensitivity(
+        self, graph: BipartiteGraph, adjacency: str = "individual", partition: Optional[Partition] = None
+    ) -> float:
+        self._require_partition(adjacency, partition)
+        if adjacency == "individual":
+            # One association lies inside at most one query group.
+            return 1.0
+        if adjacency == "node":
+            return node_count_sensitivity(graph)
+        # Group adjacency: when the protection partition coincides with the
+        # query partition only one coordinate changes (see
+        # repro.privacy.sensitivity); otherwise removing a protected group can
+        # affect several query groups, so we bound by its total incident mass.
+        if partition is self.query_partition:
+            return group_workload_l1_sensitivity(graph, partition)
+        return group_count_sensitivity(graph, partition)

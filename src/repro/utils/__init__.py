@@ -1,0 +1,37 @@
+"""Shared utilities: RNG handling, validation helpers, serialization."""
+
+from repro.utils.rng import (
+    RandomState,
+    as_rng,
+    derive_rng,
+    spawn_rngs,
+)
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+    check_type,
+)
+from repro.utils.serialization import (
+    from_json_file,
+    to_json_file,
+    to_jsonable,
+)
+
+__all__ = [
+    "RandomState",
+    "as_rng",
+    "derive_rng",
+    "spawn_rngs",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "check_type",
+    "from_json_file",
+    "to_json_file",
+    "to_jsonable",
+]

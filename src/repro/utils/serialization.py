@@ -1,0 +1,73 @@
+"""JSON serialization helpers.
+
+Release objects, hierarchies and experiment results all support a
+``to_dict()`` / ``from_dict()`` pair; the helpers here handle the last mile of
+turning those dictionaries into files, converting NumPy scalars and arrays
+into plain Python types along the way.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-serialisable Python types.
+
+    NumPy integers, floats, booleans and arrays are converted to their Python
+    equivalents; sets and tuples become lists; dictionaries keep their keys
+    (converted to ``str`` when they are not already JSON-safe).
+    """
+    if isinstance(obj, (str, bool)) or obj is None:
+        return obj
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, (int, float)):
+        return obj
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(x) for x in obj.tolist()]
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(x) for x in obj]
+    if isinstance(obj, dict):
+        out = {}
+        for key, value in obj.items():
+            if isinstance(key, (str, int, float, bool)) or key is None:
+                json_key = key
+            elif isinstance(key, (np.integer,)):
+                json_key = int(key)
+            elif isinstance(key, (np.floating,)):
+                json_key = float(key)
+            else:
+                json_key = str(key)
+            out[json_key] = to_jsonable(value)
+        return out
+    if hasattr(obj, "to_dict"):
+        return to_jsonable(obj.to_dict())
+    raise TypeError(f"object of type {type(obj).__name__} is not JSON-serialisable")
+
+
+def to_json_file(obj: Any, path: PathLike, indent: int = 2) -> Path:
+    """Write ``obj`` (after :func:`to_jsonable` conversion) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(to_jsonable(obj), handle, indent=indent, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def from_json_file(path: PathLike) -> Any:
+    """Load a JSON document written by :func:`to_json_file`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        return json.load(handle)

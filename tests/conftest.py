@@ -1,0 +1,86 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are deliberately small (hundreds of nodes at most) so the whole
+suite runs in well under a minute; scale-sensitive behaviour is exercised by
+the benchmarks instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DisclosureConfig
+from repro.core.discloser import MultiLevelDiscloser
+from repro.datasets.dblp_like import generate_dblp_like
+from repro.datasets.pharmacy import generate_pharmacy_purchases
+from repro.graphs.bipartite import BipartiteGraph
+from repro.grouping.hierarchy import GroupHierarchy
+from repro.grouping.partition import Group, Partition
+from repro.grouping.specialization import SpecializationConfig, Specializer
+
+
+@pytest.fixture
+def tiny_graph() -> BipartiteGraph:
+    """A hand-built 4x4 association graph with known counts.
+
+    Structure (left: buyers, right: drugs)::
+
+        bob   -- insulin, aspirin
+        carol -- insulin
+        dave  -- statin, aspirin
+        erin  -- (no purchases)
+        (zoloft has no buyers)
+    """
+    graph = BipartiteGraph(name="tiny-pharmacy")
+    graph.add_left_nodes(["bob", "carol", "dave", "erin"])
+    graph.add_right_nodes(["insulin", "aspirin", "statin", "zoloft"])
+    graph.add_associations(
+        [
+            ("bob", "insulin"),
+            ("bob", "aspirin"),
+            ("carol", "insulin"),
+            ("dave", "statin"),
+            ("dave", "aspirin"),
+        ]
+    )
+    return graph
+
+
+@pytest.fixture
+def tiny_partition(tiny_graph) -> Partition:
+    """Two groups over the tiny graph's universe (buyers vs drugs)."""
+    return Partition(
+        [
+            Group("buyers", frozenset(["bob", "carol", "dave", "erin"]), side="left"),
+            Group("drugs", frozenset(["insulin", "aspirin", "statin", "zoloft"]), side="right"),
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def dblp_graph() -> BipartiteGraph:
+    """A small seeded DBLP-like graph shared (read-only) across tests."""
+    return generate_dblp_like(num_authors=300, seed=42)
+
+
+@pytest.fixture(scope="session")
+def pharmacy_graph() -> BipartiteGraph:
+    """A small seeded pharmacy graph with zipcode / category attributes."""
+    return generate_pharmacy_purchases(num_patients=150, num_drugs=40, seed=7)
+
+
+@pytest.fixture(scope="session")
+def dblp_hierarchy(dblp_graph) -> GroupHierarchy:
+    """A 5-level hierarchy over the shared DBLP-like graph."""
+    specializer = Specializer(config=SpecializationConfig(num_levels=5), rng=11)
+    return specializer.build(dblp_graph).hierarchy
+
+
+@pytest.fixture
+def small_discloser() -> MultiLevelDiscloser:
+    """A discloser with a 4-level hierarchy, suitable for tiny graphs."""
+    config = DisclosureConfig(
+        epsilon_g=1.0,
+        specialization=SpecializationConfig(num_levels=4),
+    )
+    return MultiLevelDiscloser(config=config, rng=5)

@@ -1,0 +1,87 @@
+"""Tests for budget allocation strategies."""
+
+import pytest
+
+from repro.accounting.allocation import (
+    GeometricAllocation,
+    ProportionalToSensitivityAllocation,
+    UniformAllocation,
+    make_allocation,
+)
+from repro.exceptions import ValidationError
+
+
+class TestUniformAllocation:
+    def test_equal_shares(self):
+        shares = UniformAllocation().allocate(1.0, [1, 2, 3, 4])
+        assert all(v == pytest.approx(0.25) for v in shares.values())
+
+    def test_sums_to_total(self):
+        shares = UniformAllocation().allocate(0.9, [0, 1, 2])
+        assert sum(shares.values()) == pytest.approx(0.9)
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(ValidationError):
+            UniformAllocation().allocate(1.0, [])
+
+    def test_invalid_total(self):
+        with pytest.raises(ValidationError):
+            UniformAllocation().allocate(0.0, [1])
+
+
+class TestGeometricAllocation:
+    def test_coarser_levels_get_more(self):
+        shares = GeometricAllocation(ratio=2.0).allocate(1.0, [1, 2, 3])
+        assert shares[3] > shares[2] > shares[1]
+
+    def test_sums_to_total(self):
+        shares = GeometricAllocation(ratio=3.0).allocate(2.0, [0, 1, 2, 3])
+        assert sum(shares.values()) == pytest.approx(2.0)
+
+    def test_ratio_of_consecutive_levels(self):
+        shares = GeometricAllocation(ratio=2.0).allocate(1.0, [5, 6])
+        assert shares[6] / shares[5] == pytest.approx(2.0)
+
+    def test_ratio_one_rejected(self):
+        with pytest.raises(ValidationError):
+            GeometricAllocation(ratio=1.0)
+
+    def test_levels_order_does_not_matter(self):
+        a = GeometricAllocation(2.0).allocate(1.0, [3, 1, 2])
+        b = GeometricAllocation(2.0).allocate(1.0, [1, 2, 3])
+        assert a == pytest.approx(b)
+
+
+class TestProportionalAllocation:
+    def test_shares_proportional_to_sensitivity(self):
+        strategy = ProportionalToSensitivityAllocation()
+        shares = strategy.allocate(1.0, [1, 2], sensitivities={1: 10.0, 2: 30.0})
+        assert shares[2] == pytest.approx(3 * shares[1])
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_equalises_noise_scale(self):
+        # sigma ~ sensitivity / epsilon, so proportional shares make it constant.
+        sensitivities = {1: 5.0, 2: 50.0, 3: 500.0}
+        shares = ProportionalToSensitivityAllocation().allocate(1.0, [1, 2, 3], sensitivities=sensitivities)
+        scales = {level: sensitivities[level] / shares[level] for level in shares}
+        values = list(scales.values())
+        assert all(v == pytest.approx(values[0]) for v in values)
+
+    def test_missing_sensitivity_rejected(self):
+        with pytest.raises(ValidationError):
+            ProportionalToSensitivityAllocation().allocate(1.0, [1, 2], sensitivities={1: 2.0})
+
+    def test_nonpositive_sensitivity_rejected(self):
+        with pytest.raises(ValidationError):
+            ProportionalToSensitivityAllocation().allocate(1.0, [1], sensitivities={1: 0.0})
+
+
+class TestRegistry:
+    def test_make_by_name(self):
+        assert isinstance(make_allocation("uniform"), UniformAllocation)
+        assert isinstance(make_allocation("geometric", ratio=4.0), GeometricAllocation)
+        assert isinstance(make_allocation("proportional"), ProportionalToSensitivityAllocation)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError):
+            make_allocation("magic")

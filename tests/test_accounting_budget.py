@@ -1,0 +1,119 @@
+"""Tests for privacy budgets and ledgers."""
+
+import pytest
+
+from repro.accounting.budget import BudgetLedger, PrivacyBudget
+from repro.exceptions import BudgetExceededError, InvalidPrivacyParameterError
+from repro.mechanisms.base import PrivacyCost
+
+
+class TestPrivacyBudget:
+    def test_construction(self):
+        budget = PrivacyBudget(epsilon=1.0, delta=1e-5)
+        assert budget.epsilon == 1.0
+        assert budget.delta == 1e-5
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(InvalidPrivacyParameterError):
+            PrivacyBudget(epsilon=0.0)
+        with pytest.raises(InvalidPrivacyParameterError):
+            PrivacyBudget(epsilon=-1.0)
+
+    def test_invalid_delta(self):
+        with pytest.raises(InvalidPrivacyParameterError):
+            PrivacyBudget(epsilon=1.0, delta=1.2)
+
+    def test_split_fractions(self):
+        parts = PrivacyBudget(epsilon=1.0, delta=1e-4).split([0.25, 0.75])
+        assert parts[0].epsilon == pytest.approx(0.25)
+        assert parts[1].epsilon == pytest.approx(0.75)
+        assert parts[0].delta == pytest.approx(2.5e-5)
+
+    def test_split_rejects_oversubscription(self):
+        with pytest.raises(InvalidPrivacyParameterError):
+            PrivacyBudget(epsilon=1.0).split([0.7, 0.7])
+
+    def test_split_rejects_nonpositive_fraction(self):
+        with pytest.raises(InvalidPrivacyParameterError):
+            PrivacyBudget(epsilon=1.0).split([0.5, 0.0])
+
+    def test_to_dict(self):
+        assert PrivacyBudget(2.0, 1e-6).to_dict() == {"epsilon": 2.0, "delta": 1e-6}
+
+
+class TestBudgetLedger:
+    def test_unlimited_ledger_records_spends(self):
+        ledger = BudgetLedger()
+        ledger.charge(PrivacyCost(0.5), label="a")
+        ledger.charge(PrivacyCost(0.7, 1e-5), label="b")
+        assert len(ledger) == 2
+        assert ledger.spent().epsilon == pytest.approx(1.2)
+        assert ledger.remaining() is None
+
+    def test_limited_ledger_tracks_remaining(self):
+        ledger = BudgetLedger(PrivacyBudget(1.0, 1e-4))
+        ledger.charge(PrivacyCost(0.4, 1e-5))
+        remaining = ledger.remaining()
+        assert remaining.epsilon == pytest.approx(0.6)
+        assert remaining.delta == pytest.approx(9e-5)
+
+    def test_overspend_raises(self):
+        ledger = BudgetLedger(PrivacyBudget(1.0))
+        ledger.charge(PrivacyCost(0.9))
+        with pytest.raises(BudgetExceededError):
+            ledger.charge(PrivacyCost(0.2))
+
+    def test_delta_overspend_raises(self):
+        ledger = BudgetLedger(PrivacyBudget(10.0, 1e-6))
+        with pytest.raises(BudgetExceededError):
+            ledger.charge(PrivacyCost(0.1, 1e-5))
+
+    def test_can_spend(self):
+        ledger = BudgetLedger(PrivacyBudget(1.0))
+        assert ledger.can_spend(PrivacyCost(1.0))
+        assert not ledger.can_spend(PrivacyCost(1.01))
+
+    def test_exact_spend_allowed(self):
+        ledger = BudgetLedger(PrivacyBudget(1.0))
+        ledger.charge(PrivacyCost(0.5))
+        ledger.charge(PrivacyCost(0.5))
+        assert ledger.remaining().epsilon == pytest.approx(0.0)
+
+    def test_entries_preserve_labels(self):
+        ledger = BudgetLedger()
+        ledger.charge(PrivacyCost(0.1), label="specialization")
+        assert ledger.entries()[0].label == "specialization"
+
+    def test_to_dict(self):
+        ledger = BudgetLedger(PrivacyBudget(1.0))
+        ledger.charge(PrivacyCost(0.25), label="x")
+        data = ledger.to_dict()
+        assert data["budget"]["epsilon"] == 1.0
+        assert data["entries"][0]["label"] == "x"
+        assert data["spent"]["epsilon"] == 0.25
+
+
+class TestPrivacyCostArithmetic:
+    def test_addition(self):
+        total = PrivacyCost(0.5, 1e-5) + PrivacyCost(0.25, 1e-5)
+        assert total.epsilon == pytest.approx(0.75)
+        assert total.delta == pytest.approx(2e-5)
+
+    def test_scaled(self):
+        cost = PrivacyCost(0.2, 1e-6).scaled(5)
+        assert cost.epsilon == pytest.approx(1.0)
+        assert cost.delta == pytest.approx(5e-6)
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PrivacyCost(0.1).scaled(-1)
+
+    def test_delta_capped_on_addition(self):
+        total = PrivacyCost(1.0, 0.9) + PrivacyCost(1.0, 0.9)
+        assert total.delta == 1.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PrivacyCost(-0.1)
+        with pytest.raises(ValueError):
+            PrivacyCost(0.1, 1.5)

@@ -1,0 +1,81 @@
+"""Tests for composition theorems."""
+
+import math
+
+import pytest
+
+from repro.accounting.composition import (
+    advanced_composition,
+    basic_composition,
+    parallel_composition,
+    tighter_of,
+)
+from repro.exceptions import InvalidPrivacyParameterError
+from repro.mechanisms.base import PrivacyCost
+
+
+class TestBasicComposition:
+    def test_sums_epsilons_and_deltas(self):
+        total = basic_composition([PrivacyCost(0.1, 1e-6), PrivacyCost(0.2, 2e-6), PrivacyCost(0.3)])
+        assert total.epsilon == pytest.approx(0.6)
+        assert total.delta == pytest.approx(3e-6)
+
+    def test_empty_iterable_is_zero(self):
+        total = basic_composition([])
+        assert total.epsilon == 0.0 and total.delta == 0.0
+
+    def test_delta_capped(self):
+        total = basic_composition([PrivacyCost(1.0, 0.8), PrivacyCost(1.0, 0.8)])
+        assert total.delta == 1.0
+
+
+class TestParallelComposition:
+    def test_takes_worst_cost(self):
+        total = parallel_composition([PrivacyCost(0.1, 1e-7), PrivacyCost(0.5, 1e-9), PrivacyCost(0.3)])
+        assert total.epsilon == 0.5
+        assert total.delta == 1e-7
+
+    def test_empty_is_zero(self):
+        total = parallel_composition([])
+        assert total.epsilon == 0.0
+
+    def test_never_exceeds_basic(self):
+        costs = [PrivacyCost(0.2, 1e-6)] * 5
+        assert parallel_composition(costs).epsilon <= basic_composition(costs).epsilon
+
+
+class TestAdvancedComposition:
+    def test_formula(self):
+        epsilon, delta, k, delta_prime = 0.1, 1e-6, 100, 1e-5
+        result = advanced_composition(epsilon, delta, k, delta_prime)
+        expected_eps = math.sqrt(2 * k * math.log(1 / delta_prime)) * epsilon + k * epsilon * (
+            math.exp(epsilon) - 1
+        )
+        assert result.epsilon == pytest.approx(expected_eps)
+        assert result.delta == pytest.approx(k * delta + delta_prime)
+
+    def test_beats_basic_for_many_small_epsilons(self):
+        epsilon, k = 0.01, 10_000
+        advanced = advanced_composition(epsilon, 0.0, k, 1e-6)
+        basic = basic_composition([PrivacyCost(epsilon)] * k)
+        assert advanced.epsilon < basic.epsilon
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidPrivacyParameterError):
+            advanced_composition(-0.1, 0.0, 10, 1e-6)
+        with pytest.raises(InvalidPrivacyParameterError):
+            advanced_composition(0.1, 0.0, 0, 1e-6)
+        with pytest.raises(InvalidPrivacyParameterError):
+            advanced_composition(0.1, 0.0, 10, 0.0)
+        with pytest.raises(InvalidPrivacyParameterError):
+            advanced_composition(0.1, 2.0, 10, 1e-6)
+
+
+class TestTighterOf:
+    def test_returns_smallest_epsilon(self):
+        best = tighter_of([PrivacyCost(0.5, 0.0), PrivacyCost(0.2, 1e-5), PrivacyCost(0.9)])
+        assert best.epsilon == 0.2
+
+    def test_empty_raises(self):
+        with pytest.raises(InvalidPrivacyParameterError):
+            tighter_of([])

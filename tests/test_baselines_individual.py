@@ -1,0 +1,59 @@
+"""Tests for the individual-DP baseline."""
+
+import pytest
+
+from repro.baselines.individual_dp import IndividualDPDiscloser
+from repro.privacy.guarantees import PrivacyUnit
+
+
+class TestIndividualDPDiscloser:
+    def test_disclose_returns_noisy_count(self, dblp_graph):
+        answers = IndividualDPDiscloser(epsilon_i=1.0, rng=0).disclose(dblp_graph)
+        value = answers["total_association_count"]["total"]
+        true = dblp_graph.num_associations()
+        # Record-level sensitivity is 1; at eps=1 the noise is tiny relative to the count.
+        assert abs(value - true) < 0.05 * true
+
+    def test_guarantee_is_record_level(self):
+        guarantee = IndividualDPDiscloser(epsilon_i=0.5).guarantee()
+        assert guarantee.unit is PrivacyUnit.ASSOCIATION
+        assert guarantee.epsilon == 0.5
+        assert guarantee.delta == 0.0
+
+    def test_gaussian_variant_has_delta(self):
+        guarantee = IndividualDPDiscloser(epsilon_i=0.5, mechanism="gaussian").guarantee()
+        assert guarantee.delta > 0
+
+    def test_invalid_mechanism_rejected(self):
+        with pytest.raises(ValueError):
+            IndividualDPDiscloser(mechanism="geometric")
+
+    def test_seeded_reproducibility(self, dblp_graph):
+        a = IndividualDPDiscloser(epsilon_i=1.0, rng=7).disclose(dblp_graph)
+        b = IndividualDPDiscloser(epsilon_i=1.0, rng=7).disclose(dblp_graph)
+        assert a == b
+
+    def test_implied_group_epsilons_grow_with_level(self, dblp_graph, dblp_hierarchy):
+        implied = IndividualDPDiscloser(epsilon_i=0.5).implied_group_epsilons(dblp_graph, dblp_hierarchy)
+        levels = sorted(implied)
+        assert all(implied[b] >= implied[a] for a, b in zip(levels, levels[1:]))
+        # At the top level a single group holds the whole graph, so the implied
+        # epsilon is epsilon_i times the full association count.
+        assert implied[dblp_hierarchy.top_level] == pytest.approx(0.5 * dblp_graph.num_associations())
+
+    def test_as_multi_level_release_reuses_same_answers(self, dblp_graph, dblp_hierarchy):
+        release = IndividualDPDiscloser(epsilon_i=1.0, rng=3).as_multi_level_release(
+            dblp_graph, dblp_hierarchy, levels=[0, 1, 2]
+        )
+        values = {
+            level: release.level(level).scalar_answer("total_association_count")
+            for level in release.levels()
+        }
+        assert len(set(values.values())) == 1
+
+    def test_release_guarantees_are_weak_at_coarse_levels(self, dblp_graph, dblp_hierarchy):
+        release = IndividualDPDiscloser(epsilon_i=1.0, rng=3).as_multi_level_release(
+            dblp_graph, dblp_hierarchy, levels=[0, 3]
+        )
+        assert release.level(3).guarantee.epsilon > release.level(0).guarantee.epsilon
+        assert release.level(3).guarantee.epsilon > 1.0

@@ -1,0 +1,55 @@
+"""Tests for the naive group-DP baseline."""
+
+import pytest
+
+from repro.baselines.naive_group import NaiveGroupDPDiscloser
+from repro.core.config import DisclosureConfig
+from repro.core.discloser import MultiLevelDiscloser
+from repro.grouping.specialization import SpecializationConfig
+from repro.privacy.guarantees import PrivacyUnit
+from repro.privacy.sensitivity import group_count_sensitivity, node_count_sensitivity
+
+
+class TestNaiveGroupDPDiscloser:
+    def test_release_structure(self, dblp_graph, dblp_hierarchy):
+        release = NaiveGroupDPDiscloser(epsilon_g=0.5, rng=1).disclose(dblp_graph, dblp_hierarchy)
+        assert release.levels() == [level for level in dblp_hierarchy.level_indices() if level < 5]
+        for level in release.levels():
+            assert release.level(level).guarantee.unit is PrivacyUnit.GROUP
+
+    def test_sensitivity_is_lemma_bound(self, dblp_graph, dblp_hierarchy):
+        baseline = NaiveGroupDPDiscloser(epsilon_g=0.5)
+        level = 2
+        expected = dblp_hierarchy.partition_at(level).max_group_size() * node_count_sensitivity(dblp_graph)
+        assert baseline.level_sensitivity(dblp_graph, dblp_hierarchy, level) == pytest.approx(expected)
+
+    def test_never_tighter_than_measured_group_sensitivity(self, dblp_graph, dblp_hierarchy):
+        baseline = NaiveGroupDPDiscloser(epsilon_g=0.5)
+        for level in dblp_hierarchy.level_indices():
+            lemma = baseline.level_sensitivity(dblp_graph, dblp_hierarchy, level)
+            measured = group_count_sensitivity(dblp_graph, dblp_hierarchy.partition_at(level))
+            assert lemma >= measured
+
+    def test_noise_larger_than_paper_approach(self, dblp_graph, dblp_hierarchy):
+        naive = NaiveGroupDPDiscloser(epsilon_g=0.5, rng=1).disclose(dblp_graph, dblp_hierarchy)
+        config = DisclosureConfig(epsilon_g=0.5, specialization=SpecializationConfig(num_levels=5))
+        paper = MultiLevelDiscloser(config=config, rng=1).disclose(dblp_graph, hierarchy=dblp_hierarchy)
+        for level in paper.levels():
+            assert naive.level(level).noise_scale >= paper.level(level).noise_scale
+
+    def test_laplace_variant(self, dblp_graph, dblp_hierarchy):
+        release = NaiveGroupDPDiscloser(epsilon_g=0.5, mechanism="laplace", rng=2).disclose(
+            dblp_graph, dblp_hierarchy, levels=[1, 2]
+        )
+        assert release.levels() == [1, 2]
+        for level in release.levels():
+            assert release.level(level).guarantee.delta == 0.0
+
+    def test_invalid_mechanism(self):
+        with pytest.raises(ValueError):
+            NaiveGroupDPDiscloser(mechanism="exponential")
+
+    def test_config_recorded(self, dblp_graph, dblp_hierarchy):
+        release = NaiveGroupDPDiscloser(epsilon_g=0.25, rng=0).disclose(dblp_graph, dblp_hierarchy, levels=[1])
+        assert release.config["baseline"] == "naive_group"
+        assert release.config["epsilon_g"] == 0.25

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "--output", "g.tsv"])
+        assert args.dataset == "dblp"
+        assert args.scale == "small"
+
+    def test_disclose_mechanism_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["disclose", "--output", "r.json", "--mechanism", "magic"])
+
+
+class TestCommands:
+    def test_generate_writes_edge_list(self, tmp_path, capsys):
+        output = tmp_path / "graph.tsv"
+        code = main(["generate", "--dataset", "dblp", "--scale", "tiny", "--seed", "1", "--output", str(output)])
+        assert code == 0
+        assert output.exists()
+        assert "associations" in capsys.readouterr().out
+
+    def test_disclose_synthetic(self, tmp_path, capsys):
+        output = tmp_path / "release.json"
+        code = main(
+            [
+                "disclose",
+                "--scale",
+                "tiny",
+                "--levels",
+                "4",
+                "--epsilon-g",
+                "0.5",
+                "--seed",
+                "2",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        document = json.loads(output.read_text())
+        assert set(document["levels"]) == {"0", "1", "2"}
+        assert "Privacy certificate" in capsys.readouterr().out
+
+    def test_disclose_from_edge_list(self, tmp_path, capsys):
+        graph_path = tmp_path / "graph.tsv"
+        main(["generate", "--dataset", "pharmacy", "--scale", "tiny", "--output", str(graph_path)])
+        release_path = tmp_path / "release.json"
+        code = main(
+            [
+                "disclose",
+                "--input",
+                str(graph_path),
+                "--levels",
+                "3",
+                "--mechanism",
+                "laplace",
+                "--output",
+                str(release_path),
+            ]
+        )
+        assert code == 0
+        document = json.loads(release_path.read_text())
+        assert document["dataset_name"] == "graph"
+
+    def test_figure1_analytic(self, tmp_path, capsys):
+        output = tmp_path / "figure1.json"
+        code = main(
+            [
+                "figure1",
+                "--scale",
+                "tiny",
+                "--levels",
+                "5",
+                "--analytic",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "I5,0" in out
+        assert output.exists()
+
+    def test_figure1_sampled_without_output(self, capsys):
+        code = main(["figure1", "--scale", "tiny", "--levels", "4", "--trials", "5"])
+        assert code == 0
+        assert "eps_g" in capsys.readouterr().out

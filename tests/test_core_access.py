@@ -1,0 +1,70 @@
+"""Tests for access policies and information levels."""
+
+import pytest
+
+from repro.core.access import AccessPolicy, InformationLevel
+from repro.exceptions import AccessLevelError, ValidationError
+from tests.test_core_release import make_release
+
+
+class TestInformationLevel:
+    def test_name_follows_paper_notation(self):
+        assert InformationLevel(top=9, level=3).name == "I9,3"
+        assert str(InformationLevel(top=9, level=0)) == "I9,0"
+
+    def test_level_bounds_enforced(self):
+        with pytest.raises(ValidationError):
+            InformationLevel(top=5, level=6)
+        with pytest.raises(ValidationError):
+            InformationLevel(top=5, level=-1)
+
+
+class TestAccessPolicy:
+    @pytest.fixture
+    def policy(self):
+        return AccessPolicy({"analyst": 0, "partner": 1, "public": 2}, top_level=9)
+
+    def test_roles_sorted_by_privilege(self, policy):
+        assert policy.roles() == ["analyst", "partner", "public"]
+
+    def test_level_for(self, policy):
+        assert policy.level_for("partner") == 1
+        with pytest.raises(AccessLevelError):
+            policy.level_for("stranger")
+
+    def test_information_level(self, policy):
+        assert policy.information_level("public").name == "I9,2"
+
+    def test_view_for_exact_level(self, policy):
+        release = make_release(levels=(0, 1, 2))
+        assert policy.view_for("partner", release).level == 1
+
+    def test_view_for_missing_level_falls_back_to_coarser(self):
+        policy = AccessPolicy({"analyst": 1}, top_level=9)
+        release = make_release(levels=(3, 5))
+        assert policy.view_for("analyst", release).level == 3
+
+    def test_view_never_returns_finer_level(self):
+        policy = AccessPolicy({"public": 5}, top_level=9)
+        release = make_release(levels=(0, 1, 2))
+        with pytest.raises(AccessLevelError):
+            policy.view_for("public", release)
+
+    def test_empty_roles_rejected(self):
+        with pytest.raises(ValidationError):
+            AccessPolicy({}, top_level=9)
+
+    def test_out_of_range_level_rejected(self):
+        with pytest.raises(ValidationError):
+            AccessPolicy({"role": 10}, top_level=9)
+
+    def test_dict_round_trip(self, policy):
+        back = AccessPolicy.from_dict(policy.to_dict())
+        assert back.roles() == policy.roles()
+        assert back.level_for("public") == 2
+
+    def test_uniform_tiers(self):
+        policy = AccessPolicy.uniform_tiers([0, 2, 5], top_level=9)
+        assert policy.roles() == ["tier0", "tier1", "tier2"]
+        assert policy.level_for("tier0") == 0
+        assert policy.level_for("tier2") == 5

@@ -1,0 +1,86 @@
+"""Tests for privacy certificates and release verification."""
+
+import pytest
+
+from repro.core.certificate import PrivacyCertificate, verify_release
+from repro.core.config import DisclosureConfig
+from repro.core.discloser import MultiLevelDiscloser
+from repro.exceptions import ReleaseIntegrityError
+from repro.grouping.specialization import SpecializationConfig
+
+
+@pytest.fixture(scope="module")
+def release(request):
+    from repro.datasets.dblp_like import generate_dblp_like
+
+    graph = generate_dblp_like(num_authors=150, seed=3)
+    config = DisclosureConfig(epsilon_g=0.8, specialization=SpecializationConfig(num_levels=4))
+    return MultiLevelDiscloser(config=config, rng=2).disclose(graph)
+
+
+class TestVerifyRelease:
+    def test_valid_release_passes(self, release):
+        certificate = verify_release(release)
+        assert isinstance(certificate, PrivacyCertificate)
+        assert len(certificate.entries) == len(release.levels())
+
+    def test_certificate_contents(self, release):
+        certificate = PrivacyCertificate.from_release(release)
+        entry = certificate.entries[0]
+        assert entry.epsilon == pytest.approx(0.8)
+        assert entry.unit == "group"
+        assert certificate.specialization_epsilon == pytest.approx(1.0)
+
+    def test_summary_lines_mention_levels(self, release):
+        lines = verify_release(release).summary_lines()
+        assert any("level 0" in line for line in lines)
+        assert "Privacy certificate" in lines[0]
+
+    def test_certificate_to_dict(self, release):
+        data = PrivacyCertificate.from_release(release).to_dict()
+        assert data["dataset_name"] == release.dataset_name
+        assert len(data["entries"]) == len(release.levels())
+
+    def test_tampered_noise_scale_detected(self, release):
+        import copy
+
+        tampered = copy.deepcopy(release)
+        tampered.level(0).noise_scale *= 0.5
+        with pytest.raises(ReleaseIntegrityError):
+            verify_release(tampered)
+
+    def test_tampered_sensitivity_detected(self, release):
+        import copy
+
+        tampered = copy.deepcopy(release)
+        tampered.level(1).sensitivity = -1.0
+        with pytest.raises(ReleaseIntegrityError):
+            verify_release(tampered)
+
+    def test_unknown_mechanism_detected(self, release):
+        import copy
+
+        tampered = copy.deepcopy(release)
+        tampered.level(0).mechanism = "homebrew"
+        with pytest.raises(ReleaseIntegrityError):
+            verify_release(tampered)
+
+    def test_laplace_release_verifies(self):
+        from repro.datasets.dblp_like import generate_dblp_like
+
+        graph = generate_dblp_like(num_authors=120, seed=5)
+        config = DisclosureConfig(
+            epsilon_g=0.5, mechanism="laplace", specialization=SpecializationConfig(num_levels=3)
+        )
+        release = MultiLevelDiscloser(config=config, rng=4).disclose(graph)
+        verify_release(release)
+
+    def test_geometric_release_verifies(self):
+        from repro.datasets.dblp_like import generate_dblp_like
+
+        graph = generate_dblp_like(num_authors=120, seed=5)
+        config = DisclosureConfig(
+            epsilon_g=0.5, mechanism="geometric", specialization=SpecializationConfig(num_levels=3)
+        )
+        release = MultiLevelDiscloser(config=config, rng=4).disclose(graph)
+        verify_release(release)

@@ -1,0 +1,198 @@
+"""Tests for the MultiLevelDiscloser pipeline."""
+
+import pytest
+
+from repro.core.config import DisclosureConfig
+from repro.core.discloser import MultiLevelDiscloser
+from repro.exceptions import DisclosureError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.grouping.specialization import DeterministicSpecializer, SpecializationConfig
+from repro.privacy.guarantees import PrivacyUnit
+from repro.queries.counts import GroupedAssociationCountQuery, TotalAssociationCountQuery
+from repro.queries.degree import DegreeHistogramQuery
+
+
+@pytest.fixture(scope="module")
+def graph():
+    from repro.datasets.dblp_like import generate_dblp_like
+
+    return generate_dblp_like(num_authors=200, seed=8)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return DisclosureConfig(epsilon_g=0.7, specialization=SpecializationConfig(num_levels=5))
+
+
+@pytest.fixture(scope="module")
+def release(graph, config):
+    return MultiLevelDiscloser(config=config, rng=13).disclose(graph)
+
+
+class TestDisclosureStructure:
+    def test_released_levels_match_config(self, release, config):
+        assert release.levels() == config.resolved_release_levels()
+
+    def test_each_level_has_count_answer(self, release):
+        for level in release.levels():
+            value = release.level(level).scalar_answer("total_association_count")
+            assert isinstance(value, float)
+
+    def test_guarantees_are_group_unit(self, release, config):
+        for level in release.levels():
+            guarantee = release.level(level).guarantee
+            assert guarantee.unit is PrivacyUnit.GROUP
+            assert guarantee.epsilon == pytest.approx(config.epsilon_g)
+            assert guarantee.delta == pytest.approx(config.delta)
+            assert guarantee.level == level
+
+    def test_noise_scale_monotone_in_level(self, release):
+        # Coarser levels have larger sensitivity, hence at least as much noise.
+        scales = [release.level(level).noise_scale for level in release.levels()]
+        assert all(b >= a - 1e-9 for a, b in zip(scales, scales[1:]))
+
+    def test_sensitivity_monotone_in_level(self, release):
+        sens = [release.level(level).sensitivity for level in release.levels()]
+        assert all(b >= a for a, b in zip(sens, sens[1:]))
+
+    def test_specialization_cost_recorded(self, release):
+        assert release.specialization_cost.epsilon == pytest.approx(1.0)
+
+    def test_level_statistics_included(self, release):
+        assert len(release.level_statistics) >= len(release.levels())
+
+    def test_config_embedded(self, release):
+        assert release.config["epsilon_g"] == 0.7
+
+    def test_dataset_name_recorded(self, release, graph):
+        assert release.dataset_name == graph.name
+
+
+class TestDisclosureBehaviour:
+    def test_seeded_reproducibility(self, graph, config):
+        first = MultiLevelDiscloser(config=config, rng=21).disclose(graph)
+        second = MultiLevelDiscloser(config=config, rng=21).disclose(graph)
+        for level in first.levels():
+            assert first.level(level).scalar_answer("total_association_count") == pytest.approx(
+                second.level(level).scalar_answer("total_association_count")
+            )
+
+    def test_different_seeds_give_different_noise(self, graph, config):
+        first = MultiLevelDiscloser(config=config, rng=1).disclose(graph)
+        second = MultiLevelDiscloser(config=config, rng=2).disclose(graph)
+        values_differ = any(
+            first.level(level).scalar_answer("total_association_count")
+            != second.level(level).scalar_answer("total_association_count")
+            for level in first.levels()
+        )
+        assert values_differ
+
+    def test_empty_graph_rejected(self, config):
+        with pytest.raises(DisclosureError):
+            MultiLevelDiscloser(config=config).disclose(BipartiteGraph())
+
+    def test_reuse_existing_hierarchy_skips_specialization_cost(self, graph, config):
+        discloser = MultiLevelDiscloser(config=config, rng=3)
+        hierarchy = discloser.specializer.build(graph).hierarchy
+        release = discloser.disclose(graph, hierarchy=hierarchy)
+        assert release.specialization_cost.epsilon == 0.0
+
+    def test_requested_levels_missing_from_hierarchy_raises(self, graph):
+        config = DisclosureConfig(
+            specialization=SpecializationConfig(num_levels=5), release_levels=[1, 2]
+        )
+        discloser = MultiLevelDiscloser(config=config, rng=3)
+        small_hierarchy = MultiLevelDiscloser(
+            DisclosureConfig(specialization=SpecializationConfig(num_levels=2)), rng=0
+        ).specializer.build(graph).hierarchy
+        # The 2-level hierarchy has levels {0, 1, 2}; level 1 and 2 exist, so this works;
+        # restrict to a level that does not exist to trigger the error.
+        config_bad = DisclosureConfig(
+            specialization=SpecializationConfig(num_levels=5), release_levels=[4]
+        )
+        with pytest.raises(DisclosureError):
+            MultiLevelDiscloser(config=config_bad, rng=1).disclose(graph, hierarchy=small_hierarchy)
+
+    def test_ledger_records_spends(self, graph, config):
+        discloser = MultiLevelDiscloser(config=config, rng=3)
+        discloser.disclose(graph)
+        labels = [entry.label for entry in discloser.ledger.entries()]
+        assert "specialization" in labels
+        assert any(label.startswith("noise-injection-level-") for label in labels)
+
+    def test_build_hierarchy_helper(self, graph, config):
+        discloser = MultiLevelDiscloser(config=config, rng=3)
+        hierarchy = discloser.build_hierarchy(graph)
+        assert hierarchy.top_level == config.specialization.num_levels
+
+
+class TestMechanismVariants:
+    @pytest.mark.parametrize("mechanism", ["gaussian", "analytic_gaussian", "laplace", "geometric"])
+    def test_all_supported_mechanisms_run(self, graph, mechanism):
+        config = DisclosureConfig(
+            epsilon_g=0.5, mechanism=mechanism, specialization=SpecializationConfig(num_levels=3)
+        )
+        release = MultiLevelDiscloser(config=config, rng=5).disclose(graph)
+        assert release.levels()
+        for level in release.levels():
+            assert release.level(level).mechanism == mechanism
+
+    def test_laplace_uses_pure_dp_guarantee(self, graph):
+        config = DisclosureConfig(
+            epsilon_g=0.5, mechanism="laplace", specialization=SpecializationConfig(num_levels=3)
+        )
+        release = MultiLevelDiscloser(config=config, rng=5).disclose(graph)
+        for level in release.levels():
+            assert release.level(level).guarantee.delta == 0.0
+
+    def test_total_budget_mode_splits_epsilon(self, graph):
+        config = DisclosureConfig(
+            epsilon_g=1.0,
+            budget_mode="total",
+            allocation="uniform",
+            specialization=SpecializationConfig(num_levels=4),
+        )
+        release = MultiLevelDiscloser(config=config, rng=5).disclose(graph)
+        epsilons = [release.level(level).guarantee.epsilon for level in release.levels()]
+        assert sum(epsilons) == pytest.approx(1.0)
+
+    def test_total_budget_proportional_allocation(self, graph):
+        config = DisclosureConfig(
+            epsilon_g=1.0,
+            budget_mode="total",
+            allocation="proportional",
+            specialization=SpecializationConfig(num_levels=4),
+        )
+        release = MultiLevelDiscloser(config=config, rng=5).disclose(graph)
+        # Proportional allocation equalises sigma = sensitivity/epsilon across levels.
+        scales = [release.level(level).noise_scale for level in release.levels()]
+        assert max(scales) == pytest.approx(min(scales), rel=1e-6)
+
+
+class TestCustomWorkloads:
+    def test_single_query_instance_accepted(self, graph):
+        config = DisclosureConfig(specialization=SpecializationConfig(num_levels=3))
+        discloser = MultiLevelDiscloser(config=config, queries=TotalAssociationCountQuery(), rng=1)
+        release = discloser.disclose(graph)
+        assert "total_association_count" in release.level(0).answers
+
+    def test_multiple_queries_released_together(self, graph):
+        config = DisclosureConfig(specialization=SpecializationConfig(num_levels=3))
+        discloser = MultiLevelDiscloser(
+            config=config,
+            queries=[TotalAssociationCountQuery(), DegreeHistogramQuery(max_degree=10)],
+            rng=1,
+        )
+        release = discloser.disclose(graph)
+        answers = release.level(1).answers
+        assert set(answers) == {"total_association_count", "degree_histogram"}
+
+    def test_grouped_count_workload(self, graph):
+        config = DisclosureConfig(specialization=SpecializationConfig(num_levels=3))
+        discloser = MultiLevelDiscloser(config=config, rng=2)
+        hierarchy = discloser.specializer.build(graph).hierarchy
+        query = GroupedAssociationCountQuery(hierarchy.partition_at(1))
+        discloser_q = MultiLevelDiscloser(config=config, queries=query, rng=2)
+        release = discloser_q.disclose(graph, hierarchy=hierarchy)
+        per_group = release.level(1).answer("grouped_association_count")
+        assert len(per_group) == hierarchy.partition_at(1).num_groups()

@@ -1,0 +1,103 @@
+"""Tests for release objects."""
+
+import pytest
+
+from repro.core.release import LevelRelease, MultiLevelRelease
+from repro.exceptions import AccessLevelError, ReleaseIntegrityError
+from repro.mechanisms.base import PrivacyCost
+from repro.privacy.guarantees import GroupPrivacyGuarantee
+
+
+def make_level_release(level, value=100.0, epsilon=0.5):
+    return LevelRelease(
+        level=level,
+        answers={"total_association_count": {"total": value}},
+        guarantee=GroupPrivacyGuarantee(
+            epsilon=epsilon, delta=1e-5, level=level, num_groups=2**level, max_group_size=10
+        ),
+        mechanism="gaussian",
+        noise_scale=12.3,
+        sensitivity=4.0,
+    )
+
+
+def make_release(levels=(0, 1, 2)):
+    return MultiLevelRelease(
+        dataset_name="demo",
+        level_releases={level: make_level_release(level, value=100.0 + level) for level in levels},
+        specialization_cost=PrivacyCost(1.0, 0.0),
+        config={"epsilon_g": 0.5},
+    )
+
+
+class TestLevelRelease:
+    def test_answer_accessors(self):
+        release = make_level_release(1)
+        assert release.answer("total_association_count") == {"total": 100.0}
+        assert release.scalar_answer("total_association_count") == 100.0
+
+    def test_missing_query_raises(self):
+        with pytest.raises(KeyError):
+            make_level_release(1).answer("degree_histogram")
+
+    def test_scalar_answer_requires_single_value(self):
+        release = make_level_release(1)
+        release.answers["total_association_count"]["extra"] = 1.0
+        with pytest.raises(ValueError):
+            release.scalar_answer("total_association_count")
+
+    def test_confidence_halfwidth(self):
+        release = make_level_release(1)
+        assert release.confidence_halfwidth(2.0) == pytest.approx(24.6)
+
+    def test_dict_round_trip(self):
+        release = make_level_release(3)
+        back = LevelRelease.from_dict(release.to_dict())
+        assert back.level == 3
+        assert back.answers == release.answers
+        assert back.guarantee.epsilon == release.guarantee.epsilon
+        assert back.noise_scale == release.noise_scale
+
+
+class TestMultiLevelRelease:
+    def test_levels_and_access(self):
+        release = make_release()
+        assert release.levels() == [0, 1, 2]
+        assert release.level(1).level == 1
+        assert 2 in release
+        assert len(release) == 3
+
+    def test_missing_level_raises(self):
+        with pytest.raises(AccessLevelError):
+            make_release().level(9)
+
+    def test_finest_and_coarsest(self):
+        release = make_release()
+        assert release.finest_level().level == 0
+        assert release.coarsest_level().level == 2
+
+    def test_noise_injection_cost_is_worst_level(self):
+        release = make_release()
+        release.level_releases[2] = make_level_release(2, epsilon=0.9)
+        cost = release.noise_injection_cost()
+        assert cost.epsilon == 0.9
+
+    def test_dict_round_trip(self):
+        release = make_release()
+        back = MultiLevelRelease.from_dict(release.to_dict())
+        assert back.levels() == release.levels()
+        assert back.dataset_name == "demo"
+        assert back.specialization_cost.epsilon == 1.0
+        assert back.level(1).scalar_answer("total_association_count") == 101.0
+
+    def test_malformed_document_raises(self):
+        with pytest.raises(ReleaseIntegrityError):
+            MultiLevelRelease.from_dict({"levels": {"0": {}}})
+
+    def test_round_trip_via_json(self, tmp_path):
+        from repro.utils.serialization import from_json_file, to_json_file
+
+        release = make_release()
+        path = to_json_file(release.to_dict(), tmp_path / "release.json")
+        back = MultiLevelRelease.from_dict(from_json_file(path))
+        assert back.levels() == [0, 1, 2]

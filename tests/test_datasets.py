@@ -1,0 +1,125 @@
+"""Tests for dataset generators and the registry."""
+
+import pytest
+
+from repro.datasets.dblp_like import DBLP_PAPER_STATS, dblp_paper_scale, generate_dblp_like
+from repro.datasets.movielens_like import generate_movie_ratings
+from repro.datasets.pharmacy import generate_pharmacy_purchases
+from repro.datasets.registry import available_datasets, load_dataset
+from repro.exceptions import DatasetError
+from repro.graphs.stats import summarize
+
+
+class TestDblpLike:
+    def test_paper_stats_recorded(self):
+        assert DBLP_PAPER_STATS["num_associations"] == 6_384_117
+
+    def test_scale_keeps_ratios(self):
+        scaled = dblp_paper_scale(10_000)
+        assert scaled["num_papers"] == pytest.approx(10_000 * 2_281_341 / 1_295_100, abs=1)
+        assert scaled["num_associations"] == pytest.approx(10_000 * 6_384_117 / 1_295_100, abs=1)
+
+    def test_generation_matches_requested_counts(self):
+        graph = generate_dblp_like(num_authors=400, seed=0)
+        scaled = dblp_paper_scale(400)
+        assert graph.num_left() == 400
+        assert graph.num_right() == scaled["num_papers"]
+        # Duplicate pruning may lose a handful of associations but not many.
+        assert graph.num_associations() >= 0.95 * scaled["num_associations"]
+        assert graph.num_associations() <= scaled["num_associations"]
+
+    def test_seeded_reproducibility(self):
+        a = generate_dblp_like(num_authors=200, seed=5)
+        b = generate_dblp_like(num_authors=200, seed=5)
+        assert set(a.associations()) == set(b.associations())
+
+    def test_different_seeds_differ(self):
+        a = generate_dblp_like(num_authors=200, seed=1)
+        b = generate_dblp_like(num_authors=200, seed=2)
+        assert set(a.associations()) != set(b.associations())
+
+    def test_heavy_tail_present(self):
+        graph = generate_dblp_like(num_authors=1000, seed=3)
+        summary = summarize(graph)
+        assert summary.max_left_degree > 3 * summary.mean_left_degree
+
+    def test_explicit_counts(self):
+        graph = generate_dblp_like(num_authors=50, num_papers=60, num_associations=100, seed=0)
+        assert graph.num_left() == 50
+        assert graph.num_right() == 60
+        assert graph.num_associations() <= 100
+
+    def test_impossible_density_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_dblp_like(num_authors=3, num_papers=3, num_associations=100)
+
+    def test_graph_validates(self):
+        generate_dblp_like(num_authors=100, seed=1).validate()
+
+
+class TestPharmacy:
+    def test_attributes_present(self, pharmacy_graph):
+        patient = next(pharmacy_graph.left_nodes())
+        drug = next(pharmacy_graph.right_nodes())
+        assert pharmacy_graph.node_attributes(patient)["zipcode"].startswith("zip")
+        assert pharmacy_graph.node_attributes(drug)["category"]
+
+    def test_every_patient_has_a_purchase(self, pharmacy_graph):
+        degrees = [pharmacy_graph.degree(p) for p in pharmacy_graph.left_nodes()]
+        assert min(degrees) >= 1
+
+    def test_requested_sizes(self):
+        graph = generate_pharmacy_purchases(num_patients=80, num_drugs=25, seed=0)
+        assert graph.num_left() == 80
+        assert graph.num_right() == 25
+
+    def test_invalid_mean_purchases(self):
+        with pytest.raises(ValueError):
+            generate_pharmacy_purchases(mean_purchases=0.0)
+
+    def test_seeded_reproducibility(self):
+        a = generate_pharmacy_purchases(num_patients=50, num_drugs=10, seed=9)
+        b = generate_pharmacy_purchases(num_patients=50, num_drugs=10, seed=9)
+        assert set(a.associations()) == set(b.associations())
+
+
+class TestMovies:
+    def test_attributes_present(self):
+        graph = generate_movie_ratings(num_viewers=60, num_movies=20, seed=1)
+        viewer = next(graph.left_nodes())
+        movie = next(graph.right_nodes())
+        assert graph.node_attributes(viewer)["age_band"]
+        assert graph.node_attributes(movie)["genre"]
+
+    def test_blockbusters_attract_more_ratings(self):
+        graph = generate_movie_ratings(num_viewers=800, num_movies=100, seed=2)
+        first = graph.degree("movie0")
+        last = graph.degree("movie99")
+        assert first > last
+
+    def test_invalid_mean_ratings(self):
+        with pytest.raises(ValueError):
+            generate_movie_ratings(mean_ratings=-1)
+
+
+class TestRegistry:
+    def test_available_datasets(self):
+        assert available_datasets() == ["dblp", "movies", "pharmacy"]
+
+    def test_load_each_dataset_tiny(self):
+        for name in available_datasets():
+            graph = load_dataset(name, scale="tiny", seed=0)
+            assert graph.num_associations() > 0
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("census")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("dblp", scale="galactic")
+
+    def test_scales_are_ordered(self):
+        tiny = load_dataset("dblp", "tiny", seed=0)
+        small = load_dataset("dblp", "small", seed=0)
+        assert small.num_associations() > tiny.num_associations()

@@ -1,0 +1,129 @@
+"""Tests for the experiment registry (E1-E6 runners) at tiny scale."""
+
+import math
+
+import pytest
+
+from repro.evaluation.experiments import (
+    EXPERIMENTS,
+    PAPER_TEXT_CLAIMS,
+    run_e1_figure1,
+    run_e2_text_claims,
+    run_e3_scalability,
+    run_e4_ablation_split,
+    run_e5_ablation_mechanism,
+    run_e6_baselines,
+    run_experiment,
+)
+from repro.exceptions import EvaluationError
+
+
+@pytest.fixture(scope="module")
+def tiny_dblp():
+    from repro.datasets.dblp_like import generate_dblp_like
+
+    return generate_dblp_like(num_authors=250, seed=23)
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {"E1", "E2", "E3", "E4", "E5", "E6"}
+
+    def test_run_experiment_dispatch(self, tiny_dblp):
+        rows = run_experiment("e2", scale="tiny", num_levels=4, graph=tiny_dblp)
+        assert rows
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(EvaluationError):
+            run_experiment("E9")
+
+
+class TestE1E2:
+    def test_e1_structure(self, tiny_dblp):
+        result = run_e1_figure1(scale="tiny", num_levels=5, graph=tiny_dblp)
+        assert result.levels() == list(range(4))
+        assert len(result.epsilons) == 10
+
+    def test_e2_rows_include_paper_claims(self, tiny_dblp):
+        rows = run_e2_text_claims(scale="tiny", num_levels=5, graph=tiny_dblp)
+        by_level = {row["level"]: row for row in rows}
+        assert by_level[1]["paper_rer"] == PAPER_TEXT_CLAIMS[1]
+        assert all(row["measured_rer"] > 0 for row in rows)
+
+    def test_e2_monotone_in_level(self, tiny_dblp):
+        rows = run_e2_text_claims(scale="tiny", num_levels=5, graph=tiny_dblp)
+        values = [row["measured_rer"] for row in sorted(rows, key=lambda r: r["level"])]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestE3:
+    def test_scalability_rows(self):
+        result = run_e3_scalability(author_counts=(120, 240), num_levels=4)
+        assert len(result.rows) == 2
+        assert result.sizes()[1] > result.sizes()[0]
+        assert all(row["total_seconds"] > 0 for row in result.rows)
+
+    def test_format_table(self):
+        result = run_e3_scalability(author_counts=(100,), num_levels=3)
+        assert "assoc" in result.format_table()
+
+
+class TestE4E5:
+    def test_e4_compares_three_methods(self, tiny_dblp):
+        rows = run_e4_ablation_split(scale="tiny", num_levels=4, graph=tiny_dblp)
+        methods = {row["method"] for row in rows}
+        assert methods == {"exponential", "deterministic", "random"}
+
+    def test_e4_costs(self, tiny_dblp):
+        rows = run_e4_ablation_split(scale="tiny", num_levels=4, graph=tiny_dblp)
+        by_method = {row["method"]: row for row in rows}
+        assert math.isinf(by_method["deterministic"]["specialization_epsilon"])
+        assert by_method["random"]["specialization_epsilon"] == 0.0
+        assert by_method["exponential"]["specialization_epsilon"] > 0
+
+    def test_e5_mechanism_and_allocation_rows(self, tiny_dblp):
+        rows = run_e5_ablation_mechanism(scale="tiny", num_levels=4, graph=tiny_dblp)
+        comparisons = {row["comparison"] for row in rows}
+        assert comparisons == {"mechanism", "allocation"}
+        variants = {row["variant"] for row in rows if row["comparison"] == "mechanism"}
+        assert variants == {"gaussian", "analytic_gaussian", "laplace"}
+
+    def test_e5_analytic_never_worse_than_classic(self, tiny_dblp):
+        rows = run_e5_ablation_mechanism(scale="tiny", num_levels=4, graph=tiny_dblp)
+        classic = {r["level"]: r["expected_rer"] for r in rows if r["variant"] == "gaussian"}
+        analytic = {r["level"]: r["expected_rer"] for r in rows if r["variant"] == "analytic_gaussian"}
+        for level in classic:
+            assert analytic[level] <= classic[level] + 1e-12
+
+
+class TestE6:
+    @pytest.fixture(scope="class")
+    def rows(self, tiny_dblp):
+        return run_e6_baselines(scale="tiny", num_levels=4, graph=tiny_dblp)
+
+    def test_all_methods_present(self, rows):
+        methods = {row["method"] for row in rows}
+        assert methods == {
+            "group_dp_multilevel",
+            "naive_group_dp",
+            "uniform_noise",
+            "individual_dp",
+            "safe_grouping",
+        }
+
+    def test_naive_group_noisier_than_paper(self, rows):
+        paper = {r["level"]: r["noise_scale"] for r in rows if r["method"] == "group_dp_multilevel"}
+        naive = {r["level"]: r["noise_scale"] for r in rows if r["method"] == "naive_group_dp"}
+        for level in paper:
+            assert naive[level] >= paper[level]
+
+    def test_individual_dp_accurate_but_weak_group_guarantee(self, rows):
+        individual = [r for r in rows if r["method"] == "individual_dp"]
+        paper = {r["level"]: r for r in rows if r["method"] == "group_dp_multilevel"}
+        for row in individual:
+            assert row["group_epsilon"] > paper[row["level"]]["group_epsilon"]
+
+    def test_safe_grouping_exact_but_non_private(self, rows):
+        safe = [r for r in rows if r["method"] == "safe_grouping"]
+        assert all(math.isinf(r["group_epsilon"]) for r in safe)
+        assert all(r["rer"] == 0.0 for r in safe)

@@ -1,0 +1,72 @@
+"""Tests for the extension experiments (depth sweep, delta sweep, privilege gap)."""
+
+import pytest
+
+from repro.evaluation.extensions import privilege_gap, run_delta_sweep, run_depth_sweep
+from repro.exceptions import EvaluationError
+
+
+@pytest.fixture(scope="module")
+def ext_graph():
+    from repro.datasets.dblp_like import generate_dblp_like
+
+    return generate_dblp_like(num_authors=250, seed=41)
+
+
+class TestPrivilegeGap:
+    def test_basic_ratio(self):
+        assert privilege_gap({0: 0.01, 5: 0.5}) == pytest.approx(50.0)
+
+    def test_flat_profile_has_gap_one(self):
+        assert privilege_gap({0: 0.2, 1: 0.2}) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            privilege_gap({})
+
+    def test_zero_finest_rejected(self):
+        with pytest.raises(EvaluationError):
+            privilege_gap({0: 0.0, 1: 0.5})
+
+
+class TestDepthSweep:
+    def test_rows_structure(self, ext_graph):
+        rows = run_depth_sweep(depths=(3, 5), graph=ext_graph)
+        kinds = {row["kind"] for row in rows}
+        assert kinds == {"level", "summary"}
+        summaries = [row for row in rows if row["kind"] == "summary"]
+        assert {row["depth"] for row in summaries} == {3, 5}
+
+    def test_deeper_hierarchies_release_more_levels(self, ext_graph):
+        rows = run_depth_sweep(depths=(3, 6), graph=ext_graph)
+        summaries = {row["depth"]: row for row in rows if row["kind"] == "summary"}
+        assert summaries[6]["num_released_levels"] > summaries[3]["num_released_levels"]
+
+    def test_deeper_hierarchies_widen_the_privilege_gap(self, ext_graph):
+        rows = run_depth_sweep(depths=(3, 7), graph=ext_graph)
+        summaries = {row["depth"]: row for row in rows if row["kind"] == "summary"}
+        assert summaries[7]["privilege_gap"] >= summaries[3]["privilege_gap"]
+
+    def test_level_rows_monotone_in_level(self, ext_graph):
+        rows = run_depth_sweep(depths=(5,), graph=ext_graph)
+        level_rows = sorted(
+            (row for row in rows if row["kind"] == "level"), key=lambda r: r["level"]
+        )
+        rers = [row["expected_rer"] for row in level_rows]
+        assert all(b >= a - 1e-12 for a, b in zip(rers, rers[1:]))
+
+
+class TestDeltaSweep:
+    def test_smaller_delta_more_error(self, ext_graph):
+        rows = run_delta_sweep(deltas=(1e-3, 1e-9), num_levels=4, graph=ext_graph)
+        by_delta = {}
+        for row in rows:
+            by_delta.setdefault(row["delta"], {})[row["level"]] = row["expected_rer"]
+        for level in by_delta[1e-3]:
+            assert by_delta[1e-9][level] > by_delta[1e-3][level]
+
+    def test_all_levels_present_for_every_delta(self, ext_graph):
+        rows = run_delta_sweep(deltas=(1e-5, 1e-7), num_levels=5, graph=ext_graph)
+        for delta in (1e-5, 1e-7):
+            levels = {row["level"] for row in rows if row["delta"] == delta}
+            assert levels == {0, 1, 2, 3}

@@ -1,0 +1,127 @@
+"""Tests for the Figure 1 reproduction harness."""
+
+import pytest
+
+from repro.datasets.dblp_like import generate_dblp_like
+from repro.evaluation.figure1 import (
+    PAPER_EPSILONS,
+    Figure1Config,
+    build_figure1_hierarchy,
+    level_sensitivities,
+    run_figure1,
+    run_figure1_analytic,
+)
+from repro.exceptions import EvaluationError
+
+
+@pytest.fixture(scope="module")
+def fig_graph():
+    return generate_dblp_like(num_authors=400, seed=17)
+
+
+@pytest.fixture(scope="module")
+def fig_config():
+    return Figure1Config(num_levels=6, num_trials=10, seed=17, epsilons=(0.1, 0.5, 1.0))
+
+
+@pytest.fixture(scope="module")
+def analytic_result(fig_graph, fig_config):
+    return run_figure1_analytic(graph=fig_graph, config=fig_config)
+
+
+class TestConfig:
+    def test_paper_epsilons(self):
+        assert PAPER_EPSILONS == (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+    def test_release_levels(self):
+        assert Figure1Config(num_levels=9).release_levels() == list(range(8))
+
+    def test_to_dict(self, fig_config):
+        data = fig_config.to_dict()
+        assert data["num_levels"] == 6
+        assert data["epsilons"] == [0.1, 0.5, 1.0]
+
+
+class TestAnalyticResult:
+    def test_series_cover_all_levels(self, analytic_result):
+        assert analytic_result.levels() == list(range(5))
+        for level in analytic_result.levels():
+            assert len(analytic_result.series_for(level)) == 3
+
+    def test_rer_decreases_with_epsilon(self, analytic_result):
+        for level in analytic_result.levels():
+            series = analytic_result.series_for(level)
+            assert series[0] > series[1] > series[2]
+
+    def test_rer_increases_with_level(self, analytic_result):
+        for index in range(3):
+            values = [analytic_result.series_for(level)[index] for level in analytic_result.levels()]
+            assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_exact_inverse_scaling_in_epsilon(self, analytic_result):
+        # Analytic expected RER scales exactly as 1/epsilon for Gaussian noise.
+        for level in analytic_result.levels():
+            series = analytic_result.series_for(level)
+            assert series[0] == pytest.approx(10 * series[2], rel=1e-9)
+
+    def test_rer_at_lookup(self, analytic_result):
+        assert analytic_result.rer_at(0, 0.5) == analytic_result.series_for(0)[1]
+        with pytest.raises(EvaluationError):
+            analytic_result.rer_at(0, 0.77)
+        with pytest.raises(EvaluationError):
+            analytic_result.series_for(99)
+
+    def test_information_level_names(self, analytic_result):
+        assert analytic_result.information_level_name(3) == "I6,3"
+
+    def test_rows_and_table(self, analytic_result):
+        rows = analytic_result.as_rows()
+        assert len(rows) == 5 * 3
+        table = analytic_result.format_table()
+        assert "I6,0" in table and "eps_g" in table
+
+    def test_to_dict_round_trip_values(self, analytic_result):
+        data = analytic_result.to_dict()
+        assert data["true_count"] == analytic_result.true_count
+        assert data["series"]["0"] == analytic_result.series_for(0)
+
+
+class TestMonteCarloResult:
+    def test_sampled_close_to_analytic(self, fig_graph, fig_config):
+        analytic = run_figure1_analytic(graph=fig_graph, config=fig_config)
+        sampled_config = Figure1Config(
+            num_levels=6, num_trials=400, seed=17, epsilons=(0.5,)
+        )
+        sampled = run_figure1(graph=fig_graph, config=sampled_config, rng=99)
+        for level in sampled.levels():
+            assert sampled.series_for(level)[0] == pytest.approx(
+                analytic.rer_at(level, 0.5), rel=0.25
+            )
+
+    def test_seeded_reproducibility(self, fig_graph, fig_config):
+        a = run_figure1(graph=fig_graph, config=fig_config, rng=7)
+        b = run_figure1(graph=fig_graph, config=fig_config, rng=7)
+        for level in a.levels():
+            assert a.series_for(level) == b.series_for(level)
+
+    def test_laplace_mechanism_supported(self, fig_graph):
+        config = Figure1Config(num_levels=4, mechanism="laplace", epsilons=(0.5,), seed=3)
+        result = run_figure1_analytic(graph=fig_graph, config=config)
+        assert result.levels() == [0, 1, 2]
+
+    def test_unknown_mechanism_rejected(self, fig_graph):
+        config = Figure1Config(num_levels=4, mechanism="geometric", epsilons=(0.5,), seed=3)
+        with pytest.raises(EvaluationError):
+            run_figure1_analytic(graph=fig_graph, config=config)
+
+
+class TestHelpers:
+    def test_build_hierarchy_levels(self, fig_graph, fig_config):
+        hierarchy = build_figure1_hierarchy(fig_graph, fig_config, rng=0)
+        assert hierarchy.top_level == 6
+        assert hierarchy.bottom_level == 0
+
+    def test_level_sensitivities_subset(self, fig_graph, fig_config):
+        hierarchy = build_figure1_hierarchy(fig_graph, fig_config, rng=0)
+        values = level_sensitivities(fig_graph, hierarchy, [0, 3, 99])
+        assert set(values) == {0, 3}

@@ -1,0 +1,94 @@
+"""Tests for evaluation metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import DisclosureConfig
+from repro.core.discloser import MultiLevelDiscloser
+from repro.evaluation.metrics import (
+    absolute_error,
+    expected_rer_gaussian,
+    expected_rer_laplace,
+    l1_error,
+    l2_error,
+    relative_error_rate,
+    release_error_report,
+)
+from repro.exceptions import EvaluationError
+from repro.grouping.specialization import SpecializationConfig
+
+
+class TestRelativeErrorRate:
+    def test_scalar(self):
+        assert relative_error_rate(110.0, 100.0) == pytest.approx(0.1)
+        assert relative_error_rate(90.0, 100.0) == pytest.approx(0.1)
+
+    def test_exact_answer_is_zero(self):
+        assert relative_error_rate(42.0, 42.0) == 0.0
+
+    def test_vector_averages_coordinates(self):
+        assert relative_error_rate([110, 80], [100, 100]) == pytest.approx(0.15)
+
+    def test_zero_true_coordinates_skipped(self):
+        assert relative_error_rate([5, 110], [0, 100]) == pytest.approx(0.1)
+
+    def test_all_zero_truth_raises(self):
+        with pytest.raises(EvaluationError):
+            relative_error_rate([1.0], [0.0])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(EvaluationError):
+            relative_error_rate([1, 2], [1])
+
+    def test_negative_true_values_use_magnitude(self):
+        assert relative_error_rate(-90.0, -100.0) == pytest.approx(0.1)
+
+
+class TestOtherErrors:
+    def test_absolute_error(self):
+        assert absolute_error([1, 3], [2, 5]) == pytest.approx(1.5)
+
+    def test_l1_error(self):
+        assert l1_error([1, 3], [2, 5]) == pytest.approx(3.0)
+
+    def test_l2_error(self):
+        assert l2_error([0, 3], [4, 0]) == pytest.approx(5.0)
+
+
+class TestExpectedRer:
+    def test_gaussian_formula(self):
+        assert expected_rer_gaussian(10.0, 100.0) == pytest.approx(10 * math.sqrt(2 / math.pi) / 100)
+
+    def test_laplace_formula(self):
+        assert expected_rer_laplace(10.0, 100.0) == pytest.approx(0.1)
+
+    def test_zero_true_value_raises(self):
+        with pytest.raises(EvaluationError):
+            expected_rer_gaussian(1.0, 0.0)
+        with pytest.raises(EvaluationError):
+            expected_rer_laplace(1.0, 0.0)
+
+    def test_negative_scale_raises(self):
+        with pytest.raises(EvaluationError):
+            expected_rer_gaussian(-1.0, 10.0)
+
+    def test_matches_empirical_average(self):
+        rng = np.random.default_rng(0)
+        sigma, truth = 50.0, 1000.0
+        noise = rng.normal(0, sigma, size=200_000)
+        empirical = np.mean(np.abs(noise)) / truth
+        assert empirical == pytest.approx(expected_rer_gaussian(sigma, truth), rel=0.02)
+
+
+class TestReleaseErrorReport:
+    def test_report_contains_every_level(self, dblp_graph):
+        config = DisclosureConfig(epsilon_g=0.8, specialization=SpecializationConfig(num_levels=4))
+        release = MultiLevelDiscloser(config=config, rng=6).disclose(dblp_graph)
+        report = release_error_report(release, dblp_graph)
+        assert sorted(report) == release.levels()
+        for level, row in report.items():
+            assert row["rer"] >= 0
+            assert row["noise_scale"] > 0
+            assert row["sensitivity"] >= 1

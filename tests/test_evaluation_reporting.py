@@ -1,0 +1,42 @@
+"""Tests for reporting helpers."""
+
+from repro.evaluation.reporting import format_table, save_result
+from repro.utils.serialization import from_json_file
+
+
+class TestFormatTable:
+    def test_renders_columns_in_order(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "10" in lines[3]
+
+    def test_missing_cells_render_empty(self):
+        text = format_table([{"a": 1}, {"b": 2}])
+        assert "a" in text and "b" in text
+
+    def test_explicit_column_order(self):
+        text = format_table([{"x": 1, "y": 2}], columns=["y", "x"])
+        assert text.splitlines()[0].split() == ["y", "x"]
+
+    def test_float_formatting(self):
+        text = format_table([{"v": 0.123456789}], float_format="{:.2f}")
+        assert "0.12" in text
+
+    def test_empty_rows(self):
+        assert format_table([], columns=["a"]).splitlines()[0].strip() == "a"
+
+
+class TestSaveResult:
+    def test_saves_mapping(self, tmp_path):
+        path = save_result({"x": 1}, tmp_path / "r.json")
+        assert from_json_file(path) == {"x": 1}
+
+    def test_saves_object_with_to_dict(self, tmp_path):
+        class Result:
+            def to_dict(self):
+                return {"rows": [1, 2, 3]}
+
+        path = save_result(Result(), tmp_path / "obj.json")
+        assert from_json_file(path)["rows"] == [1, 2, 3]

@@ -1,0 +1,65 @@
+"""Tests for the parameter sweep runner."""
+
+import pytest
+
+from repro.evaluation.sweep import ParameterSweep, SweepResult
+from repro.exceptions import EvaluationError
+
+
+class TestParameterSweep:
+    def test_cartesian_combinations(self):
+        sweep = ParameterSweep(lambda x, y: {"sum": x + y}, {"x": [1, 2], "y": [10, 20]})
+        assert len(sweep.combinations()) == 4
+
+    def test_run_merges_params_and_results(self):
+        result = ParameterSweep(lambda x: {"double": 2 * x}, {"x": [3]}).run()
+        assert result.rows == [{"x": 3, "double": 6}]
+
+    def test_record_time_adds_column(self):
+        result = ParameterSweep(lambda x: {"v": x}, {"x": [1]}).run(record_time=True)
+        assert "elapsed_seconds" in result.rows[0]
+
+    def test_runner_must_return_mapping(self):
+        sweep = ParameterSweep(lambda x: x, {"x": [1]})
+        with pytest.raises(EvaluationError):
+            sweep.run()
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(EvaluationError):
+            ParameterSweep(lambda: {}, {})
+
+    def test_empty_parameter_values_rejected(self):
+        with pytest.raises(EvaluationError):
+            ParameterSweep(lambda x: {}, {"x": []})
+
+    def test_non_callable_runner_rejected(self):
+        with pytest.raises(EvaluationError):
+            ParameterSweep("not-callable", {"x": [1]})
+
+
+class TestSweepResult:
+    @pytest.fixture
+    def result(self):
+        rows = [
+            {"method": "a", "epsilon": 0.1, "rer": 0.5},
+            {"method": "a", "epsilon": 0.2, "rer": 0.25},
+            {"method": "b", "epsilon": 0.1, "rer": 0.4},
+        ]
+        return SweepResult(name="demo", rows=rows)
+
+    def test_column(self, result):
+        assert result.column("epsilon") == [0.1, 0.2, 0.1]
+
+    def test_filter(self, result):
+        filtered = result.filter(method="a")
+        assert len(filtered) == 2
+        assert all(row["method"] == "a" for row in filtered.rows)
+
+    def test_filter_multiple_criteria(self, result):
+        filtered = result.filter(method="a", epsilon=0.2)
+        assert len(filtered) == 1
+
+    def test_to_dict(self, result):
+        data = result.to_dict()
+        assert data["name"] == "demo"
+        assert len(data["rows"]) == 3

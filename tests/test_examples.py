@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs end to end (at reduced scale)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    """Run an example script in a subprocess and return its stdout."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=False,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stdout}\n{result.stderr}"
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py", "300")
+        assert "Privacy certificate" in output
+        assert "I9,0" in output
+
+    def test_pharmacy_access_tiers(self):
+        output = run_example("pharmacy_access_tiers.py", "300")
+        assert "regulator" in output
+        assert "psychiatric" in output
+
+    def test_dblp_figure1(self):
+        output = run_example("dblp_figure1.py", "tiny")
+        assert "Figure 1" in output
+        assert "I9,7" in output
+        assert "epsilon_g = 0.999" in output
+
+    def test_movie_ratings_workload(self):
+        output = run_example("movie_ratings_workload.py", "400")
+        assert "group_dp_multilevel" in output
+        assert "individual_dp" in output
+        assert "naive_group_dp" in output
+
+    def test_publisher_budget_management(self):
+        output = run_example("publisher_budget_management.py", "300")
+        assert "Privacy ledger" in output
+        assert "refused, as required" in output
+        assert "quarterly-refresh" in output
+
+    def test_all_examples_have_docstrings_and_main(self):
+        scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+        assert len(scripts) >= 5
+        for script in scripts:
+            source = script.read_text()
+            assert source.lstrip().startswith(("#!", '"""', "#")), script
+            assert '__name__ == "__main__"' in source, script

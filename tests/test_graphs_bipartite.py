@@ -1,0 +1,211 @@
+"""Tests for the BipartiteGraph data structure."""
+
+import pytest
+
+from repro.exceptions import (
+    DuplicateNodeError,
+    EdgeNotFoundError,
+    NodeNotFoundError,
+    ValidationError,
+)
+from repro.graphs.bipartite import BipartiteGraph, Side
+
+
+class TestNodeManagement:
+    def test_add_left_and_right_nodes(self):
+        g = BipartiteGraph()
+        g.add_left_node("a")
+        g.add_right_node("x")
+        assert g.num_left() == 1
+        assert g.num_right() == 1
+        assert g.num_nodes() == 2
+
+    def test_node_attributes_stored_and_merged(self):
+        g = BipartiteGraph()
+        g.add_left_node("a", zipcode="15213")
+        g.add_left_node("a", age=30)
+        assert g.node_attributes("a") == {"zipcode": "15213", "age": 30}
+
+    def test_duplicate_across_sides_rejected(self):
+        g = BipartiteGraph()
+        g.add_left_node("a")
+        with pytest.raises(DuplicateNodeError):
+            g.add_right_node("a")
+
+    def test_none_node_rejected(self):
+        g = BipartiteGraph()
+        with pytest.raises(ValidationError):
+            g.add_left_node(None)
+
+    def test_side_of(self):
+        g = BipartiteGraph()
+        g.add_left_node("a")
+        g.add_right_node("x")
+        assert g.side_of("a") is Side.LEFT
+        assert g.side_of("x") is Side.RIGHT
+        with pytest.raises(NodeNotFoundError):
+            g.side_of("missing")
+
+    def test_has_node_and_contains(self):
+        g = BipartiteGraph()
+        g.add_left_node("a")
+        assert g.has_node("a")
+        assert "a" in g
+        assert "b" not in g
+
+    def test_remove_node_removes_incident_associations(self, tiny_graph):
+        before = tiny_graph.num_associations()
+        tiny_graph.remove_node("bob")
+        assert not tiny_graph.has_node("bob")
+        assert tiny_graph.num_associations() == before - 2
+        assert not tiny_graph.has_association("bob", "insulin")
+
+    def test_remove_missing_node_raises(self):
+        g = BipartiteGraph()
+        with pytest.raises(NodeNotFoundError):
+            g.remove_node("ghost")
+
+    def test_remove_nodes_bulk_ignores_missing(self, tiny_graph):
+        tiny_graph.remove_nodes(["bob", "ghost"])
+        assert not tiny_graph.has_node("bob")
+
+    def test_add_node_generic_with_side_enum_and_string(self):
+        g = BipartiteGraph()
+        g.add_node("a", Side.LEFT)
+        g.add_node("x", "right")
+        assert g.side_of("a") is Side.LEFT
+        assert g.side_of("x") is Side.RIGHT
+
+
+class TestAssociations:
+    def test_add_association(self, tiny_graph):
+        assert tiny_graph.num_associations() == 5
+        assert tiny_graph.has_association("bob", "insulin")
+        assert not tiny_graph.has_association("carol", "aspirin")
+
+    def test_duplicate_association_not_double_counted(self, tiny_graph):
+        added = tiny_graph.add_association("bob", "insulin")
+        assert added is False
+        assert tiny_graph.num_associations() == 5
+
+    def test_add_association_missing_endpoint_raises(self, tiny_graph):
+        with pytest.raises(NodeNotFoundError):
+            tiny_graph.add_association("ghost", "insulin")
+        with pytest.raises(NodeNotFoundError):
+            tiny_graph.add_association("bob", "ghost-drug")
+
+    def test_auto_add_creates_endpoints(self):
+        g = BipartiteGraph()
+        g.add_association("u", "v", auto_add=True)
+        assert g.side_of("u") is Side.LEFT
+        assert g.side_of("v") is Side.RIGHT
+        assert g.num_associations() == 1
+
+    def test_remove_association(self, tiny_graph):
+        tiny_graph.remove_association("bob", "insulin")
+        assert tiny_graph.num_associations() == 4
+        with pytest.raises(EdgeNotFoundError):
+            tiny_graph.remove_association("bob", "insulin")
+
+    def test_associations_iteration_complete(self, tiny_graph):
+        pairs = set(tiny_graph.associations())
+        assert pairs == {
+            ("bob", "insulin"),
+            ("bob", "aspirin"),
+            ("carol", "insulin"),
+            ("dave", "statin"),
+            ("dave", "aspirin"),
+        }
+
+    def test_add_associations_returns_new_count(self, tiny_graph):
+        added = tiny_graph.add_associations([("bob", "insulin"), ("carol", "statin")])
+        assert added == 1
+
+
+class TestDegreesAndNeighbors:
+    def test_degree(self, tiny_graph):
+        assert tiny_graph.degree("bob") == 2
+        assert tiny_graph.degree("erin") == 0
+        assert tiny_graph.degree("insulin") == 2
+        assert tiny_graph.degree("zoloft") == 0
+
+    def test_degree_missing_node_raises(self, tiny_graph):
+        with pytest.raises(NodeNotFoundError):
+            tiny_graph.degree("ghost")
+
+    def test_neighbors_returns_copy(self, tiny_graph):
+        neighbours = tiny_graph.neighbors("bob")
+        neighbours.add("statin")
+        assert tiny_graph.degree("bob") == 2
+
+    def test_neighbors_both_sides(self, tiny_graph):
+        assert tiny_graph.neighbors("insulin") == {"bob", "carol"}
+        assert tiny_graph.neighbors("dave") == {"statin", "aspirin"}
+
+
+class TestCountsAndViews:
+    def test_len_counts_nodes(self, tiny_graph):
+        assert len(tiny_graph) == 8
+
+    def test_nodes_iteration_by_side(self, tiny_graph):
+        assert set(tiny_graph.nodes(Side.LEFT)) == {"bob", "carol", "dave", "erin"}
+        assert set(tiny_graph.nodes(Side.RIGHT)) == {"insulin", "aspirin", "statin", "zoloft"}
+        assert len(list(tiny_graph.nodes())) == 8
+
+    def test_association_count_between(self, tiny_graph):
+        count = tiny_graph.association_count_between(["bob", "carol"], ["insulin"])
+        assert count == 2
+        assert tiny_graph.association_count_between(["erin"], ["insulin"]) == 0
+        assert tiny_graph.association_count_between([], ["insulin"]) == 0
+
+    def test_association_count_between_ignores_unknown_nodes(self, tiny_graph):
+        count = tiny_graph.association_count_between(["bob", "ghost"], ["aspirin", "unknown"])
+        assert count == 1
+
+    def test_associations_incident_to_group(self, tiny_graph):
+        # bob (2) + carol's insulin edge (1, not double counting bob-insulin)
+        assert tiny_graph.associations_incident_to(["bob", "carol"]) == 3
+        # insulin (2) + dave (2) are disjoint edge sets
+        assert tiny_graph.associations_incident_to(["insulin", "dave"]) == 4
+        assert tiny_graph.associations_incident_to(["erin", "zoloft"]) == 0
+
+    def test_associations_incident_to_mixed_endpoints_not_double_counted(self, tiny_graph):
+        # bob and insulin share the edge (bob, insulin); it must count once.
+        assert tiny_graph.associations_incident_to(["bob", "insulin"]) == 3
+
+
+class TestCopyAndValidate:
+    def test_copy_is_independent(self, tiny_graph):
+        clone = tiny_graph.copy()
+        clone.remove_node("bob")
+        assert tiny_graph.has_node("bob")
+        assert clone.num_associations() == tiny_graph.num_associations() - 2
+
+    def test_copy_preserves_attributes(self):
+        g = BipartiteGraph()
+        g.add_left_node("a", zipcode="152")
+        g.add_right_node("x")
+        clone = g.copy()
+        assert clone.node_attributes("a") == {"zipcode": "152"}
+
+    def test_validate_passes_on_consistent_graph(self, tiny_graph):
+        tiny_graph.validate()
+
+    def test_validate_detects_corrupted_counter(self, tiny_graph):
+        tiny_graph._num_associations += 1
+        with pytest.raises(ValidationError):
+            tiny_graph.validate()
+
+    def test_repr_mentions_counts(self, tiny_graph):
+        text = repr(tiny_graph)
+        assert "left=4" in text and "associations=5" in text
+
+
+class TestSide:
+    def test_other(self):
+        assert Side.LEFT.other() is Side.RIGHT
+        assert Side.RIGHT.other() is Side.LEFT
+
+    def test_from_string(self):
+        assert Side("left") is Side.LEFT
+        assert Side("right") is Side.RIGHT

@@ -1,0 +1,100 @@
+"""Tests for graph builders and NetworkX conversion."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graphs.builders import from_association_list, from_biadjacency, from_networkx, to_networkx
+from repro.graphs.bipartite import Side
+
+
+class TestFromAssociationList:
+    def test_builds_graph_with_auto_added_nodes(self):
+        g = from_association_list([("a", "x"), ("a", "y"), ("b", "x")])
+        assert g.num_left() == 2
+        assert g.num_right() == 2
+        assert g.num_associations() == 3
+
+    def test_isolated_nodes_registered(self):
+        g = from_association_list([("a", "x")], left_nodes=["a", "lonely"], right_nodes=["x", "unused"])
+        assert g.has_node("lonely")
+        assert g.degree("lonely") == 0
+        assert g.has_node("unused")
+
+    def test_duplicate_pairs_collapse(self):
+        g = from_association_list([("a", "x"), ("a", "x")])
+        assert g.num_associations() == 1
+
+
+class TestFromBiadjacency:
+    def test_matrix_to_graph(self):
+        matrix = np.array([[1, 0, 1], [0, 1, 0]])
+        g = from_biadjacency(matrix)
+        assert g.num_left() == 2
+        assert g.num_right() == 3
+        assert g.num_associations() == 3
+        assert g.has_association("L0", "R0")
+        assert g.has_association("L1", "R1")
+
+    def test_custom_labels(self):
+        g = from_biadjacency(np.eye(2), left_labels=["u", "v"], right_labels=["x", "y"])
+        assert g.has_association("u", "x")
+        assert g.has_association("v", "y")
+
+    def test_wrong_dimensionality_rejected(self):
+        with pytest.raises(ValidationError):
+            from_biadjacency(np.zeros(3))
+
+    def test_label_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            from_biadjacency(np.eye(2), left_labels=["only-one"])
+
+
+class TestNetworkxRoundTrip:
+    def test_to_networkx_sets_bipartite_attribute(self, tiny_graph):
+        nxg = to_networkx(tiny_graph)
+        assert nxg.number_of_edges() == tiny_graph.num_associations()
+        assert nxg.nodes["bob"]["bipartite"] == 0
+        assert nxg.nodes["insulin"]["bipartite"] == 1
+
+    def test_round_trip_preserves_structure(self, tiny_graph):
+        back = from_networkx(to_networkx(tiny_graph))
+        assert back.num_left() == tiny_graph.num_left()
+        assert back.num_right() == tiny_graph.num_right()
+        assert set(back.associations()) == set(tiny_graph.associations())
+
+    def test_round_trip_preserves_attributes(self):
+        g = from_association_list([("a", "x")])
+        g.node_attributes("a")["zipcode"] = "15213"
+        back = from_networkx(to_networkx(g))
+        assert back.node_attributes("a") == {"zipcode": "15213"}
+
+    def test_from_networkx_missing_bipartite_attr_raises(self):
+        nxg = nx.Graph()
+        nxg.add_node("a")
+        with pytest.raises(ValidationError):
+            from_networkx(nxg)
+
+    def test_from_networkx_same_side_edge_raises(self):
+        nxg = nx.Graph()
+        nxg.add_node("a", bipartite=0)
+        nxg.add_node("b", bipartite=0)
+        nxg.add_edge("a", "b")
+        with pytest.raises(ValidationError):
+            from_networkx(nxg)
+
+    def test_from_networkx_edge_order_agnostic(self):
+        nxg = nx.Graph()
+        nxg.add_node("x", bipartite=1)
+        nxg.add_node("a", bipartite=0)
+        nxg.add_edge("x", "a")
+        g = from_networkx(nxg)
+        assert g.has_association("a", "x")
+        assert g.side_of("a") is Side.LEFT
+
+    def test_from_networkx_invalid_bipartite_value(self):
+        nxg = nx.Graph()
+        nxg.add_node("a", bipartite=2)
+        with pytest.raises(ValidationError):
+            from_networkx(nxg)

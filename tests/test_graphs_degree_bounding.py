@@ -1,0 +1,89 @@
+"""Tests for degree bounding (edge clipping)."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graphs.bipartite import BipartiteGraph, Side
+from repro.graphs.degree_bounding import cap_degrees, clipping_error
+
+
+class TestCapDegrees:
+    def test_degrees_respect_bound_on_both_sides(self, dblp_graph):
+        clipped = cap_degrees(dblp_graph, bound=3, rng=0)
+        for node in clipped.nodes():
+            assert clipped.degree(node) <= 3
+
+    def test_single_side_clipping_leaves_other_side_unbounded(self, dblp_graph):
+        clipped = cap_degrees(dblp_graph, bound=2, side=Side.LEFT, rng=0)
+        assert all(clipped.degree(n) <= 2 for n in clipped.left_nodes())
+        # Right-side nodes may retain any degree (only limited indirectly).
+        assert clipped.num_associations() <= dblp_graph.num_associations()
+
+    def test_all_nodes_preserved(self, dblp_graph):
+        clipped = cap_degrees(dblp_graph, bound=1, rng=0)
+        assert clipped.num_left() == dblp_graph.num_left()
+        assert clipped.num_right() == dblp_graph.num_right()
+
+    def test_attributes_preserved(self, pharmacy_graph):
+        clipped = cap_degrees(pharmacy_graph, bound=2, rng=1)
+        patient = next(clipped.left_nodes())
+        assert "zipcode" in clipped.node_attributes(patient)
+
+    def test_no_clipping_when_bound_exceeds_max_degree(self, tiny_graph):
+        clipped = cap_degrees(tiny_graph, bound=10, rng=0)
+        assert set(clipped.associations()) == set(tiny_graph.associations())
+
+    def test_original_graph_untouched(self, tiny_graph):
+        before = tiny_graph.num_associations()
+        cap_degrees(tiny_graph, bound=1, rng=0)
+        assert tiny_graph.num_associations() == before
+
+    def test_clipped_graph_is_valid(self, dblp_graph):
+        cap_degrees(dblp_graph, bound=2, rng=3).validate()
+
+    def test_seeded_reproducibility(self, dblp_graph):
+        a = cap_degrees(dblp_graph, bound=2, rng=5)
+        b = cap_degrees(dblp_graph, bound=2, rng=5)
+        assert set(a.associations()) == set(b.associations())
+
+    def test_invalid_bound(self, tiny_graph):
+        with pytest.raises(ValidationError):
+            cap_degrees(tiny_graph, bound=0)
+
+    def test_name_default(self, tiny_graph):
+        assert cap_degrees(tiny_graph, bound=2, rng=0).name == "tiny-pharmacy-capped2"
+
+    def test_reduces_node_sensitivity(self, dblp_graph):
+        from repro.privacy.sensitivity import node_count_sensitivity
+
+        clipped = cap_degrees(dblp_graph, bound=3, rng=0)
+        assert node_count_sensitivity(clipped) <= 3
+        assert node_count_sensitivity(clipped) <= node_count_sensitivity(dblp_graph)
+
+
+class TestClippingError:
+    def test_reports_dropped_fraction(self, dblp_graph):
+        clipped = cap_degrees(dblp_graph, bound=2, rng=0)
+        report = clipping_error(dblp_graph, clipped)
+        assert report["dropped_associations"] == dblp_graph.num_associations() - clipped.num_associations()
+        assert 0.0 <= report["dropped_fraction"] <= 1.0
+        assert report["max_degree_after"] <= 2
+        assert report["max_degree_before"] >= report["max_degree_after"]
+
+    def test_zero_drop_when_not_clipped(self, tiny_graph):
+        clipped = cap_degrees(tiny_graph, bound=10, rng=0)
+        report = clipping_error(tiny_graph, clipped)
+        assert report["dropped_associations"] == 0
+        assert report["dropped_fraction"] == 0.0
+
+    def test_inconsistent_inputs_rejected(self, tiny_graph):
+        bigger = tiny_graph.copy()
+        bigger.add_association("carol", "zoloft")
+        with pytest.raises(ValidationError):
+            clipping_error(tiny_graph, bigger)
+
+    def test_empty_graph(self):
+        empty = BipartiteGraph()
+        report = clipping_error(empty, empty.copy())
+        assert report["dropped_fraction"] == 0.0
+        assert report["max_degree_before"] == 0

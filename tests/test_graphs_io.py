@@ -1,0 +1,59 @@
+"""Tests for graph I/O (edge list and JSON formats)."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graphs.io import read_edge_list, read_json, write_edge_list, write_json
+
+
+class TestEdgeList:
+    def test_round_trip_preserves_structure(self, tiny_graph, tmp_path):
+        path = write_edge_list(tiny_graph, tmp_path / "graph.tsv")
+        loaded = read_edge_list(path)
+        assert loaded.num_associations() == tiny_graph.num_associations()
+        assert loaded.num_left() == tiny_graph.num_left()
+        assert loaded.num_right() == tiny_graph.num_right()
+        assert loaded.has_association("bob", "insulin")
+
+    def test_isolated_nodes_survive_round_trip(self, tiny_graph, tmp_path):
+        path = write_edge_list(tiny_graph, tmp_path / "graph.tsv")
+        loaded = read_edge_list(path)
+        assert loaded.has_node("erin")
+        assert loaded.degree("erin") == 0
+        assert loaded.has_node("zoloft")
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        path.write_text("a\tx\n\n\nb\ty\n")
+        loaded = read_edge_list(path)
+        assert loaded.num_associations() == 2
+
+    def test_malformed_line_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("a\tx\nbroken-line\n")
+        with pytest.raises(ValidationError, match="2"):
+            read_edge_list(path)
+
+    def test_custom_delimiter(self, tiny_graph, tmp_path):
+        path = write_edge_list(tiny_graph, tmp_path / "graph.csv", delimiter=",")
+        loaded = read_edge_list(path, delimiter=",")
+        assert loaded.num_associations() == 5
+
+
+class TestJson:
+    def test_round_trip_preserves_attributes(self, pharmacy_graph, tmp_path):
+        path = write_json(pharmacy_graph, tmp_path / "pharmacy.json")
+        loaded = read_json(path)
+        assert loaded.num_associations() == pharmacy_graph.num_associations()
+        patient = next(loaded.left_nodes())
+        assert "zipcode" in loaded.node_attributes(patient)
+
+    def test_round_trip_name(self, tiny_graph, tmp_path):
+        loaded = read_json(write_json(tiny_graph, tmp_path / "g.json"))
+        assert loaded.name == "tiny-pharmacy"
+
+    def test_missing_key_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x", "left": {}}')
+        with pytest.raises(ValidationError):
+            read_json(path)

@@ -1,0 +1,30 @@
+"""Tests for one-mode projections."""
+
+from repro.graphs.projections import project_left, project_right
+
+
+class TestProjections:
+    def test_left_projection_connects_co_purchasers(self, tiny_graph):
+        proj = project_left(tiny_graph)
+        # bob and carol share insulin; bob and dave share aspirin.
+        assert proj.has_edge("bob", "carol")
+        assert proj.has_edge("bob", "dave")
+        assert not proj.has_edge("carol", "dave")
+        assert proj.number_of_nodes() == 4  # erin appears isolated
+
+    def test_right_projection_connects_co_purchased_drugs(self, tiny_graph):
+        proj = project_right(tiny_graph)
+        # insulin & aspirin share bob; statin & aspirin share dave.
+        assert proj.has_edge("insulin", "aspirin")
+        assert proj.has_edge("statin", "aspirin")
+        assert not proj.has_edge("insulin", "statin")
+
+    def test_projection_weights_count_shared_neighbours(self, tiny_graph):
+        tiny_graph.add_association("carol", "aspirin")
+        proj = project_left(tiny_graph)
+        assert proj["bob"]["carol"]["weight"] == 2
+
+    def test_projection_includes_isolated_nodes(self, tiny_graph):
+        proj = project_left(tiny_graph)
+        assert "erin" in proj
+        assert proj.degree("erin") == 0

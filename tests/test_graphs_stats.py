@@ -1,0 +1,84 @@
+"""Tests for graph statistics."""
+
+import numpy as np
+
+from repro.graphs.bipartite import Side
+from repro.graphs.stats import (
+    association_count,
+    cross_association_count,
+    degree_histogram,
+    degree_sequence,
+    density,
+    summarize,
+    top_degree_nodes,
+)
+
+
+class TestBasicCounts:
+    def test_association_count(self, tiny_graph):
+        assert association_count(tiny_graph) == 5
+
+    def test_cross_association_count(self, tiny_graph):
+        assert cross_association_count(tiny_graph, ["bob", "dave"], ["aspirin"]) == 2
+        assert cross_association_count(tiny_graph, ["erin"], ["aspirin"]) == 0
+
+    def test_density(self, tiny_graph):
+        assert density(tiny_graph) == 5 / 16
+
+    def test_density_of_empty_graph(self):
+        from repro.graphs.bipartite import BipartiteGraph
+
+        assert density(BipartiteGraph()) == 0.0
+
+
+class TestDegrees:
+    def test_degree_sequence_left(self, tiny_graph):
+        degrees = degree_sequence(tiny_graph, Side.LEFT)
+        assert sorted(degrees.tolist()) == [0, 1, 2, 2]
+
+    def test_degree_sequence_right(self, tiny_graph):
+        degrees = degree_sequence(tiny_graph, Side.RIGHT)
+        assert sorted(degrees.tolist()) == [0, 1, 2, 2]
+
+    def test_degree_histogram(self, tiny_graph):
+        hist = degree_histogram(tiny_graph, Side.LEFT)
+        assert hist == {0: 1, 1: 1, 2: 2}
+
+    def test_degree_sequence_sums_to_association_count(self, dblp_graph):
+        left = degree_sequence(dblp_graph, Side.LEFT)
+        right = degree_sequence(dblp_graph, Side.RIGHT)
+        assert int(left.sum()) == dblp_graph.num_associations()
+        assert int(right.sum()) == dblp_graph.num_associations()
+
+    def test_top_degree_nodes(self, tiny_graph):
+        top = top_degree_nodes(tiny_graph, Side.LEFT, 2)
+        assert len(top) == 2
+        assert set(top) == {"bob", "dave"}
+
+    def test_top_degree_nodes_k_larger_than_side(self, tiny_graph):
+        assert len(top_degree_nodes(tiny_graph, Side.RIGHT, 100)) == 4
+
+
+class TestSummary:
+    def test_summarize_tiny_graph(self, tiny_graph):
+        summary = summarize(tiny_graph)
+        assert summary.num_left == 4
+        assert summary.num_right == 4
+        assert summary.num_associations == 5
+        assert summary.max_left_degree == 2
+        assert summary.isolated_left == 1
+        assert summary.isolated_right == 1
+        assert np.isclose(summary.mean_left_degree, 5 / 4)
+
+    def test_summary_to_dict_round_trips_values(self, tiny_graph):
+        data = summarize(tiny_graph).to_dict()
+        assert data["num_associations"] == 5
+        assert data["name"] == "tiny-pharmacy"
+
+    def test_summary_of_empty_graph(self):
+        from repro.graphs.bipartite import BipartiteGraph
+
+        summary = summarize(BipartiteGraph(name="empty"))
+        assert summary.num_associations == 0
+        assert summary.max_left_degree == 0
+        assert summary.mean_right_degree == 0.0

@@ -1,0 +1,75 @@
+"""Tests for induced subgraphs and restrictions."""
+
+from repro.graphs.subgraphs import (
+    induced_subgraph,
+    restrict_left,
+    restrict_right,
+    subgraph_association_count,
+)
+
+
+class TestInducedSubgraph:
+    def test_keeps_only_internal_associations(self, tiny_graph):
+        sub = induced_subgraph(tiny_graph, ["bob", "insulin", "aspirin"])
+        assert sub.num_associations() == 2
+        assert sub.has_association("bob", "insulin")
+        assert sub.has_association("bob", "aspirin")
+        assert not sub.has_node("carol")
+
+    def test_ignores_unknown_nodes(self, tiny_graph):
+        sub = induced_subgraph(tiny_graph, ["bob", "ghost"])
+        assert sub.num_nodes() == 1
+        assert sub.num_associations() == 0
+
+    def test_preserves_attributes(self, pharmacy_graph):
+        some_patient = next(pharmacy_graph.left_nodes())
+        sub = induced_subgraph(pharmacy_graph, [some_patient])
+        assert "zipcode" in sub.node_attributes(some_patient)
+
+    def test_empty_selection(self, tiny_graph):
+        sub = induced_subgraph(tiny_graph, [])
+        assert sub.num_nodes() == 0
+        assert sub.num_associations() == 0
+
+
+class TestRestrictions:
+    def test_restrict_left(self, tiny_graph):
+        sub = restrict_left(tiny_graph, ["bob"])
+        assert sub.num_left() == 1
+        assert sub.num_right() == 4
+        assert sub.num_associations() == 2
+
+    def test_restrict_right(self, tiny_graph):
+        sub = restrict_right(tiny_graph, ["insulin"])
+        assert sub.num_right() == 1
+        assert sub.num_left() == 4
+        assert sub.num_associations() == 2
+
+    def test_restrictions_keep_all_other_side_nodes(self, tiny_graph):
+        sub = restrict_left(tiny_graph, [])
+        assert sub.num_left() == 0
+        assert sub.num_right() == 4
+        assert sub.num_associations() == 0
+
+
+class TestSubgraphAssociationCount:
+    def test_matches_induced_subgraph(self, tiny_graph):
+        nodes = ["bob", "carol", "insulin", "aspirin"]
+        assert subgraph_association_count(tiny_graph, nodes) == induced_subgraph(
+            tiny_graph, nodes
+        ).num_associations()
+
+    def test_whole_graph(self, tiny_graph):
+        all_nodes = list(tiny_graph.nodes())
+        assert subgraph_association_count(tiny_graph, all_nodes) == 5
+
+    def test_single_side_selection_has_no_internal_edges(self, tiny_graph):
+        assert subgraph_association_count(tiny_graph, ["bob", "carol", "dave"]) == 0
+
+    def test_matches_on_generated_graph(self, dblp_graph):
+        import itertools
+
+        nodes = list(itertools.islice(dblp_graph.left_nodes(), 40))
+        nodes += list(itertools.islice(dblp_graph.right_nodes(), 60))
+        expected = induced_subgraph(dblp_graph, nodes).num_associations()
+        assert subgraph_association_count(dblp_graph, nodes) == expected

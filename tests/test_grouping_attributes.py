@@ -1,0 +1,118 @@
+"""Tests for attribute-driven partitions and hierarchies."""
+
+import pytest
+
+from repro.exceptions import GroupingError
+from repro.graphs.bipartite import BipartiteGraph, Side
+from repro.grouping.attribute_grouping import (
+    MISSING_VALUE,
+    hierarchy_from_attribute_levels,
+    partition_by_attribute,
+)
+
+
+@pytest.fixture
+def geo_graph():
+    """Patients with zipcode/city/state attributes, drugs with categories."""
+    graph = BipartiteGraph(name="geo-pharmacy")
+    patients = [
+        ("p1", "15213", "pittsburgh", "pa"),
+        ("p2", "15213", "pittsburgh", "pa"),
+        ("p3", "15217", "pittsburgh", "pa"),
+        ("p4", "19104", "philadelphia", "pa"),
+        ("p5", "10001", "new-york", "ny"),
+    ]
+    for pid, zipcode, city, state in patients:
+        graph.add_left_node(pid, zipcode=zipcode, city=city, state=state)
+    for drug, category in [("insulin", "cardiac"), ("zoloft", "psychiatric")]:
+        graph.add_right_node(drug, category=category)
+    graph.add_associations(
+        [("p1", "insulin"), ("p2", "zoloft"), ("p3", "insulin"), ("p4", "zoloft"), ("p5", "insulin")]
+    )
+    return graph
+
+
+class TestPartitionByAttribute:
+    def test_groups_by_zipcode(self, geo_graph):
+        partition = partition_by_attribute(geo_graph, "zipcode", include_other_side=False)
+        assert partition.num_groups() == 4
+        assert partition.group("zipcode:15213").members == frozenset(["p1", "p2"])
+
+    def test_other_side_group_included_by_default(self, geo_graph):
+        partition = partition_by_attribute(geo_graph, "zipcode")
+        assert partition.universe() == frozenset(geo_graph.nodes())
+        assert partition.group("other-side").members == frozenset(["insulin", "zoloft"])
+
+    def test_right_side_attribute(self, geo_graph):
+        partition = partition_by_attribute(geo_graph, "category", side=Side.RIGHT, include_other_side=False)
+        assert partition.group("category:psychiatric").members == frozenset(["zoloft"])
+
+    def test_missing_attribute_bucket(self, geo_graph):
+        geo_graph.add_left_node("p6")
+        geo_graph.add_association("p6", "insulin")
+        partition = partition_by_attribute(geo_graph, "zipcode", include_other_side=False)
+        assert partition.group(f"zipcode:{MISSING_VALUE}").members == frozenset(["p6"])
+
+    def test_empty_side_rejected(self):
+        graph = BipartiteGraph()
+        graph.add_right_node("only-drug")
+        with pytest.raises(GroupingError):
+            partition_by_attribute(graph, "zipcode", side=Side.LEFT)
+
+    def test_level_recorded(self, geo_graph):
+        partition = partition_by_attribute(geo_graph, "zipcode", level=3, include_other_side=False)
+        assert all(group.level == 3 for group in partition.groups())
+
+    def test_usable_as_protection_partition(self, geo_graph):
+        from repro.privacy.sensitivity import group_count_sensitivity
+
+        partition = partition_by_attribute(geo_graph, "zipcode")
+        assert group_count_sensitivity(geo_graph, partition) >= 2.0
+
+
+class TestHierarchyFromAttributes:
+    def test_levels_and_structure(self, geo_graph):
+        hierarchy = hierarchy_from_attribute_levels(geo_graph, ["zipcode", "city", "state"])
+        assert hierarchy.level_indices() == [0, 1, 2, 3, 4]
+        assert hierarchy.partition_at(4).num_groups() == 1
+        assert hierarchy.partition_at(3).group("state:pa").members >= frozenset(["p1", "p4"])
+        assert hierarchy.partition_at(1).group("zipcode:15213").members == frozenset(["p1", "p2"])
+
+    def test_parent_links_follow_geography(self, geo_graph):
+        hierarchy = hierarchy_from_attribute_levels(geo_graph, ["zipcode", "city", "state"])
+        assert hierarchy.parent_of("zipcode:15213") == "city:pittsburgh"
+        assert hierarchy.parent_of("city:pittsburgh") == "state:pa"
+        assert hierarchy.parent_of("state:ny") == "root"
+
+    def test_individual_level_optional(self, geo_graph):
+        hierarchy = hierarchy_from_attribute_levels(
+            geo_graph, ["zipcode", "city"], include_individual_level=False
+        )
+        assert 0 not in hierarchy.level_indices()
+
+    def test_inconsistent_nesting_rejected(self, geo_graph):
+        # Make a zipcode span two cities.
+        geo_graph.node_attributes("p2")["city"] = "philadelphia"
+        with pytest.raises(GroupingError):
+            hierarchy_from_attribute_levels(geo_graph, ["zipcode", "city"])
+
+    def test_empty_attribute_list_rejected(self, geo_graph):
+        with pytest.raises(GroupingError):
+            hierarchy_from_attribute_levels(geo_graph, [])
+
+    def test_hierarchy_usable_by_discloser(self, geo_graph):
+        from repro.core.config import DisclosureConfig
+        from repro.core.discloser import MultiLevelDiscloser
+        from repro.grouping.specialization import SpecializationConfig
+
+        hierarchy = hierarchy_from_attribute_levels(geo_graph, ["zipcode", "city", "state"])
+        config = DisclosureConfig(
+            epsilon_g=1.0,
+            specialization=SpecializationConfig(num_levels=4),
+            release_levels=[1, 2, 3],
+        )
+        release = MultiLevelDiscloser(config=config, rng=0).disclose(geo_graph, hierarchy=hierarchy)
+        assert release.levels() == [1, 2, 3]
+        # Coarser attribute levels have at least the sensitivity of finer ones.
+        sens = [release.level(level).sensitivity for level in release.levels()]
+        assert sens == sorted(sens)

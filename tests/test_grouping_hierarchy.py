@@ -1,0 +1,120 @@
+"""Tests for group hierarchies."""
+
+import pytest
+
+from repro.exceptions import HierarchyError
+from repro.grouping.hierarchy import GroupHierarchy
+from repro.grouping.partition import Group, Partition
+
+
+def build_three_level_hierarchy():
+    """Universe {a, b, c, d}; level 2 = root, level 1 = two groups, level 0 = singletons."""
+    level2 = Partition([Group("root", ["a", "b", "c", "d"], level=2)])
+    level1 = Partition([Group("root/0", ["a", "b"], level=1), Group("root/1", ["c", "d"], level=1)])
+    level0 = Partition([Group(f"u:{x}", [x], level=0) for x in "abcd"])
+    parents = {
+        "root/0": "root",
+        "root/1": "root",
+        "u:a": "root/0",
+        "u:b": "root/0",
+        "u:c": "root/1",
+        "u:d": "root/1",
+    }
+    return GroupHierarchy({0: level0, 1: level1, 2: level2}, parents=parents)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        hierarchy = build_three_level_hierarchy()
+        assert hierarchy.num_levels() == 3
+        assert hierarchy.level_indices() == [0, 1, 2]
+        assert hierarchy.top_level == 2
+        assert hierarchy.bottom_level == 0
+        assert hierarchy.universe() == frozenset("abcd")
+
+    def test_parent_child_links(self):
+        hierarchy = build_three_level_hierarchy()
+        assert hierarchy.parent_of("root/0") == "root"
+        assert hierarchy.parent_of("root") is None
+        assert sorted(hierarchy.children_of("root")) == ["root/0", "root/1"]
+        assert hierarchy.children_of("u:a") == []
+
+    def test_parent_inference_when_not_given(self):
+        level1 = Partition([Group("top", ["a", "b"], level=1)])
+        level0 = Partition([Group("u:a", ["a"], level=0), Group("u:b", ["b"], level=0)])
+        hierarchy = GroupHierarchy({0: level0, 1: level1})
+        assert hierarchy.parent_of("u:a") == "top"
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(HierarchyError):
+            GroupHierarchy({})
+
+    def test_missing_level_access(self):
+        hierarchy = build_three_level_hierarchy()
+        with pytest.raises(HierarchyError):
+            hierarchy.partition_at(7)
+        assert hierarchy.has_level(1)
+        assert not hierarchy.has_level(7)
+
+    def test_two_level_constructor(self):
+        hierarchy = GroupHierarchy.two_level(["a", "b", "c"], top_level=3)
+        assert hierarchy.level_indices() == [0, 3]
+        assert hierarchy.partition_at(3).num_groups() == 1
+        assert hierarchy.partition_at(0).num_groups() == 3
+
+
+class TestValidation:
+    def test_universe_mismatch_detected(self):
+        level1 = Partition([Group("top", ["a", "b"], level=1)])
+        level0 = Partition([Group("u:a", ["a"], level=0)])
+        with pytest.raises(HierarchyError):
+            GroupHierarchy({0: level0, 1: level1})
+
+    def test_child_not_contained_in_parent_detected(self):
+        level1 = Partition([Group("p1", ["a"], level=1), Group("p2", ["b"], level=1)])
+        level0 = Partition([Group("c1", ["a", "b"], level=0)])
+        with pytest.raises(HierarchyError):
+            GroupHierarchy({0: level0, 1: level1}, parents={"c1": "p1"})
+
+    def test_unknown_parent_detected(self):
+        level1 = Partition([Group("p1", ["a"], level=1)])
+        level0 = Partition([Group("c1", ["a"], level=0)])
+        with pytest.raises(HierarchyError):
+            GroupHierarchy({0: level0, 1: level1}, parents={"c1": "ghost"})
+
+    def test_missing_parent_detected(self):
+        level1 = Partition([Group("p1", ["a", "b"], level=1)])
+        level0 = Partition([Group("c1", ["a"], level=0), Group("c2", ["b"], level=0)])
+        with pytest.raises(HierarchyError):
+            GroupHierarchy({0: level0, 1: level1}, parents={"c1": "p1"})
+
+
+class TestStatisticsAndSerialization:
+    def test_level_statistics(self):
+        hierarchy = build_three_level_hierarchy()
+        stats = {s.level: s for s in hierarchy.level_statistics()}
+        assert stats[2].num_groups == 1
+        assert stats[2].max_group_size == 4
+        assert stats[1].num_groups == 2
+        assert stats[0].mean_group_size == 1.0
+
+    def test_groups_at(self):
+        hierarchy = build_three_level_hierarchy()
+        assert len(hierarchy.groups_at(1)) == 2
+
+    def test_iter_levels_order(self):
+        hierarchy = build_three_level_hierarchy()
+        levels = [level for level, _ in hierarchy.iter_levels()]
+        assert levels == [0, 1, 2]
+
+    def test_dict_round_trip(self):
+        hierarchy = build_three_level_hierarchy()
+        back = GroupHierarchy.from_dict(hierarchy.to_dict())
+        assert back.level_indices() == hierarchy.level_indices()
+        assert back.parent_of("u:a") == "root/0"
+        assert back.universe() == hierarchy.universe()
+
+    def test_statistics_to_dict(self):
+        hierarchy = build_three_level_hierarchy()
+        entry = hierarchy.level_statistics()[0].to_dict()
+        assert set(entry) == {"level", "num_groups", "max_group_size", "min_group_size", "mean_group_size"}

@@ -1,0 +1,150 @@
+"""Tests for groups and partitions."""
+
+import pytest
+
+from repro.exceptions import InvalidPartitionError, ValidationError
+from repro.grouping.partition import Group, Partition
+
+
+class TestGroup:
+    def test_construction_and_len(self):
+        group = Group("g1", frozenset(["a", "b"]), side="left", level=2)
+        assert len(group) == 2
+        assert "a" in group
+        assert set(group) == {"a", "b"}
+        assert not group.is_singleton()
+
+    def test_members_coerced_to_frozenset(self):
+        group = Group("g1", ["a", "a", "b"])
+        assert isinstance(group.members, frozenset)
+        assert len(group) == 2
+
+    def test_singleton(self):
+        assert Group("g", ["only"]).is_singleton()
+
+    def test_invalid_id(self):
+        with pytest.raises(ValidationError):
+            Group("", ["a"])
+        with pytest.raises(ValidationError):
+            Group(123, ["a"])
+
+    def test_invalid_side(self):
+        with pytest.raises(ValidationError):
+            Group("g", ["a"], side="middle")
+
+    def test_dict_round_trip(self):
+        group = Group("g1", frozenset(["a", "b"]), side="right", level=3)
+        back = Group.from_dict(group.to_dict())
+        assert back == group
+
+
+class TestPartitionConstruction:
+    def test_from_groups(self):
+        partition = Partition([Group("g1", ["a"]), Group("g2", ["b", "c"])])
+        assert partition.num_groups() == 2
+        assert partition.num_elements() == 3
+
+    def test_duplicate_group_id_rejected(self):
+        with pytest.raises(InvalidPartitionError):
+            Partition([Group("g", ["a"]), Group("g", ["b"])])
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(InvalidPartitionError):
+            Partition([Group("g1", ["a", "b"]), Group("g2", ["b"])])
+
+    def test_universe_cover_enforced(self):
+        with pytest.raises(InvalidPartitionError):
+            Partition([Group("g1", ["a"])], universe=["a", "b"])
+
+    def test_extra_elements_rejected(self):
+        with pytest.raises(InvalidPartitionError):
+            Partition([Group("g1", ["a", "b"])], universe=["a"])
+
+    def test_exact_cover_accepted(self):
+        Partition([Group("g1", ["a"]), Group("g2", ["b"])], universe=["a", "b"])
+
+    def test_non_group_rejected(self):
+        with pytest.raises(ValidationError):
+            Partition([{"id": "g"}])
+
+    def test_from_mapping(self):
+        partition = Partition.from_mapping({"g1": ["a", "b"], "g2": ["c"]}, level=2)
+        assert partition.group("g1").level == 2
+        assert partition.group_of("c").group_id == "g2"
+
+    def test_singletons(self):
+        partition = Partition.singletons(["b", "a", "c"])
+        assert partition.num_groups() == 3
+        assert all(group.is_singleton() for group in partition)
+        assert partition.max_group_size() == 1
+
+    def test_trivial(self):
+        partition = Partition.trivial(["a", "b", "c"], level=9)
+        assert partition.num_groups() == 1
+        assert partition.max_group_size() == 3
+
+
+class TestPartitionLookups:
+    @pytest.fixture
+    def partition(self):
+        return Partition([Group("left", ["a", "b"]), Group("right", ["x", "y", "z"])])
+
+    def test_group_of(self, partition):
+        assert partition.group_of("a").group_id == "left"
+        assert partition.group_of("z").group_id == "right"
+        with pytest.raises(KeyError):
+            partition.group_of("missing")
+
+    def test_group_by_id(self, partition):
+        assert partition.group("left").members == frozenset(["a", "b"])
+        with pytest.raises(KeyError):
+            partition.group("nope")
+
+    def test_sizes_and_max(self, partition):
+        assert partition.sizes() == {"left": 2, "right": 3}
+        assert partition.max_group_size() == 3
+
+    def test_universe_and_contains(self, partition):
+        assert partition.universe() == frozenset(["a", "b", "x", "y", "z"])
+        assert partition.contains_element("a")
+        assert not partition.contains_element("q")
+        assert "left" in partition
+
+    def test_iteration_and_len(self, partition):
+        assert len(partition) == 2
+        assert {group.group_id for group in partition} == {"left", "right"}
+
+    def test_empty_partition(self):
+        empty = Partition([])
+        assert empty.max_group_size() == 0
+        assert empty.num_elements() == 0
+
+
+class TestPartitionDerived:
+    def test_dict_round_trip(self):
+        partition = Partition([Group("g1", ["a"]), Group("g2", ["b"])])
+        back = Partition.from_dict(partition.to_dict())
+        assert back.sizes() == partition.sizes()
+        assert back.universe() == partition.universe()
+
+    def test_restricted_to(self):
+        partition = Partition([Group("g1", ["a", "b"]), Group("g2", ["c"])])
+        restricted = partition.restricted_to(["a", "c"])
+        assert restricted.sizes() == {"g1": 1, "g2": 1}
+
+    def test_restricted_drops_empty_groups(self):
+        partition = Partition([Group("g1", ["a"]), Group("g2", ["b"])])
+        restricted = partition.restricted_to(["a"])
+        assert restricted.num_groups() == 1
+
+    def test_merged_with_disjoint(self):
+        left = Partition([Group("g1", ["a"])])
+        right = Partition([Group("g2", ["b"])])
+        merged = left.merged_with(right)
+        assert merged.num_groups() == 2
+
+    def test_merged_with_overlap_rejected(self):
+        left = Partition([Group("g1", ["a"])])
+        right = Partition([Group("g2", ["a"])])
+        with pytest.raises(InvalidPartitionError):
+            left.merged_with(right)

@@ -1,0 +1,75 @@
+"""Tests for split score functions."""
+
+import pytest
+
+from repro.grouping.scores import BalancedAssociationScore, BalanceScore, EdgeUniformityScore
+from repro.grouping.splitters import CandidateSplit
+
+
+def make_split(part_a, part_b):
+    return CandidateSplit(part_a=tuple(part_a), part_b=tuple(part_b))
+
+
+class TestBalanceScore:
+    def test_balanced_split_scores_zero(self, tiny_graph):
+        score = BalanceScore()
+        assert score.score(tiny_graph, make_split(["bob", "carol"], ["dave", "erin"])) == 0.0
+
+    def test_imbalanced_split_scores_negative(self, tiny_graph):
+        score = BalanceScore()
+        assert score.score(tiny_graph, make_split(["bob"], ["carol", "dave", "erin"])) == -2.0
+
+    def test_more_balanced_is_better(self, tiny_graph):
+        score = BalanceScore()
+        balanced = score.score(tiny_graph, make_split(["bob", "carol"], ["dave", "erin"]))
+        skewed = score.score(tiny_graph, make_split(["bob"], ["carol", "dave", "erin"]))
+        assert balanced > skewed
+
+    def test_sensitivity_is_one(self):
+        assert BalanceScore().sensitivity == 1.0
+
+    def test_scores_vector(self, tiny_graph):
+        score = BalanceScore()
+        splits = [make_split(["bob"], ["carol"]), make_split(["bob", "carol"], ["dave"])]
+        assert score.scores(tiny_graph, splits).shape == (2,)
+
+
+class TestBalancedAssociationScore:
+    def test_prefers_equal_association_mass(self, tiny_graph):
+        score = BalancedAssociationScore(degree_bound=10)
+        # bob has 2 purchases, dave 2, carol 1, erin 0.
+        balanced = score.score(tiny_graph, make_split(["bob", "erin"], ["dave", "carol"]))
+        skewed = score.score(tiny_graph, make_split(["bob", "dave"], ["carol", "erin"]))
+        assert balanced > skewed
+
+    def test_normalised_by_degree_bound(self, tiny_graph):
+        tight = BalancedAssociationScore(degree_bound=1.0)
+        loose = BalancedAssociationScore(degree_bound=100.0)
+        split = make_split(["bob", "dave"], ["carol", "erin"])
+        assert abs(tight.score(tiny_graph, split)) > abs(loose.score(tiny_graph, split))
+
+    def test_unknown_nodes_contribute_zero(self, tiny_graph):
+        score = BalancedAssociationScore()
+        value = score.score(tiny_graph, make_split(["ghost1"], ["ghost2"]))
+        assert value == 0.0
+
+    def test_invalid_degree_bound(self):
+        with pytest.raises(Exception):
+            BalancedAssociationScore(degree_bound=0)
+
+
+class TestEdgeUniformityScore:
+    def test_uniform_degrees_score_best(self, tiny_graph):
+        score = EdgeUniformityScore(degree_bound=10)
+        uniform = score.score(tiny_graph, make_split(["bob", "dave"], ["carol"]))
+        mixed = score.score(tiny_graph, make_split(["bob", "erin"], ["carol", "dave"]))
+        assert uniform >= mixed
+
+    def test_empty_parts_score_zero(self, tiny_graph):
+        score = EdgeUniformityScore()
+        assert score.score(tiny_graph, make_split(["ghost"], ["phantom"])) == 0.0
+
+    def test_scores_are_non_positive(self, tiny_graph):
+        score = EdgeUniformityScore()
+        split = make_split(["bob", "carol"], ["dave", "erin"])
+        assert score.score(tiny_graph, split) <= 0.0

@@ -1,0 +1,112 @@
+"""Tests for candidate-split generation."""
+
+import pytest
+
+from repro.exceptions import SpecializationError
+from repro.grouping.splitters import (
+    CandidateSplit,
+    DegreeOrderSplitter,
+    HashOrderSplitter,
+    RandomOrderSplitter,
+    split_into_parts,
+)
+
+
+class TestCandidateSplit:
+    def test_parts_and_size(self):
+        split = CandidateSplit(("a", "b"), ("c",))
+        assert split.size() == 3
+        assert split.parts() == (("a", "b"), ("c",))
+
+    def test_overlap_rejected(self):
+        with pytest.raises(SpecializationError):
+            CandidateSplit(("a",), ("a", "b"))
+
+
+class TestSplitters:
+    @pytest.fixture
+    def members(self, dblp_graph):
+        import itertools
+
+        return list(itertools.islice(dblp_graph.left_nodes(), 20))
+
+    def test_propose_covers_all_members(self, dblp_graph, members):
+        for splitter in (HashOrderSplitter(), DegreeOrderSplitter(), RandomOrderSplitter()):
+            for split in splitter.propose(dblp_graph, members, rng=0):
+                assert sorted(split.part_a + split.part_b, key=str) == sorted(members, key=str)
+
+    def test_propose_generates_multiple_candidates(self, dblp_graph, members):
+        candidates = HashOrderSplitter().propose(dblp_graph, members)
+        assert len(candidates) >= 2
+        assert all(len(c.part_a) >= 1 and len(c.part_b) >= 1 for c in candidates)
+
+    def test_propose_two_members(self, dblp_graph, members):
+        candidates = HashOrderSplitter().propose(dblp_graph, members[:2])
+        assert len(candidates) == 1
+        assert candidates[0].size() == 2
+
+    def test_propose_too_small_raises(self, dblp_graph, members):
+        with pytest.raises(SpecializationError):
+            HashOrderSplitter().propose(dblp_graph, members[:1])
+        with pytest.raises(SpecializationError):
+            HashOrderSplitter().propose(dblp_graph, [])
+
+    def test_invalid_cut_fractions(self):
+        with pytest.raises(SpecializationError):
+            HashOrderSplitter(cut_fractions=[])
+        with pytest.raises(SpecializationError):
+            HashOrderSplitter(cut_fractions=[0.0, 0.5])
+
+    def test_hash_ordering_deterministic(self, dblp_graph, members):
+        a = HashOrderSplitter(salt="s").order(dblp_graph, members)
+        b = HashOrderSplitter(salt="s").order(dblp_graph, members)
+        assert a == b
+
+    def test_hash_salt_changes_order(self, dblp_graph, members):
+        a = HashOrderSplitter(salt="s1").order(dblp_graph, members)
+        b = HashOrderSplitter(salt="s2").order(dblp_graph, members)
+        assert a != b
+
+    def test_degree_order_descending(self, dblp_graph, members):
+        ordering = DegreeOrderSplitter().order(dblp_graph, members)
+        degrees = [dblp_graph.degree(n) for n in ordering]
+        assert degrees == sorted(degrees, reverse=True)
+
+    def test_random_order_seeded(self, dblp_graph, members):
+        a = RandomOrderSplitter().order(dblp_graph, members, rng=5)
+        b = RandomOrderSplitter().order(dblp_graph, members, rng=5)
+        c = RandomOrderSplitter().order(dblp_graph, members, rng=6)
+        assert a == b
+        assert a != c
+
+
+class TestSplitIntoParts:
+    def choose_first(self, candidates):
+        return candidates[0]
+
+    def test_produces_requested_parts(self, dblp_graph):
+        import itertools
+
+        members = list(itertools.islice(dblp_graph.left_nodes(), 16))
+        parts = split_into_parts(dblp_graph, members, 4, HashOrderSplitter(), self.choose_first, rng=0)
+        assert len(parts) == 4
+        assert sorted(sum(parts, []), key=str) == sorted(members, key=str)
+
+    def test_small_input_returns_fewer_parts(self, dblp_graph):
+        parts = split_into_parts(
+            dblp_graph, list(dblp_graph.left_nodes())[:1], 4, HashOrderSplitter(), self.choose_first
+        )
+        assert len(parts) == 1
+
+    def test_empty_input(self, dblp_graph):
+        assert split_into_parts(dblp_graph, [], 4, HashOrderSplitter(), self.choose_first) == []
+
+    def test_parts_are_disjoint(self, dblp_graph):
+        import itertools
+
+        members = list(itertools.islice(dblp_graph.left_nodes(), 23))
+        parts = split_into_parts(dblp_graph, members, 5, HashOrderSplitter(), self.choose_first, rng=1)
+        seen = set()
+        for part in parts:
+            assert not (seen & set(part))
+            seen.update(part)

@@ -1,0 +1,97 @@
+"""Tests for noise-scale calibration formulas."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.mechanisms.calibration import (
+    analytic_gaussian_sigma,
+    gaussian_sigma,
+    geometric_alpha,
+    laplace_scale,
+)
+
+
+class TestLaplaceScale:
+    def test_formula(self):
+        assert laplace_scale(0.5, 2.0) == 4.0
+        assert laplace_scale(1.0, 1.0) == 1.0
+
+    def test_monotone_in_epsilon(self):
+        assert laplace_scale(0.1, 1.0) > laplace_scale(1.0, 1.0)
+
+    def test_monotone_in_sensitivity(self):
+        assert laplace_scale(1.0, 10.0) > laplace_scale(1.0, 1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            laplace_scale(0.0, 1.0)
+        with pytest.raises(ValidationError):
+            laplace_scale(1.0, -1.0)
+
+
+class TestGaussianSigma:
+    def test_known_value(self):
+        expected = math.sqrt(2 * math.log(1.25 / 1e-5))
+        assert gaussian_sigma(1.0, 1e-5, 1.0) == pytest.approx(expected)
+
+    def test_scales_linearly_with_sensitivity(self):
+        assert gaussian_sigma(1.0, 1e-5, 7.0) == pytest.approx(7 * gaussian_sigma(1.0, 1e-5, 1.0))
+
+    def test_inverse_in_epsilon(self):
+        assert gaussian_sigma(0.5, 1e-5, 1.0) == pytest.approx(2 * gaussian_sigma(1.0, 1e-5, 1.0))
+
+    def test_smaller_delta_needs_more_noise(self):
+        assert gaussian_sigma(1.0, 1e-9, 1.0) > gaussian_sigma(1.0, 1e-3, 1.0)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValidationError):
+            gaussian_sigma(1.0, 0.0, 1.0)
+        with pytest.raises(ValidationError):
+            gaussian_sigma(1.0, 1.0, 1.0)
+
+
+class TestGeometricAlpha:
+    def test_formula(self):
+        assert geometric_alpha(1.0, 1.0) == pytest.approx(math.exp(-1.0))
+
+    def test_alpha_in_unit_interval(self):
+        for eps in (0.1, 1.0, 5.0):
+            assert 0.0 < geometric_alpha(eps, 1.0) < 1.0
+
+    def test_larger_epsilon_smaller_alpha(self):
+        assert geometric_alpha(2.0, 1.0) < geometric_alpha(0.5, 1.0)
+
+
+class TestAnalyticGaussianSigma:
+    def test_never_worse_than_classic_for_small_epsilon(self):
+        classic = gaussian_sigma(0.5, 1e-5, 1.0)
+        analytic = analytic_gaussian_sigma(0.5, 1e-5, 1.0)
+        assert analytic <= classic + 1e-9
+
+    def test_valid_for_epsilon_above_one(self):
+        sigma = analytic_gaussian_sigma(3.0, 1e-5, 1.0)
+        assert 0 < sigma < gaussian_sigma(0.999, 1e-5, 1.0)
+
+    def test_scales_with_sensitivity(self):
+        ratio = analytic_gaussian_sigma(1.0, 1e-5, 10.0) / analytic_gaussian_sigma(1.0, 1e-5, 1.0)
+        assert ratio == pytest.approx(10.0, rel=1e-3)
+
+    def test_monotone_in_epsilon(self):
+        assert analytic_gaussian_sigma(0.2, 1e-5, 1.0) > analytic_gaussian_sigma(1.0, 1e-5, 1.0)
+
+    def test_satisfies_privacy_loss_constraint(self):
+        # Verify the returned sigma actually satisfies the analytic condition.
+        from scipy import special
+
+        epsilon, delta, sensitivity = 0.7, 1e-6, 3.0
+        sigma = analytic_gaussian_sigma(epsilon, delta, sensitivity)
+
+        def phi(t):
+            return 0.5 * (1.0 + special.erf(t / math.sqrt(2.0)))
+
+        loss = phi(sensitivity / (2 * sigma) - epsilon * sigma / sensitivity) - math.exp(
+            epsilon
+        ) * phi(-sensitivity / (2 * sigma) - epsilon * sigma / sensitivity)
+        assert loss <= delta + 1e-9

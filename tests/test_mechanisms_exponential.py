@@ -1,0 +1,94 @@
+"""Tests for the Exponential Mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.mechanisms.exponential import ExponentialMechanism
+
+
+class TestSelectionProbabilities:
+    def test_uniform_for_equal_scores(self):
+        mech = ExponentialMechanism(epsilon=1.0)
+        probs = mech.selection_probabilities([3.0, 3.0, 3.0])
+        assert np.allclose(probs, 1 / 3)
+
+    def test_higher_score_higher_probability(self):
+        mech = ExponentialMechanism(epsilon=1.0)
+        probs = mech.selection_probabilities([0.0, 5.0])
+        assert probs[1] > probs[0]
+
+    def test_probability_ratio_matches_theory(self):
+        epsilon, sensitivity = 2.0, 1.0
+        mech = ExponentialMechanism(epsilon=epsilon, score_sensitivity=sensitivity)
+        scores = [0.0, 1.0]
+        probs = mech.selection_probabilities(scores)
+        expected_ratio = np.exp(epsilon * (scores[1] - scores[0]) / (2 * sensitivity))
+        assert probs[1] / probs[0] == pytest.approx(expected_ratio)
+
+    def test_probabilities_sum_to_one(self):
+        mech = ExponentialMechanism(epsilon=0.3)
+        probs = mech.selection_probabilities([1.0, -2.0, 0.5, 7.0])
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_large_scores_do_not_overflow(self):
+        mech = ExponentialMechanism(epsilon=10.0)
+        probs = mech.selection_probabilities([1e6, 1e6 - 1])
+        assert np.all(np.isfinite(probs))
+
+    def test_empty_scores_rejected(self):
+        with pytest.raises(ValidationError):
+            ExponentialMechanism(epsilon=1.0).selection_probabilities([])
+
+    def test_non_finite_scores_rejected(self):
+        with pytest.raises(ValidationError):
+            ExponentialMechanism(epsilon=1.0).selection_probabilities([1.0, np.inf])
+
+
+class TestSelect:
+    def test_select_with_scores(self):
+        mech = ExponentialMechanism(epsilon=1.0, rng=0)
+        choice = mech.select(["a", "b", "c"], scores=[0.0, 0.0, 100.0])
+        assert choice == "c"
+
+    def test_select_with_score_fn(self):
+        mech = ExponentialMechanism(epsilon=5.0, rng=0)
+        choice = mech.select([1, 2, 3, 10], score_fn=lambda x: float(x))
+        assert choice in (1, 2, 3, 10)
+
+    def test_score_length_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            ExponentialMechanism(1.0).select(["a", "b"], scores=[1.0])
+
+    def test_missing_scores_and_fn_raises(self):
+        with pytest.raises(ValidationError):
+            ExponentialMechanism(1.0).select(["a", "b"])
+
+    def test_empty_candidates_raises(self):
+        with pytest.raises(ValidationError):
+            ExponentialMechanism(1.0).select([], scores=[])
+
+    def test_seeded_reproducibility(self):
+        a = ExponentialMechanism(1.0, rng=4).select(list("abcdef"), scores=[1, 2, 3, 4, 5, 6])
+        b = ExponentialMechanism(1.0, rng=4).select(list("abcdef"), scores=[1, 2, 3, 4, 5, 6])
+        assert a == b
+
+
+class TestStatisticalPreference:
+    def test_empirically_prefers_best_candidate(self):
+        mech = ExponentialMechanism(epsilon=1.5, score_sensitivity=1.0, rng=9)
+        scores = [0.0, 1.0, 3.0]
+        counts = np.zeros(3)
+        for _ in range(3000):
+            counts[mech.select_index(scores)] += 1
+        assert counts[2] > counts[1] > counts[0]
+
+    def test_small_epsilon_approaches_uniform(self):
+        mech = ExponentialMechanism(epsilon=1e-6, rng=10)
+        probs = mech.selection_probabilities([0.0, 10.0, 20.0])
+        assert np.allclose(probs, 1 / 3, atol=1e-4)
+
+    def test_privacy_cost(self):
+        cost = ExponentialMechanism(epsilon=0.25).privacy_cost()
+        assert cost.epsilon == 0.25
+        assert cost.delta == 0.0

@@ -1,0 +1,81 @@
+"""Tests for the Gaussian mechanisms (classic and analytic)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.mechanisms.gaussian import AnalyticGaussianMechanism, GaussianMechanism
+
+
+class TestCalibration:
+    def test_sigma_matches_formula(self):
+        mech = GaussianMechanism(epsilon=1.0, delta=1e-5, sensitivity=2.0)
+        assert mech.sigma == pytest.approx(2.0 * np.sqrt(2 * np.log(1.25 / 1e-5)))
+
+    def test_noise_scale_alias(self):
+        mech = GaussianMechanism(epsilon=1.0, delta=1e-5, sensitivity=1.0)
+        assert mech.noise_scale() == mech.sigma
+
+    def test_privacy_cost_reports_epsilon_delta(self):
+        cost = GaussianMechanism(epsilon=0.4, delta=1e-6).privacy_cost()
+        assert cost.epsilon == 0.4
+        assert cost.delta == 1e-6
+
+    def test_invalid_delta_rejected(self):
+        with pytest.raises(ValidationError):
+            GaussianMechanism(epsilon=1.0, delta=0.0)
+        with pytest.raises(ValidationError):
+            GaussianMechanism(epsilon=1.0, delta=1.5)
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ValidationError):
+            GaussianMechanism(epsilon=-0.1)
+
+    def test_sensitivity_scaling(self):
+        base = GaussianMechanism(1.0, 1e-5, 1.0).sigma
+        scaled = GaussianMechanism(1.0, 1e-5, 13.0).sigma
+        assert scaled == pytest.approx(13 * base)
+
+
+class TestSampling:
+    def test_scalar_and_vector_shapes(self):
+        mech = GaussianMechanism(1.0, 1e-5, 1.0, rng=0)
+        assert isinstance(mech.randomise(5), float)
+        out = mech.randomise(np.arange(4, dtype=float))
+        assert out.shape == (4,)
+
+    def test_seeded_reproducibility(self):
+        a = GaussianMechanism(1.0, 1e-5, 1.0, rng=3).randomise(100.0)
+        b = GaussianMechanism(1.0, 1e-5, 1.0, rng=3).randomise(100.0)
+        assert a == b
+
+    def test_empirical_std_close_to_sigma(self):
+        mech = GaussianMechanism(0.8, 1e-5, 5.0, rng=21)
+        samples = mech.sample_noise(size=50_000)
+        assert float(np.std(samples)) == pytest.approx(mech.sigma, rel=0.03)
+
+    def test_expected_absolute_error_formula(self):
+        mech = GaussianMechanism(0.8, 1e-5, 5.0, rng=2)
+        samples = np.abs(mech.sample_noise(size=50_000))
+        assert float(samples.mean()) == pytest.approx(mech.expected_absolute_error(), rel=0.03)
+
+    def test_noise_variance_is_sigma_squared(self):
+        mech = GaussianMechanism(0.5, 1e-5, 2.0)
+        assert mech.noise_variance() == pytest.approx(mech.sigma**2)
+
+
+class TestAnalyticGaussian:
+    def test_is_drop_in_subclass(self):
+        mech = AnalyticGaussianMechanism(0.5, 1e-5, 1.0, rng=0)
+        assert isinstance(mech, GaussianMechanism)
+        assert isinstance(mech.randomise(3.0), float)
+
+    def test_noise_never_larger_than_classic(self):
+        for epsilon in (0.1, 0.5, 0.9):
+            classic = GaussianMechanism(epsilon, 1e-5, 1.0).sigma
+            analytic = AnalyticGaussianMechanism(epsilon, 1e-5, 1.0).sigma
+            assert analytic <= classic + 1e-9
+
+    def test_handles_epsilon_above_one(self):
+        mech = AnalyticGaussianMechanism(epsilon=2.5, delta=1e-5, sensitivity=1.0)
+        assert mech.sigma > 0

@@ -1,0 +1,53 @@
+"""Tests for the two-sided geometric mechanism."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mechanisms.geometric import GeometricMechanism
+
+
+class TestGeometricMechanism:
+    def test_alpha_formula(self):
+        mech = GeometricMechanism(epsilon=1.0, sensitivity=1.0)
+        assert mech.alpha == pytest.approx(math.exp(-1.0))
+
+    def test_noise_is_integer_valued(self):
+        mech = GeometricMechanism(epsilon=0.5, rng=0)
+        samples = mech.sample_noise(size=1000)
+        assert np.allclose(samples, np.round(samples))
+
+    def test_randomise_keeps_integrality(self):
+        mech = GeometricMechanism(epsilon=0.5, rng=1)
+        noisy = mech.randomise(100)
+        assert float(noisy) == int(noisy)
+
+    def test_privacy_cost_pure(self):
+        cost = GeometricMechanism(epsilon=0.3).privacy_cost()
+        assert cost.epsilon == 0.3
+        assert cost.delta == 0.0
+
+    def test_empirical_variance_matches_analytic(self):
+        mech = GeometricMechanism(epsilon=0.7, rng=5)
+        samples = mech.sample_noise(size=60_000)
+        assert float(np.var(samples)) == pytest.approx(mech.noise_variance(), rel=0.05)
+
+    def test_noise_scale_is_std(self):
+        mech = GeometricMechanism(epsilon=0.7)
+        assert mech.noise_scale() == pytest.approx(math.sqrt(mech.noise_variance()))
+
+    def test_symmetric_around_zero(self):
+        mech = GeometricMechanism(epsilon=0.5, rng=11)
+        samples = mech.sample_noise(size=60_000)
+        assert abs(float(samples.mean())) < 0.05
+
+    def test_vector_randomise_shape(self):
+        mech = GeometricMechanism(epsilon=1.0, rng=2)
+        out = mech.randomise([10, 20, 30])
+        assert out.shape == (3,)
+
+    def test_larger_epsilon_less_noise(self):
+        low = GeometricMechanism(epsilon=0.1, rng=3).sample_noise(size=10_000)
+        high = GeometricMechanism(epsilon=2.0, rng=3).sample_noise(size=10_000)
+        assert np.abs(low).mean() > np.abs(high).mean()

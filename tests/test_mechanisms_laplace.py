@@ -1,0 +1,69 @@
+"""Tests for the Laplace mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.mechanisms.base import PrivacyCost
+from repro.mechanisms.laplace import LaplaceMechanism
+
+
+class TestConstruction:
+    def test_scale_is_sensitivity_over_epsilon(self):
+        mech = LaplaceMechanism(epsilon=0.5, sensitivity=3.0)
+        assert mech.noise_scale() == pytest.approx(6.0)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValidationError):
+            LaplaceMechanism(epsilon=0.0)
+        with pytest.raises(ValidationError):
+            LaplaceMechanism(epsilon=-1.0)
+
+    def test_invalid_sensitivity(self):
+        with pytest.raises(ValidationError):
+            LaplaceMechanism(epsilon=1.0, sensitivity=0.0)
+
+    def test_privacy_cost_is_pure_dp(self):
+        assert LaplaceMechanism(epsilon=0.7).privacy_cost() == PrivacyCost(0.7, 0.0)
+
+
+class TestRandomise:
+    def test_scalar_returns_float(self):
+        value = LaplaceMechanism(1.0, rng=0).randomise(100)
+        assert isinstance(value, float)
+
+    def test_array_returns_same_shape(self):
+        out = LaplaceMechanism(1.0, rng=0).randomise([1.0, 2.0, 3.0])
+        assert isinstance(out, np.ndarray)
+        assert out.shape == (3,)
+
+    def test_seeded_reproducibility(self):
+        a = LaplaceMechanism(1.0, rng=5).randomise(10)
+        b = LaplaceMechanism(1.0, rng=5).randomise(10)
+        assert a == b
+
+    def test_randomize_alias(self):
+        mech = LaplaceMechanism(1.0, rng=3)
+        assert callable(mech.randomize)
+
+
+class TestStatisticalBehaviour:
+    def test_empirical_mean_near_true_value(self):
+        mech = LaplaceMechanism(epsilon=1.0, sensitivity=1.0, rng=12)
+        noisy = mech.randomise(np.full(20_000, 50.0))
+        assert abs(float(noisy.mean()) - 50.0) < 0.1
+
+    def test_empirical_std_matches_analytic(self):
+        mech = LaplaceMechanism(epsilon=0.5, sensitivity=1.0, rng=7)
+        samples = mech.sample_noise(size=50_000)
+        assert float(np.std(samples)) == pytest.approx(np.sqrt(mech.noise_variance()), rel=0.05)
+
+    def test_expected_absolute_error_matches_scale(self):
+        mech = LaplaceMechanism(epsilon=0.25, sensitivity=2.0, rng=9)
+        samples = np.abs(mech.sample_noise(size=50_000))
+        assert float(samples.mean()) == pytest.approx(mech.expected_absolute_error(), rel=0.05)
+
+    def test_smaller_epsilon_more_noise(self):
+        noisy_small_eps = np.abs(LaplaceMechanism(0.05, rng=1).sample_noise(size=5_000)).mean()
+        noisy_large_eps = np.abs(LaplaceMechanism(2.0, rng=1).sample_noise(size=5_000)).mean()
+        assert noisy_small_eps > noisy_large_eps

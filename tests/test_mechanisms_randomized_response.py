@@ -1,0 +1,50 @@
+"""Tests for randomized response."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mechanisms.randomized_response import RandomizedResponse
+
+
+class TestRandomizedResponse:
+    def test_truth_probability_formula(self):
+        rr = RandomizedResponse(epsilon=1.0)
+        assert rr.p_truth == pytest.approx(math.exp(1.0) / (1 + math.exp(1.0)))
+
+    def test_output_is_binary_scalar(self):
+        rr = RandomizedResponse(epsilon=1.0, rng=0)
+        assert rr.randomise(1) in (0, 1)
+        assert rr.randomise(0) in (0, 1)
+
+    def test_output_is_binary_array(self):
+        rr = RandomizedResponse(epsilon=1.0, rng=0)
+        bits = rr.randomise(np.array([0, 1, 1, 0, 1]))
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_non_binary_input_rejected(self):
+        rr = RandomizedResponse(epsilon=1.0, rng=0)
+        with pytest.raises(ValueError):
+            rr.randomise(np.array([0, 2]))
+
+    def test_high_epsilon_mostly_truthful(self):
+        rr = RandomizedResponse(epsilon=8.0, rng=1)
+        bits = rr.randomise(np.ones(5000, dtype=int))
+        assert bits.mean() > 0.99
+
+    def test_frequency_estimator_debiases(self):
+        rng_truth = np.random.default_rng(3)
+        true_bits = (rng_truth.uniform(size=30_000) < 0.3).astype(int)
+        rr = RandomizedResponse(epsilon=1.0, rng=4)
+        reported = rr.randomise(true_bits)
+        estimate = rr.estimate_frequency(reported)
+        assert estimate == pytest.approx(0.3, abs=0.02)
+
+    def test_estimate_frequency_empty_input(self):
+        rr = RandomizedResponse(epsilon=1.0)
+        assert rr.estimate_frequency(np.array([])) == 0.0
+
+    def test_privacy_cost_pure(self):
+        cost = RandomizedResponse(epsilon=0.5).privacy_cost()
+        assert cost.epsilon == 0.5 and cost.delta == 0.0

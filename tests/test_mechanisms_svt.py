@@ -1,0 +1,78 @@
+"""Tests for the Sparse Vector Technique (AboveThreshold)."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.mechanisms.svt import AboveThreshold
+
+
+class TestAboveThreshold:
+    def test_clear_positive_detected(self):
+        svt = AboveThreshold(epsilon=5.0, threshold=100.0, sensitivity=1.0, rng=0)
+        flags = svt.run([0.0, 0.0, 10_000.0, 0.0])
+        assert flags[2] is True
+
+    def test_stops_after_max_positives(self):
+        svt = AboveThreshold(epsilon=5.0, threshold=0.0, sensitivity=1.0, max_positives=2, rng=1)
+        flags = svt.run([10_000.0] * 6)
+        assert sum(flags) == 2
+        assert flags[2:] == [False, False, False, False]
+
+    def test_first_above(self):
+        svt = AboveThreshold(epsilon=5.0, threshold=100.0, sensitivity=1.0, rng=2)
+        assert svt.first_above([0.0, 10_000.0, 10_000.0]) == 1
+
+    def test_first_above_none_when_all_below(self):
+        svt = AboveThreshold(epsilon=5.0, threshold=10_000.0, sensitivity=1.0, rng=3)
+        assert svt.first_above([0.0, 1.0, 2.0]) is None
+
+    def test_empty_answers_rejected(self):
+        with pytest.raises(ValidationError):
+            AboveThreshold(epsilon=1.0, threshold=0.0).run([])
+
+    def test_privacy_cost_independent_of_query_count(self):
+        svt = AboveThreshold(epsilon=0.7, threshold=0.0, rng=0)
+        cost = svt.privacy_cost()
+        svt.run([0.0] * 50)
+        assert svt.privacy_cost() == cost
+        assert cost.epsilon == 0.7
+        assert cost.delta == 0.0
+
+    def test_seeded_reproducibility(self):
+        answers = [5.0, 20.0, 1.0, 30.0]
+        a = AboveThreshold(epsilon=1.0, threshold=10.0, rng=9).run(answers)
+        b = AboveThreshold(epsilon=1.0, threshold=10.0, rng=9).run(answers)
+        assert a == b
+
+    def test_noise_actually_randomises_borderline_queries(self):
+        # A query exactly at the threshold should sometimes pass, sometimes not.
+        outcomes = set()
+        for seed in range(40):
+            svt = AboveThreshold(epsilon=0.5, threshold=10.0, sensitivity=1.0, rng=seed)
+            outcomes.add(svt.run([10.0])[0])
+        assert outcomes == {True, False}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            AboveThreshold(epsilon=0.0, threshold=1.0)
+        with pytest.raises(ValidationError):
+            AboveThreshold(epsilon=1.0, threshold=1.0, sensitivity=0.0)
+        with pytest.raises(ValidationError):
+            AboveThreshold(epsilon=1.0, threshold=1.0, max_positives=0)
+
+    def test_level_selection_use_case(self, dblp_graph, dblp_hierarchy):
+        """Select the released levels whose sensitivity stays below a bound."""
+        from repro.privacy.sensitivity import group_count_sensitivity
+
+        levels = [level for level in dblp_hierarchy.level_indices() if level < dblp_hierarchy.top_level]
+        sensitivities = [
+            group_count_sensitivity(dblp_graph, dblp_hierarchy.partition_at(level)) for level in levels
+        ]
+        bound = sorted(sensitivities)[len(sensitivities) // 2]
+        svt = AboveThreshold(
+            epsilon=8.0, threshold=-bound, sensitivity=1.0, max_positives=len(levels), rng=4
+        )
+        # "below bound" == "-sensitivity above -bound"; high epsilon keeps the
+        # noisy decision close to the exact one for this smoke use-case.
+        flags = svt.run([-s for s in sensitivities])
+        assert any(flags)

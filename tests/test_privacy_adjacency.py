@@ -1,0 +1,78 @@
+"""Tests for adjacency relations."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.grouping.partition import Group, Partition
+from repro.privacy.adjacency import (
+    EdgeAdjacency,
+    GroupAdjacency,
+    IndividualAdjacency,
+    NodeAdjacency,
+)
+
+
+class TestIndividualAdjacency:
+    def test_unit_and_sensitivity(self, tiny_graph):
+        relation = IndividualAdjacency()
+        assert relation.unit() == "association"
+        assert relation.count_query_sensitivity(tiny_graph) == 1.0
+
+    def test_edge_alias(self, tiny_graph):
+        relation = EdgeAdjacency()
+        assert relation.unit() == "edge"
+        assert relation.count_query_sensitivity(tiny_graph) == 1.0
+
+    def test_describe_mentions_unit(self):
+        assert "association" in IndividualAdjacency().describe()
+
+
+class TestNodeAdjacency:
+    def test_sensitivity_is_max_degree(self, tiny_graph):
+        assert NodeAdjacency().count_query_sensitivity(tiny_graph) == 2.0
+
+    def test_degree_bound_clamps(self, tiny_graph):
+        assert NodeAdjacency(degree_bound=1).count_query_sensitivity(tiny_graph) == 1.0
+
+    def test_empty_graph_sensitivity_floor(self):
+        from repro.graphs.bipartite import BipartiteGraph
+
+        assert NodeAdjacency().count_query_sensitivity(BipartiteGraph()) == 1.0
+
+    def test_invalid_degree_bound(self):
+        with pytest.raises(ValidationError):
+            NodeAdjacency(degree_bound=0)
+
+
+class TestGroupAdjacency:
+    def test_sensitivity_is_worst_incident_count(self, tiny_graph, tiny_partition):
+        relation = GroupAdjacency(tiny_partition)
+        # Either group ("buyers" or "drugs") touches every association.
+        assert relation.count_query_sensitivity(tiny_graph) == 5.0
+
+    def test_fine_partition_has_smaller_sensitivity(self, tiny_graph):
+        fine = Partition.singletons(tiny_graph.nodes())
+        relation = GroupAdjacency(fine)
+        assert relation.count_query_sensitivity(tiny_graph) == 2.0
+
+    def test_unit_and_describe(self, tiny_partition):
+        relation = GroupAdjacency(tiny_partition)
+        assert relation.unit() == "group"
+        assert "groups=2" in relation.describe()
+
+    def test_max_group_size(self, tiny_partition):
+        assert GroupAdjacency(tiny_partition).max_group_size() == 4
+
+    def test_requires_partition_instance(self):
+        with pytest.raises(ValidationError):
+            GroupAdjacency({"g": ["a"]})
+
+    def test_sensitivity_floor_for_edgeless_groups(self, tiny_graph):
+        partition = Partition([Group("isolated", frozenset(["erin", "zoloft"]))])
+        assert GroupAdjacency(partition).count_query_sensitivity(tiny_graph) == 1.0
+
+    def test_group_sensitivity_at_least_individual(self, dblp_graph, dblp_hierarchy):
+        individual = IndividualAdjacency().count_query_sensitivity(dblp_graph)
+        for level in dblp_hierarchy.level_indices():
+            group = GroupAdjacency(dblp_hierarchy.partition_at(level))
+            assert group.count_query_sensitivity(dblp_graph) >= individual

@@ -1,0 +1,110 @@
+"""Tests for the empirical privacy audit harness."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.mechanisms.calibration import gaussian_sigma, laplace_scale
+from repro.privacy.audit import audit_count_release, audit_scalar_mechanism
+
+
+class TestAuditCountRelease:
+    def test_correctly_calibrated_laplace_passes(self):
+        epsilon, sensitivity = 1.0, 10.0
+        result = audit_count_release(
+            noise_scale=laplace_scale(epsilon, sensitivity),
+            sensitivity=sensitivity,
+            claimed_epsilon=epsilon,
+            kind="laplace",
+            num_trials=30_000,
+            rng=0,
+        )
+        assert result.consistent
+
+    def test_correctly_calibrated_gaussian_passes(self):
+        epsilon, delta, sensitivity = 0.8, 1e-5, 50.0
+        result = audit_count_release(
+            noise_scale=gaussian_sigma(epsilon, delta, sensitivity),
+            sensitivity=sensitivity,
+            claimed_epsilon=epsilon,
+            claimed_delta=delta,
+            kind="gaussian",
+            num_trials=30_000,
+            rng=1,
+        )
+        assert result.consistent
+
+    def test_undercalibrated_noise_is_flagged(self):
+        # Noise calibrated to sensitivity 1 while the adjacent answers differ
+        # by 50 (a group-privacy calibration bug): the audit must notice.
+        epsilon = 0.5
+        result = audit_count_release(
+            noise_scale=laplace_scale(epsilon, 1.0),
+            sensitivity=50.0,
+            claimed_epsilon=epsilon,
+            kind="laplace",
+            num_trials=20_000,
+            rng=2,
+        )
+        assert not result.consistent
+        assert result.observed_epsilon > epsilon
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            audit_count_release(1.0, 1.0, 1.0, kind="uniform")
+
+    def test_result_to_dict(self):
+        result = audit_count_release(
+            noise_scale=10.0, sensitivity=1.0, claimed_epsilon=1.0, kind="laplace", num_trials=2_000, rng=3
+        )
+        data = result.to_dict()
+        assert set(data) >= {"claimed_epsilon", "observed_epsilon", "consistent"}
+
+
+class TestAuditScalarMechanism:
+    def test_constant_mechanism_has_zero_loss(self):
+        result = audit_scalar_mechanism(
+            lambda value, rng: 42.0, 0.0, 100.0, claimed_epsilon=0.1, num_trials=500, rng=0
+        )
+        assert result.observed_epsilon == 0.0
+        assert result.consistent
+
+    def test_identity_mechanism_is_flagged(self):
+        # Releasing the exact answer is infinitely revealing; the audit sees a
+        # large loss (bounded by the histogram resolution, but clearly above the claim).
+        result = audit_scalar_mechanism(
+            lambda value, rng: value + float(rng.normal(0, 1e-6)),
+            0.0,
+            100.0,
+            claimed_epsilon=0.5,
+            num_trials=4_000,
+            num_bins=10,
+            rng=1,
+        )
+        assert not result.consistent
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            audit_scalar_mechanism(lambda v, r: v, 0.0, 1.0, claimed_epsilon=1.0, claimed_delta=1.0)
+        with pytest.raises(Exception):
+            audit_scalar_mechanism(lambda v, r: v, 0.0, 1.0, claimed_epsilon=0.0)
+
+    def test_pipeline_release_survives_audit(self, dblp_graph, dblp_hierarchy):
+        """Defence in depth: audit the actual pipeline calibration at one level."""
+        from repro.core.config import DisclosureConfig
+        from repro.core.discloser import MultiLevelDiscloser
+        from repro.grouping.specialization import SpecializationConfig
+
+        config = DisclosureConfig(epsilon_g=0.8, specialization=SpecializationConfig(num_levels=5))
+        release = MultiLevelDiscloser(config=config, rng=5).disclose(dblp_graph, hierarchy=dblp_hierarchy)
+        level_release = release.level(2)
+        result = audit_count_release(
+            noise_scale=level_release.noise_scale,
+            sensitivity=level_release.sensitivity,
+            claimed_epsilon=level_release.guarantee.epsilon,
+            claimed_delta=level_release.guarantee.delta,
+            kind="gaussian",
+            num_trials=20_000,
+            rng=6,
+        )
+        assert result.consistent

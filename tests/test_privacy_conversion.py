@@ -1,0 +1,65 @@
+"""Tests for individual <-> group guarantee conversions."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.privacy.conversion import (
+    group_guarantee_from_individual,
+    individual_budget_for_group_target,
+)
+from repro.privacy.guarantees import PrivacyGuarantee, PrivacyUnit
+
+
+class TestGroupFromIndividual:
+    def test_pure_dp_scales_linearly(self):
+        base = PrivacyGuarantee(epsilon=0.2)
+        lifted = group_guarantee_from_individual(base, group_size=5)
+        assert lifted.epsilon == pytest.approx(1.0)
+        assert lifted.delta == 0.0
+        assert lifted.unit is PrivacyUnit.GROUP
+        assert lifted.max_group_size == 5
+
+    def test_group_size_one_is_identity_on_epsilon(self):
+        base = PrivacyGuarantee(epsilon=0.7, delta=1e-6)
+        lifted = group_guarantee_from_individual(base, group_size=1)
+        assert lifted.epsilon == pytest.approx(0.7)
+        assert lifted.delta == pytest.approx(1e-6)
+
+    def test_approximate_dp_delta_grows(self):
+        base = PrivacyGuarantee(epsilon=0.5, delta=1e-6)
+        lifted = group_guarantee_from_individual(base, group_size=4)
+        expected_delta = 4 * math.exp(3 * 0.5) * 1e-6
+        assert lifted.epsilon == pytest.approx(2.0)
+        assert lifted.delta == pytest.approx(expected_delta)
+
+    def test_delta_capped_at_one(self):
+        base = PrivacyGuarantee(epsilon=2.0, delta=0.01)
+        lifted = group_guarantee_from_individual(base, group_size=50)
+        assert lifted.delta == 1.0
+
+    def test_level_recorded(self):
+        base = PrivacyGuarantee(epsilon=0.1)
+        assert group_guarantee_from_individual(base, 3, level=4).level == 4
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ValidationError):
+            group_guarantee_from_individual(PrivacyGuarantee(epsilon=1.0), group_size=0)
+
+
+class TestIndividualBudgetForGroupTarget:
+    def test_inverse_of_lemma(self):
+        assert individual_budget_for_group_target(1.0, 10) == pytest.approx(0.1)
+
+    def test_round_trip_with_lemma(self):
+        group_eps, k = 0.8, 7
+        individual = individual_budget_for_group_target(group_eps, k)
+        lifted = group_guarantee_from_individual(PrivacyGuarantee(epsilon=individual), k)
+        assert lifted.epsilon == pytest.approx(group_eps)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            individual_budget_for_group_target(0.0, 5)
+        with pytest.raises(ValidationError):
+            individual_budget_for_group_target(1.0, 0)

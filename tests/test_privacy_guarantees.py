@@ -1,0 +1,73 @@
+"""Tests for privacy guarantee records."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidPrivacyParameterError
+from repro.privacy.guarantees import (
+    GroupPrivacyGuarantee,
+    IndividualPrivacyGuarantee,
+    PrivacyGuarantee,
+    PrivacyUnit,
+)
+
+
+class TestPrivacyGuarantee:
+    def test_construction_and_flags(self):
+        g = PrivacyGuarantee(epsilon=0.5, delta=1e-5)
+        assert g.is_private()
+        assert not g.is_pure()
+        assert PrivacyGuarantee(epsilon=0.5).is_pure()
+
+    def test_infinite_epsilon_means_non_private(self):
+        assert not PrivacyGuarantee(epsilon=math.inf).is_private()
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(InvalidPrivacyParameterError):
+            PrivacyGuarantee(epsilon=-1.0)
+        with pytest.raises(InvalidPrivacyParameterError):
+            PrivacyGuarantee(epsilon="strong")
+
+    def test_invalid_delta(self):
+        with pytest.raises(InvalidPrivacyParameterError):
+            PrivacyGuarantee(epsilon=1.0, delta=2.0)
+        with pytest.raises(InvalidPrivacyParameterError):
+            PrivacyGuarantee(epsilon=1.0, delta=-0.1)
+
+    def test_stronger_than(self):
+        strong = PrivacyGuarantee(epsilon=0.1, delta=1e-7)
+        weak = PrivacyGuarantee(epsilon=1.0, delta=1e-5)
+        assert strong.stronger_than(weak)
+        assert not weak.stronger_than(strong)
+
+    def test_unit_coercion_from_string(self):
+        g = PrivacyGuarantee(epsilon=1.0, unit="group")
+        assert g.unit is PrivacyUnit.GROUP
+
+    def test_dict_round_trip(self):
+        g = PrivacyGuarantee(epsilon=0.3, delta=1e-6, unit=PrivacyUnit.NODE, description="d")
+        back = PrivacyGuarantee.from_dict(g.to_dict())
+        assert back == g
+
+
+class TestSubclasses:
+    def test_individual_guarantee_default_unit(self):
+        assert IndividualPrivacyGuarantee(epsilon=1.0).unit is PrivacyUnit.ASSOCIATION
+
+    def test_group_guarantee_extra_fields(self):
+        g = GroupPrivacyGuarantee(epsilon=0.5, level=3, num_groups=16, max_group_size=100)
+        assert g.unit is PrivacyUnit.GROUP
+        data = g.to_dict()
+        assert data["level"] == 3
+        assert data["num_groups"] == 16
+        assert data["max_group_size"] == 100
+
+    def test_group_guarantee_dict_round_trip(self):
+        g = GroupPrivacyGuarantee(epsilon=0.5, delta=1e-5, level=2, num_groups=4, max_group_size=9)
+        back = GroupPrivacyGuarantee.from_dict(g.to_dict())
+        assert back == g
+
+    def test_group_guarantee_level_validation_is_not_enforced_here(self):
+        # Levels are validated by the hierarchy, not the guarantee record.
+        assert GroupPrivacyGuarantee(epsilon=1.0, level=None).level is None

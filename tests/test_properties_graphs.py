@@ -1,0 +1,85 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.builders import from_association_list, from_networkx, to_networkx
+from repro.graphs.stats import degree_sequence
+from repro.graphs.subgraphs import induced_subgraph, subgraph_association_count
+
+# Strategy: association lists over small label alphabets, so duplicate pairs
+# and high-degree nodes occur frequently.
+lefts = st.integers(min_value=0, max_value=15).map(lambda i: f"L{i}")
+rights = st.integers(min_value=0, max_value=15).map(lambda j: f"R{j}")
+association_lists = st.lists(st.tuples(lefts, rights), max_size=120)
+
+
+@st.composite
+def graphs(draw):
+    pairs = draw(association_lists)
+    return from_association_list(pairs)
+
+
+class TestGraphInvariants:
+    @given(pairs=association_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_association_count_equals_distinct_pairs(self, pairs):
+        graph = from_association_list(pairs)
+        assert graph.num_associations() == len(set(pairs))
+
+    @given(graph=graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_degree_sums_equal_on_both_sides(self, graph):
+        left_sum = int(degree_sequence(graph, "left").sum()) if graph.num_left() else 0
+        right_sum = int(degree_sequence(graph, "right").sum()) if graph.num_right() else 0
+        assert left_sum == right_sum == graph.num_associations()
+
+    @given(graph=graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_internal_consistency(self, graph):
+        graph.validate()
+
+    @given(graph=graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_networkx_round_trip(self, graph):
+        back = from_networkx(to_networkx(graph))
+        assert set(back.associations()) == set(graph.associations())
+        assert set(back.left_nodes()) == set(graph.left_nodes())
+        assert set(back.right_nodes()) == set(graph.right_nodes())
+
+    @given(graph=graphs(), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_removing_a_node_removes_exactly_its_degree(self, graph, data):
+        nodes = list(graph.nodes())
+        if not nodes:
+            return
+        node = data.draw(st.sampled_from(nodes))
+        degree = graph.degree(node)
+        before = graph.num_associations()
+        graph.remove_node(node)
+        assert graph.num_associations() == before - degree
+
+    @given(graph=graphs(), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_induced_subgraph_count_matches_helper(self, graph, data):
+        nodes = list(graph.nodes())
+        subset = data.draw(st.lists(st.sampled_from(nodes), unique=True)) if nodes else []
+        assert (
+            induced_subgraph(graph, subset).num_associations()
+            == subgraph_association_count(graph, subset)
+        )
+
+    @given(graph=graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_incident_count_bounded_by_total(self, graph):
+        nodes = list(graph.left_nodes())
+        assert 0 <= graph.associations_incident_to(nodes) <= graph.num_associations()
+        assert graph.associations_incident_to(graph.nodes()) == graph.num_associations()
+
+    @given(graph=graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_copy_equivalence(self, graph):
+        clone = graph.copy()
+        assert set(clone.associations()) == set(graph.associations())
+        assert clone.num_nodes() == graph.num_nodes()

@@ -1,0 +1,75 @@
+"""Property-based tests for partitions, hierarchies and specialization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.builders import from_association_list
+from repro.grouping.partition import Partition
+from repro.grouping.specialization import SpecializationConfig, Specializer
+from repro.privacy.sensitivity import group_count_sensitivity
+
+lefts = st.integers(min_value=0, max_value=12).map(lambda i: f"L{i}")
+rights = st.integers(min_value=0, max_value=12).map(lambda j: f"R{j}")
+association_lists = st.lists(st.tuples(lefts, rights), min_size=1, max_size=80)
+
+
+class TestPartitionProperties:
+    @given(elements=st.sets(st.integers(0, 200), min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_singletons_cover_and_are_disjoint(self, elements):
+        partition = Partition.singletons(elements)
+        assert partition.universe() == frozenset(elements)
+        assert partition.num_groups() == len(elements)
+        assert partition.max_group_size() == 1
+
+    @given(elements=st.sets(st.integers(0, 200), min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_trivial_partition(self, elements):
+        partition = Partition.trivial(elements)
+        assert partition.num_groups() == 1
+        assert partition.max_group_size() == len(elements)
+
+    @given(elements=st.sets(st.text(min_size=1, max_size=3), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_dict_round_trip(self, elements):
+        partition = Partition.singletons(elements)
+        back = Partition.from_dict(partition.to_dict())
+        assert back.universe() == partition.universe()
+
+
+class TestSpecializationProperties:
+    @given(pairs=association_lists, seed=st.integers(0, 1000), levels=st.integers(2, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_hierarchy_invariants_hold_for_random_graphs(self, pairs, seed, levels):
+        graph = from_association_list(pairs)
+        config = SpecializationConfig(num_levels=levels, epsilon=0.5)
+        result = Specializer(config=config, rng=seed).build(graph)
+        hierarchy = result.hierarchy
+        hierarchy.validate()
+        universe = frozenset(graph.nodes())
+        # Every level is a partition of the full universe.
+        for level in hierarchy.level_indices():
+            assert hierarchy.partition_at(level).universe() == universe
+        # Bottom level is singletons, top level a single group.
+        assert hierarchy.partition_at(hierarchy.top_level).num_groups() == 1
+        assert all(g.is_singleton() for g in hierarchy.partition_at(0).groups())
+
+    @given(pairs=association_lists, seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_group_sensitivity_monotone_across_levels(self, pairs, seed):
+        graph = from_association_list(pairs)
+        config = SpecializationConfig(num_levels=4, epsilon=0.5)
+        hierarchy = Specializer(config=config, rng=seed).build(graph).hierarchy
+        values = [
+            group_count_sensitivity(graph, hierarchy.partition_at(level))
+            for level in hierarchy.level_indices()
+        ]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    @given(pairs=association_lists, seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_top_level_sensitivity_is_total_count(self, pairs, seed):
+        graph = from_association_list(pairs)
+        hierarchy = Specializer(config=SpecializationConfig(num_levels=3), rng=seed).build(graph).hierarchy
+        top = group_count_sensitivity(graph, hierarchy.partition_at(hierarchy.top_level))
+        assert top == max(1, graph.num_associations())

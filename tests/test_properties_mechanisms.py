@@ -1,0 +1,122 @@
+"""Property-based tests for DP mechanisms and accounting arithmetic."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accounting.composition import basic_composition, parallel_composition
+from repro.mechanisms.base import PrivacyCost
+from repro.mechanisms.calibration import analytic_gaussian_sigma, gaussian_sigma, laplace_scale
+from repro.mechanisms.exponential import ExponentialMechanism
+from repro.mechanisms.gaussian import GaussianMechanism
+from repro.mechanisms.laplace import LaplaceMechanism
+
+epsilons = st.floats(min_value=0.01, max_value=10.0, allow_nan=False)
+deltas = st.floats(min_value=1e-10, max_value=0.1, allow_nan=False)
+sensitivities = st.floats(min_value=0.01, max_value=1e6, allow_nan=False)
+
+
+class TestCalibrationProperties:
+    @given(epsilon=epsilons, sensitivity=sensitivities)
+    @settings(max_examples=80, deadline=None)
+    def test_laplace_scale_positive_and_monotone(self, epsilon, sensitivity):
+        scale = laplace_scale(epsilon, sensitivity)
+        assert scale > 0
+        assert laplace_scale(epsilon / 2, sensitivity) > scale
+        assert laplace_scale(epsilon, sensitivity * 2) > scale
+
+    @given(epsilon=epsilons, delta=deltas, sensitivity=sensitivities)
+    @settings(max_examples=80, deadline=None)
+    def test_gaussian_sigma_positive_and_linear_in_sensitivity(self, epsilon, delta, sensitivity):
+        sigma = gaussian_sigma(epsilon, delta, sensitivity)
+        assert sigma > 0
+        assert gaussian_sigma(epsilon, delta, 2 * sensitivity) == np.float64(2 * sigma) or math.isclose(
+            gaussian_sigma(epsilon, delta, 2 * sensitivity), 2 * sigma, rel_tol=1e-9
+        )
+
+    @given(epsilon=st.floats(min_value=0.05, max_value=3.0), delta=deltas)
+    @settings(max_examples=30, deadline=None)
+    def test_analytic_not_worse_than_classic_below_one(self, epsilon, delta):
+        # The classic formula is only stated for epsilon < 1; restrict there.
+        if epsilon < 1.0:
+            assert analytic_gaussian_sigma(epsilon, delta, 1.0) <= gaussian_sigma(epsilon, delta, 1.0) + 1e-9
+        else:
+            assert analytic_gaussian_sigma(epsilon, delta, 1.0) > 0
+
+
+class TestMechanismProperties:
+    @given(epsilon=epsilons, sensitivity=st.floats(min_value=0.1, max_value=100.0), seed=st.integers(0, 2**20))
+    @settings(max_examples=40, deadline=None)
+    def test_laplace_output_is_finite(self, epsilon, sensitivity, seed):
+        mech = LaplaceMechanism(epsilon, sensitivity, rng=seed)
+        assert math.isfinite(mech.randomise(123.0))
+
+    @given(epsilon=epsilons, delta=deltas, seed=st.integers(0, 2**20))
+    @settings(max_examples=40, deadline=None)
+    def test_gaussian_output_is_finite(self, epsilon, delta, seed):
+        mech = GaussianMechanism(epsilon, delta, 1.0, rng=seed)
+        out = mech.randomise(np.array([1.0, 2.0, 3.0]))
+        assert np.all(np.isfinite(out))
+
+    @given(
+        scores=st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=10),
+        epsilon=epsilons,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_exponential_probabilities_form_distribution(self, scores, epsilon):
+        mech = ExponentialMechanism(epsilon=epsilon)
+        probs = mech.selection_probabilities(scores)
+        assert np.all(probs >= 0)
+        assert probs.sum() == np.float64(1.0) or math.isclose(float(probs.sum()), 1.0, rel_tol=1e-9)
+
+    @given(
+        scores=st.lists(st.floats(min_value=-50, max_value=50), min_size=2, max_size=8),
+        epsilon=epsilons,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_exponential_respects_privacy_ratio_bound(self, scores, epsilon):
+        # For any two candidates, the probability ratio is bounded by
+        # exp(epsilon * |score difference| / (2 * sensitivity)).
+        mech = ExponentialMechanism(epsilon=epsilon, score_sensitivity=1.0)
+        probs = mech.selection_probabilities(scores)
+        for i in range(len(scores)):
+            for j in range(len(scores)):
+                if probs[j] == 0:
+                    continue
+                bound = math.exp(epsilon * abs(scores[i] - scores[j]) / 2.0)
+                assert probs[i] / probs[j] <= bound * (1 + 1e-9)
+
+
+class TestAccountingProperties:
+    costs = st.lists(
+        st.builds(
+            PrivacyCost,
+            st.floats(min_value=0.0, max_value=5.0),
+            st.floats(min_value=0.0, max_value=0.01),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+
+    @given(costs=costs)
+    @settings(max_examples=60, deadline=None)
+    def test_parallel_never_exceeds_basic(self, costs):
+        parallel = parallel_composition(costs)
+        basic = basic_composition(costs)
+        assert parallel.epsilon <= basic.epsilon + 1e-12
+        assert parallel.delta <= basic.delta + 1e-12
+
+    @given(costs=costs)
+    @settings(max_examples=60, deadline=None)
+    def test_basic_composition_is_sum(self, costs):
+        total = basic_composition(costs)
+        assert math.isclose(total.epsilon, sum(c.epsilon for c in costs), rel_tol=1e-9)
+
+    @given(costs=costs)
+    @settings(max_examples=60, deadline=None)
+    def test_composition_order_invariance(self, costs):
+        total_fwd = basic_composition(costs)
+        total_rev = basic_composition(list(reversed(costs)))
+        assert math.isclose(total_fwd.epsilon, total_rev.epsilon, rel_tol=1e-9)

@@ -1,0 +1,75 @@
+"""Tests of the top-level public API surface.
+
+These guard the package's import contract: everything advertised in
+``repro.__all__`` must be importable from ``repro`` directly, carry a
+docstring, and the version string must follow semantic versioning.
+"""
+
+import re
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_is_semver(self):
+        assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists {name!r} but it is not importable"
+
+    def test_key_entry_points_exported(self):
+        for name in (
+            "BipartiteGraph",
+            "MultiLevelDiscloser",
+            "DisclosureConfig",
+            "MultiLevelRelease",
+            "GraphPublisher",
+            "AccessPolicy",
+            "GroupHierarchy",
+            "Specializer",
+            "GaussianMechanism",
+            "ExponentialMechanism",
+            "GroupPrivacyGuarantee",
+            "generate_dblp_like",
+            "verify_release",
+        ):
+            assert name in repro.__all__
+
+    def test_public_objects_have_docstrings(self):
+        undocumented = [
+            name
+            for name in repro.__all__
+            if name != "__version__" and not (getattr(repro, name).__doc__ or "").strip()
+        ]
+        assert not undocumented, f"missing docstrings: {undocumented}"
+
+    def test_subpackages_importable(self):
+        import importlib
+
+        for module in (
+            "repro.graphs",
+            "repro.datasets",
+            "repro.mechanisms",
+            "repro.privacy",
+            "repro.accounting",
+            "repro.grouping",
+            "repro.queries",
+            "repro.core",
+            "repro.baselines",
+            "repro.evaluation",
+            "repro.cli",
+        ):
+            assert importlib.import_module(module) is not None
+
+    def test_no_accidental_wildcard_reexports(self):
+        # Every __all__ entry must be defined in a repro submodule, not leak
+        # from numpy/networkx.
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            obj = getattr(repro, name)
+            module = getattr(obj, "__module__", "repro")
+            assert module.startswith("repro"), f"{name} leaks from {module}"

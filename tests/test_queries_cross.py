@@ -1,0 +1,104 @@
+"""Tests for the cross-group count matrix query."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.grouping.partition import Group, Partition
+from repro.queries.cross import CrossGroupCountQuery
+
+
+@pytest.fixture
+def partitions(tiny_graph):
+    left = Partition(
+        [
+            Group("high-use", ["bob", "dave"], side="left"),
+            Group("low-use", ["carol", "erin"], side="left"),
+        ]
+    )
+    right = Partition(
+        [
+            Group("chronic", ["insulin", "statin"], side="right"),
+            Group("acute", ["aspirin", "zoloft"], side="right"),
+        ]
+    )
+    return left, right
+
+
+class TestCrossGroupCountQuery:
+    def test_true_matrix(self, tiny_graph, partitions):
+        left, right = partitions
+        query = CrossGroupCountQuery(left, right)
+        matrix = query.true_matrix(tiny_graph)
+        # high-use x chronic: bob-insulin, dave-statin = 2
+        # high-use x acute: bob-aspirin, dave-aspirin = 2
+        # low-use x chronic: carol-insulin = 1 ; low-use x acute: 0
+        assert matrix.tolist() == [[2.0, 2.0], [1.0, 0.0]]
+
+    def test_matrix_sums_to_total_when_partitions_cover(self, tiny_graph, partitions):
+        left, right = partitions
+        matrix = CrossGroupCountQuery(left, right).true_matrix(tiny_graph)
+        assert matrix.sum() == tiny_graph.num_associations()
+
+    def test_evaluate_labels(self, tiny_graph, partitions):
+        left, right = partitions
+        answer = CrossGroupCountQuery(left, right).evaluate(tiny_graph)
+        assert "high-use|chronic" in answer.labels
+        assert answer.values.size == 4
+
+    def test_uncovered_associations_ignored(self, tiny_graph):
+        left = Partition([Group("only-bob", ["bob"], side="left")])
+        right = Partition([Group("only-insulin", ["insulin"], side="right")])
+        matrix = CrossGroupCountQuery(left, right).true_matrix(tiny_graph)
+        assert matrix.tolist() == [[1.0]]
+
+    def test_overlapping_partitions_rejected(self, tiny_graph):
+        left = Partition([Group("g", ["bob"])])
+        right = Partition([Group("h", ["bob", "insulin"])])
+        with pytest.raises(ValidationError):
+            CrossGroupCountQuery(left, right)
+
+    def test_individual_sensitivity(self, tiny_graph, partitions):
+        left, right = partitions
+        query = CrossGroupCountQuery(left, right)
+        assert query.l1_sensitivity(tiny_graph, "individual") == 1.0
+
+    def test_group_sensitivity_matches_incident_bound(self, tiny_graph, partitions, tiny_partition):
+        left, right = partitions
+        query = CrossGroupCountQuery(left, right)
+        assert query.l1_sensitivity(tiny_graph, "group", partition=tiny_partition) == 5.0
+
+    def test_answer_as_matrix_round_trip(self, tiny_graph, partitions):
+        left, right = partitions
+        query = CrossGroupCountQuery(left, right)
+        answer = query.evaluate(tiny_graph)
+        mapping = query.answer_as_matrix(answer.as_dict())
+        assert mapping[("high-use", "chronic")] == 2.0
+        assert mapping[("low-use", "acute")] == 0.0
+
+    def test_malformed_label_rejected(self, tiny_graph, partitions):
+        left, right = partitions
+        query = CrossGroupCountQuery(left, right)
+        with pytest.raises(ValidationError):
+            query.answer_as_matrix({"no-separator": 1.0})
+
+    def test_from_attributes(self, pharmacy_graph):
+        query = CrossGroupCountQuery.from_attributes(pharmacy_graph, "zipcode", "category")
+        matrix = query.true_matrix(pharmacy_graph)
+        assert matrix.sum() == pharmacy_graph.num_associations()
+        assert matrix.shape[0] == len({
+            pharmacy_graph.node_attributes(p)["zipcode"] for p in pharmacy_graph.left_nodes()
+        })
+
+    def test_noisy_release_through_discloser(self, pharmacy_graph):
+        from repro.core.config import DisclosureConfig
+        from repro.core.discloser import MultiLevelDiscloser
+        from repro.grouping.specialization import SpecializationConfig
+
+        query = CrossGroupCountQuery.from_attributes(pharmacy_graph, "zipcode", "category")
+        config = DisclosureConfig(
+            epsilon_g=2.0, specialization=SpecializationConfig(num_levels=3), release_levels=[1]
+        )
+        release = MultiLevelDiscloser(config=config, queries=query, rng=1).disclose(pharmacy_graph)
+        answer = release.level(1).answer("cross_group_count")
+        assert len(answer) == query.true_matrix(pharmacy_graph).size

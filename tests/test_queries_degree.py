@@ -1,0 +1,55 @@
+"""Tests for the degree-histogram query."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.bipartite import Side
+from repro.grouping.partition import Group, Partition
+from repro.queries.degree import DegreeHistogramQuery
+
+
+class TestDegreeHistogramQuery:
+    def test_evaluate_left_side(self, tiny_graph):
+        answer = DegreeHistogramQuery(side=Side.LEFT, max_degree=3).evaluate(tiny_graph)
+        histogram = answer.as_dict()
+        assert histogram["degree=0"] == 1  # erin
+        assert histogram["degree=1"] == 1  # carol
+        assert histogram["degree=2"] == 2  # bob, dave
+        assert histogram["degree>=3"] == 0
+
+    def test_counts_sum_to_side_size(self, dblp_graph):
+        answer = DegreeHistogramQuery(side=Side.LEFT, max_degree=20).evaluate(dblp_graph)
+        assert int(answer.values.sum()) == dblp_graph.num_left()
+
+    def test_clamping_into_last_bin(self, tiny_graph):
+        answer = DegreeHistogramQuery(side=Side.LEFT, max_degree=1).evaluate(tiny_graph)
+        histogram = answer.as_dict()
+        assert histogram["degree>=1"] == 3  # carol, bob, dave all clamp to >=1
+
+    def test_individual_sensitivity(self, tiny_graph):
+        assert DegreeHistogramQuery().l1_sensitivity(tiny_graph, "individual") == 2.0
+
+    def test_node_sensitivity(self, tiny_graph):
+        query = DegreeHistogramQuery(max_degree=5)
+        assert query.l1_sensitivity(tiny_graph, "node") == 1.0 + 2.0 * 5
+
+    def test_group_sensitivity_bounded_by_group_mass(self, tiny_graph):
+        partition = Partition(
+            [Group("g1", ["bob", "carol"]), Group("g2", ["dave", "erin", "insulin", "aspirin", "statin", "zoloft"])]
+        )
+        query = DegreeHistogramQuery(side=Side.LEFT, max_degree=5)
+        sensitivity = query.l1_sensitivity(tiny_graph, "group", partition=partition)
+        # g2 = {dave, erin, insulin, aspirin, statin, zoloft} touches 5 of the
+        # 5 associations (all except none: dave-statin, dave-aspirin,
+        # bob-insulin, carol-insulin, bob-aspirin) and contains 2 left nodes,
+        # so the bound is 2 + 2*5 = 12.
+        assert sensitivity == 12.0
+
+    def test_l2_sensitivity_is_sqrt_of_l1(self, tiny_graph):
+        query = DegreeHistogramQuery(max_degree=5)
+        l1 = query.l1_sensitivity(tiny_graph, "individual")
+        assert query.l2_sensitivity(tiny_graph, "individual") == pytest.approx(np.sqrt(l1))
+
+    def test_invalid_max_degree(self):
+        with pytest.raises(ValueError):
+            DegreeHistogramQuery(max_degree=0)

@@ -1,0 +1,45 @@
+"""Tests for query workloads."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.queries.counts import TotalAssociationCountQuery
+from repro.queries.degree import DegreeHistogramQuery
+from repro.queries.workload import QueryWorkload
+
+
+class TestQueryWorkload:
+    def test_evaluate_returns_all_queries(self, tiny_graph):
+        workload = QueryWorkload([TotalAssociationCountQuery(), DegreeHistogramQuery(max_degree=3)])
+        answers = workload.evaluate(tiny_graph)
+        assert set(answers) == {"total_association_count", "degree_histogram"}
+
+    def test_sensitivity_is_sum_of_members(self, tiny_graph, tiny_partition):
+        count = TotalAssociationCountQuery()
+        degree = DegreeHistogramQuery(max_degree=3)
+        workload = QueryWorkload([count, degree])
+        expected = count.l1_sensitivity(tiny_graph, "group", partition=tiny_partition) + degree.l1_sensitivity(
+            tiny_graph, "group", partition=tiny_partition
+        )
+        assert workload.l1_sensitivity(tiny_graph, "group", partition=tiny_partition) == expected
+
+    def test_l2_sensitivity_sums_members(self, tiny_graph):
+        workload = QueryWorkload([TotalAssociationCountQuery(), DegreeHistogramQuery(max_degree=3)])
+        assert workload.l2_sensitivity(tiny_graph, "individual") > 0
+
+    def test_num_answers(self, tiny_graph):
+        workload = QueryWorkload([TotalAssociationCountQuery(), DegreeHistogramQuery(max_degree=3)])
+        assert workload.num_answers(tiny_graph) == 1 + 4
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValidationError):
+            QueryWorkload([])
+
+    def test_duplicate_query_names_rejected(self):
+        with pytest.raises(ValidationError):
+            QueryWorkload([TotalAssociationCountQuery(), TotalAssociationCountQuery()])
+
+    def test_len_and_iter(self):
+        workload = QueryWorkload([TotalAssociationCountQuery()])
+        assert len(workload) == 1
+        assert [q.name for q in workload] == ["total_association_count"]

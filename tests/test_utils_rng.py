@@ -1,0 +1,93 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, derive_rng, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_returns_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = as_rng(123).uniform(size=5)
+        b = as_rng(123).uniform(size=5)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_rng(1).uniform(size=5)
+        b = as_rng(2).uniform(size=5)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        assert isinstance(as_rng(seq), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            as_rng("not-a-seed")
+
+
+class TestDeriveRng:
+    def test_same_seed_same_key_reproducible(self):
+        a = derive_rng(99, "phase1").uniform(size=4)
+        b = derive_rng(99, "phase1").uniform(size=4)
+        assert np.allclose(a, b)
+
+    def test_different_keys_independent(self):
+        a = derive_rng(99, "phase1").uniform(size=4)
+        b = derive_rng(99, "phase2").uniform(size=4)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = derive_rng(1, "k").uniform(size=4)
+        b = derive_rng(2, "k").uniform(size=4)
+        assert not np.allclose(a, b)
+
+    def test_derive_from_generator(self):
+        parent = np.random.default_rng(5)
+        child = derive_rng(parent, "child")
+        assert isinstance(child, np.random.Generator)
+
+    def test_derive_from_none(self):
+        assert isinstance(derive_rng(None, "x"), np.random.Generator)
+
+    def test_derive_from_seed_sequence(self):
+        seq = np.random.SeedSequence(3)
+        a = derive_rng(seq, "k").uniform(size=3)
+        b = derive_rng(np.random.SeedSequence(3), "k").uniform(size=3)
+        assert np.allclose(a, b)
+
+    def test_invalid_parent_raises(self):
+        with pytest.raises(TypeError):
+            derive_rng(object(), "k")
+
+
+class TestSpawnRngs:
+    def test_one_per_key(self):
+        rngs = spawn_rngs(0, ["a", "b", "c"])
+        assert len(rngs) == 3
+        assert all(isinstance(r, np.random.Generator) for r in rngs)
+
+    def test_reproducible_per_key(self):
+        first = spawn_rngs(42, ["a", "b"])
+        second = spawn_rngs(42, ["a", "b"])
+        for x, y in zip(first, second):
+            assert np.allclose(x.uniform(size=3), y.uniform(size=3))
+
+    def test_keys_produce_distinct_streams(self):
+        a, b = spawn_rngs(42, ["a", "b"])
+        assert not np.allclose(a.uniform(size=5), b.uniform(size=5))
+
+    def test_none_parent_gives_fresh_generators(self):
+        rngs = spawn_rngs(None, ["a", "b"])
+        assert len(rngs) == 2
+
+    def test_invalid_parent_raises(self):
+        with pytest.raises(TypeError):
+            spawn_rngs(3.5, ["a"])

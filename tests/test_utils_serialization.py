@@ -1,0 +1,61 @@
+"""Tests for repro.utils.serialization."""
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import from_json_file, to_json_file, to_jsonable
+
+
+class TestToJsonable:
+    def test_passthrough_scalars(self):
+        assert to_jsonable(3) == 3
+        assert to_jsonable(2.5) == 2.5
+        assert to_jsonable("x") == "x"
+        assert to_jsonable(None) is None
+        assert to_jsonable(True) is True
+
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int64(4)) == 4
+        assert isinstance(to_jsonable(np.int64(4)), int)
+        assert to_jsonable(np.float64(1.5)) == 1.5
+        assert to_jsonable(np.bool_(True)) is True
+
+    def test_numpy_array(self):
+        assert to_jsonable(np.array([1, 2, 3])) == [1, 2, 3]
+
+    def test_nested_structures(self):
+        data = {"a": [np.float64(1.0), {"b": (1, 2)}], "c": {4, 5} }
+        result = to_jsonable(data)
+        assert result["a"][0] == 1.0
+        assert result["a"][1]["b"] == [1, 2]
+        assert sorted(result["c"]) == [4, 5]
+
+    def test_non_string_keys_are_stringified(self):
+        result = to_jsonable({(1, 2): "pair", np.int64(3): "n"})
+        assert result["(1, 2)"] == "pair"
+        assert result[3] == "n"
+
+    def test_object_with_to_dict(self):
+        class Thing:
+            def to_dict(self):
+                return {"value": np.int64(7)}
+
+        assert to_jsonable(Thing()) == {"value": 7}
+
+    def test_unserialisable_raises(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+
+class TestJsonFileRoundTrip:
+    def test_round_trip(self, tmp_path):
+        payload = {"rows": [{"x": 1, "y": np.float64(2.0)}], "name": "demo"}
+        path = to_json_file(payload, tmp_path / "out" / "result.json")
+        assert path.exists()
+        loaded = from_json_file(path)
+        assert loaded["name"] == "demo"
+        assert loaded["rows"][0]["y"] == 2.0
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = to_json_file({"a": 1}, tmp_path / "deep" / "nested" / "f.json")
+        assert path.exists()

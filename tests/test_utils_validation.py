@@ -1,0 +1,113 @@
+"""Tests for repro.utils.validation."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+    check_type,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive_float(self):
+        assert check_positive(0.5, "x") == 0.5
+
+    def test_accepts_positive_int(self):
+        assert check_positive(3, "x") == 3.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError, match="x"):
+            check_positive(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_positive(-1.0, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_positive(math.nan, "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            check_positive(math.inf, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(ValidationError):
+            check_positive("1", "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive(True, "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0, "x") == 0.0
+
+    def test_accepts_positive(self):
+        assert check_non_negative(2.5, "x") == 2.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_non_negative(-0.1, "x")
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int(4, "n") == 4
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(0, "n")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(2.0, "n")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(True, "n")
+
+
+class TestCheckProbability:
+    def test_accepts_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValidationError):
+            check_probability(1.1, "p")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_probability(-0.2, "p")
+
+
+class TestCheckFraction:
+    def test_accepts_interior_value(self):
+        assert check_fraction(0.3, "f") == 0.3
+
+    def test_rejects_zero_and_one(self):
+        with pytest.raises(ValidationError):
+            check_fraction(0.0, "f")
+        with pytest.raises(ValidationError):
+            check_fraction(1.0, "f")
+
+
+class TestCheckType:
+    def test_accepts_matching_type(self):
+        assert check_type("abc", str, "s") == "abc"
+
+    def test_accepts_tuple_of_types(self):
+        assert check_type(5, (int, float), "n") == 5
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(ValidationError, match="s must be of type str"):
+            check_type(1, str, "s")
