@@ -1,0 +1,158 @@
+"""Reference vs vectorized engine wall-time on the scalability sizes.
+
+Writes ``benchmarks/results/engines.json`` so the perf trajectory of the
+vectorized execution layer is recorded run over run.  Two measurements per
+graph size:
+
+* **workload evaluation** — the four-query workload (total count, per-group
+  induced counts, degree histogram, cross-group matrix) answered by the
+  reference per-group/per-edge Python path vs one compiled
+  :class:`~repro.graphs.arrays.GraphArrays` pass;
+* **noise injection** — per-answer ``randomise`` loops vs one batched
+  ``randomise_many`` draw.
+
+The full sweep is marked ``slow`` (run with ``pytest -m slow``); a small
+smoke size stays in tier 1 so the comparison machinery itself is always
+exercised.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import pytest
+
+from benchmarks.conftest import save_text
+from repro.datasets.dblp_like import generate_dblp_like
+from repro.graphs.bipartite import BipartiteGraph, Side
+from repro.grouping.partition import Partition
+from repro.mechanisms.laplace import LaplaceMechanism
+from repro.queries.counts import GroupedAssociationCountQuery, TotalAssociationCountQuery
+from repro.queries.cross import CrossGroupCountQuery
+from repro.queries.degree import DegreeHistogramQuery
+from repro.queries.workload import QueryWorkload
+from repro.utils.serialization import to_json_file
+
+#: Author counts mirroring the scalability experiment.
+AUTHOR_COUNTS = (500, 1_000, 2_000, 4_000)
+
+#: Nodes per group in the benchmark partitions.
+GROUP_SIZE = 25
+
+
+def _chunk_partition(nodes: List, prefix: str) -> Partition:
+    mapping = {
+        f"{prefix}{index}": nodes[start : start + GROUP_SIZE]
+        for index, start in enumerate(range(0, len(nodes), GROUP_SIZE))
+    }
+    return Partition.from_mapping(mapping)
+
+
+def _build_workload(graph: BipartiteGraph) -> QueryWorkload:
+    left = list(graph.left_nodes())
+    right = list(graph.right_nodes())
+    return QueryWorkload(
+        [
+            TotalAssociationCountQuery(),
+            GroupedAssociationCountQuery(_chunk_partition(left + right, "g")),
+            DegreeHistogramQuery(side=Side.LEFT, max_degree=50),
+            CrossGroupCountQuery(_chunk_partition(left, "L"), _chunk_partition(right, "R")),
+        ],
+        name="engine-benchmark",
+    )
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measure_size(num_authors: int) -> Dict[str, float]:
+    graph = generate_dblp_like(num_authors=num_authors, seed=3)
+    workload = _build_workload(graph)
+
+    reference_seconds = _best_of(lambda: workload.evaluate(graph))
+
+    compile_start = time.perf_counter()
+    arrays = graph.arrays()
+    compile_seconds = time.perf_counter() - compile_start
+    vectorized_seconds = _best_of(lambda: workload.evaluate_batch(graph, arrays=arrays))
+
+    # Parity double-check inside the benchmark: speed must not change answers.
+    reference_answers = workload.evaluate(graph)
+    vectorized_answers = workload.evaluate_batch(graph, arrays=arrays)
+    for name, answer in reference_answers.items():
+        assert answer.as_dict() == vectorized_answers[name].as_dict()
+
+    answers = [a.values for a in reference_answers.values()]
+
+    def noise_reference():
+        mech = LaplaceMechanism(epsilon=0.5, sensitivity=2.0, rng=0)
+        for values in answers:
+            mech.randomise(values)
+
+    def noise_batched():
+        LaplaceMechanism(epsilon=0.5, sensitivity=2.0, rng=0).randomise_many(answers)
+
+    return {
+        "num_authors": float(graph.num_left()),
+        "num_associations": float(graph.num_associations()),
+        "num_answers": float(sum(a.size for a in answers)),
+        "workload_reference_seconds": reference_seconds,
+        "workload_vectorized_seconds": vectorized_seconds,
+        "arrays_compile_seconds": compile_seconds,
+        "workload_speedup": reference_seconds / max(vectorized_seconds, 1e-9),
+        "noise_reference_seconds": _best_of(noise_reference, repeats=5),
+        "noise_batched_seconds": _best_of(noise_batched, repeats=5),
+    }
+
+
+def _format_table(rows: List[Dict[str, float]]) -> str:
+    header = (
+        f"{'authors':>9} {'assoc':>9} {'ref_s':>10} {'vec_s':>10} "
+        f"{'compile_s':>10} {'speedup':>9}"
+    )
+    lines = [header]
+    for row in rows:
+        lines.append(
+            f"{int(row['num_authors']):>9} {int(row['num_associations']):>9} "
+            f"{row['workload_reference_seconds']:>10.4f} {row['workload_vectorized_seconds']:>10.4f} "
+            f"{row['arrays_compile_seconds']:>10.4f} {row['workload_speedup']:>8.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def test_bench_engine_smoke(results_dir):
+    """Tier-1 smoke: the comparison harness runs and the engines agree."""
+    row = _measure_size(300)
+    assert row["workload_reference_seconds"] > 0
+    assert row["workload_vectorized_seconds"] > 0
+
+
+@pytest.mark.slow
+def test_bench_engines(results_dir):
+    """Full sweep over the scalability sizes; records the speedup trajectory."""
+    rows = [_measure_size(num_authors) for num_authors in AUTHOR_COUNTS]
+
+    payload = {
+        "author_counts": list(AUTHOR_COUNTS),
+        "group_size": GROUP_SIZE,
+        "rows": rows,
+    }
+    to_json_file(payload, results_dir / "engines.json")
+    save_text(results_dir / "engines.txt", _format_table(rows))
+    print()
+    print(_format_table(rows))
+
+    largest = rows[-1]
+    assert largest["workload_speedup"] >= 5.0, (
+        f"vectorized workload evaluation is only {largest['workload_speedup']:.1f}x faster "
+        f"on the largest graph ({int(largest['num_authors'])} authors); expected >= 5x"
+    )
+    # Batched noise must never be slower than the per-answer loop at scale.
+    assert largest["noise_batched_seconds"] <= largest["noise_reference_seconds"] * 1.5

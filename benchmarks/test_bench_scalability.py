@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import os
 
+import pytest
+
 from benchmarks.conftest import save_text
 from repro.evaluation.scalability import run_scalability
 from repro.utils.serialization import to_json_file
@@ -20,6 +22,7 @@ if os.environ.get("REPRO_BENCH_SCALE") in ("medium", "paper"):
     AUTHOR_COUNTS = (1_000, 4_000, 16_000, 50_000)
 
 
+@pytest.mark.slow
 def test_bench_scalability_pipeline(benchmark, results_dir):
     """Wall-clock of specialization + noise injection vs graph size."""
     result = benchmark.pedantic(

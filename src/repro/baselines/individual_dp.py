@@ -12,8 +12,6 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Union
 
-import numpy as np
-
 from repro.core.release import LevelRelease, MultiLevelRelease
 from repro.graphs.bipartite import BipartiteGraph
 from repro.grouping.hierarchy import GroupHierarchy
@@ -24,9 +22,9 @@ from repro.privacy.conversion import group_guarantee_from_individual
 from repro.privacy.guarantees import IndividualPrivacyGuarantee, PrivacyUnit
 from repro.queries.base import Query
 from repro.queries.counts import TotalAssociationCountQuery
-from repro.queries.workload import QueryWorkload
+from repro.queries.workload import QueryWorkload, noisy_workload_answers
 from repro.utils.rng import RandomState, derive_rng
-from repro.utils.validation import check_fraction, check_positive
+from repro.utils.validation import check_engine, check_fraction, check_positive
 
 
 class IndividualDPDiscloser:
@@ -53,12 +51,14 @@ class IndividualDPDiscloser:
         mechanism: str = "laplace",
         queries: Union[None, Query, Iterable[Query], QueryWorkload] = None,
         rng: RandomState = None,
+        engine: str = "vectorized",
     ):
         self.epsilon_i = check_positive(epsilon_i, "epsilon_i")
         self.delta = check_fraction(delta, "delta")
         if mechanism not in ("laplace", "gaussian"):
             raise ValueError(f"mechanism must be 'laplace' or 'gaussian', got {mechanism!r}")
         self.mechanism = mechanism
+        self.engine = check_engine(engine)
         if queries is None:
             self.workload = QueryWorkload([TotalAssociationCountQuery()], name="individual-baseline")
         elif isinstance(queries, QueryWorkload):
@@ -82,11 +82,11 @@ class IndividualDPDiscloser:
             else self.workload.l1_sensitivity(graph, adjacency="individual")
         )
         mech = self._make_mechanism(sensitivity)
-        answers: Dict[str, Dict[str, float]] = {}
-        for name, answer in self.workload.evaluate(graph).items():
-            noisy = np.atleast_1d(np.asarray(mech.randomise(answer.values), dtype=float))
-            answers[name] = {label: float(v) for label, v in zip(answer.labels, noisy)}
-        return answers
+        batched = self.engine == "vectorized"
+        true_answers = (
+            self.workload.evaluate_batch(graph) if batched else self.workload.evaluate(graph)
+        )
+        return noisy_workload_answers(mech, true_answers, batched=batched)
 
     def guarantee(self) -> IndividualPrivacyGuarantee:
         """The record-level guarantee of :meth:`disclose`."""

@@ -14,8 +14,6 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Union
 
-import numpy as np
-
 from repro.core.release import LevelRelease, MultiLevelRelease
 from repro.graphs.bipartite import BipartiteGraph
 from repro.grouping.hierarchy import GroupHierarchy
@@ -26,9 +24,9 @@ from repro.privacy.guarantees import GroupPrivacyGuarantee, PrivacyUnit
 from repro.privacy.sensitivity import node_count_sensitivity, scale_sensitivity
 from repro.queries.base import Query
 from repro.queries.counts import TotalAssociationCountQuery
-from repro.queries.workload import QueryWorkload
+from repro.queries.workload import QueryWorkload, noisy_workload_answers
 from repro.utils.rng import RandomState, derive_rng
-from repro.utils.validation import check_fraction, check_positive
+from repro.utils.validation import check_engine, check_fraction, check_positive
 
 
 class NaiveGroupDPDiscloser:
@@ -54,12 +52,14 @@ class NaiveGroupDPDiscloser:
         mechanism: str = "gaussian",
         queries: Union[None, Query, Iterable[Query], QueryWorkload] = None,
         rng: RandomState = None,
+        engine: str = "vectorized",
     ):
         self.epsilon_g = check_positive(epsilon_g, "epsilon_g")
         self.delta = check_fraction(delta, "delta")
         if mechanism not in ("laplace", "gaussian"):
             raise ValueError(f"mechanism must be 'laplace' or 'gaussian', got {mechanism!r}")
         self.mechanism = mechanism
+        self.engine = check_engine(engine)
         if queries is None:
             self.workload = QueryWorkload([TotalAssociationCountQuery()], name="naive-group-baseline")
         elif isinstance(queries, QueryWorkload):
@@ -91,17 +91,17 @@ class NaiveGroupDPDiscloser:
         """Release every requested level with lemma-calibrated noise."""
         if levels is None:
             levels = [level for level in hierarchy.level_indices() if level < hierarchy.top_level]
-        true_answers = self.workload.evaluate(graph)
+        batched = self.engine == "vectorized"
+        true_answers = (
+            self.workload.evaluate_batch(graph) if batched else self.workload.evaluate(graph)
+        )
         level_releases: Dict[int, LevelRelease] = {}
         for level in levels:
             partition = hierarchy.partition_at(level)
             sensitivity = self.level_sensitivity(graph, hierarchy, level)
             mech = self._make_mechanism(sensitivity)
             cost = mech.privacy_cost()
-            answers: Dict[str, Dict[str, float]] = {}
-            for name, answer in true_answers.items():
-                noisy = np.atleast_1d(np.asarray(mech.randomise(answer.values), dtype=float))
-                answers[name] = {label: float(v) for label, v in zip(answer.labels, noisy)}
+            answers = noisy_workload_answers(mech, true_answers, batched=batched)
             guarantee = GroupPrivacyGuarantee(
                 epsilon=cost.epsilon,
                 delta=cost.delta,

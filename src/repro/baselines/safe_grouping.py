@@ -20,7 +20,7 @@ from repro.exceptions import GroupingError
 from repro.graphs.bipartite import BipartiteGraph, Side
 from repro.grouping.partition import Group, Partition
 from repro.utils.rng import RandomState, as_rng
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import check_engine, check_positive_int
 
 Node = Hashable
 
@@ -73,9 +73,10 @@ class SafeGroupingDiscloser:
         Seed / generator driving the greedy insertion order.
     """
 
-    def __init__(self, k: int = 3, max_attempts: int = 50, rng: RandomState = None):
+    def __init__(self, k: int = 3, max_attempts: int = 50, rng: RandomState = None, engine: str = "vectorized"):
         self.k = check_positive_int(k, "k")
         self.max_attempts = check_positive_int(max_attempts, "max_attempts")
+        self.engine = check_engine(engine)
         self._rng = as_rng(rng)
 
     def _safe_groups(self, graph: BipartiteGraph, side: Side) -> List[List[Node]]:
@@ -125,12 +126,22 @@ class SafeGroupingDiscloser:
                 for j, members in enumerate(right_groups)
             ]
         )
-        left_of = {node: group.group_id for group in left_partition.groups() for node in group.members}
-        right_of = {node: group.group_id for group in right_partition.groups() for node in group.members}
         counts: Dict[Tuple[str, str], int] = {}
-        for left, right in graph.associations():
-            key = (left_of[left], right_of[right])
-            counts[key] = counts.get(key, 0) + 1
+        if self.engine == "vectorized":
+            # One bincount over the compiled edge arrays replaces the
+            # per-association Python loop.
+            matrix = graph.arrays().cross_group_matrix(left_partition, right_partition)
+            left_ids = left_partition.group_ids()
+            right_ids = right_partition.group_ids()
+            nonzero = matrix.nonzero()
+            for i, j, value in zip(*nonzero, matrix[nonzero]):
+                counts[(left_ids[i], right_ids[j])] = int(value)
+        else:
+            left_of = {node: group.group_id for group in left_partition.groups() for node in group.members}
+            right_of = {node: group.group_id for group in right_partition.groups() for node in group.members}
+            for left, right in graph.associations():
+                key = (left_of[left], right_of[right])
+                counts[key] = counts.get(key, 0) + 1
         return SafeGroupingRelease(
             dataset_name=graph.name,
             left_partition=left_partition,

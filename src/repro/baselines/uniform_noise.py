@@ -13,8 +13,6 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Union
 
-import numpy as np
-
 from repro.core.release import LevelRelease, MultiLevelRelease
 from repro.graphs.bipartite import BipartiteGraph
 from repro.grouping.hierarchy import GroupHierarchy
@@ -24,9 +22,9 @@ from repro.privacy.guarantees import GroupPrivacyGuarantee, PrivacyUnit
 from repro.privacy.sensitivity import group_count_sensitivity
 from repro.queries.base import Query
 from repro.queries.counts import TotalAssociationCountQuery
-from repro.queries.workload import QueryWorkload
+from repro.queries.workload import QueryWorkload, noisy_workload_answers
 from repro.utils.rng import RandomState, derive_rng
-from repro.utils.validation import check_fraction, check_positive
+from repro.utils.validation import check_engine, check_fraction, check_positive
 
 
 class UniformNoiseDiscloser:
@@ -38,9 +36,11 @@ class UniformNoiseDiscloser:
         delta: float = 1e-5,
         queries: Union[None, Query, Iterable[Query], QueryWorkload] = None,
         rng: RandomState = None,
+        engine: str = "vectorized",
     ):
         self.epsilon_g = check_positive(epsilon_g, "epsilon_g")
         self.delta = check_fraction(delta, "delta")
+        self.engine = check_engine(engine)
         if queries is None:
             self.workload = QueryWorkload([TotalAssociationCountQuery()], name="uniform-noise-baseline")
         elif isinstance(queries, QueryWorkload):
@@ -62,16 +62,18 @@ class UniformNoiseDiscloser:
             levels = [level for level in hierarchy.level_indices() if level < hierarchy.top_level]
         levels = sorted(levels)
         coarsest = max(levels)
+        batched = self.engine == "vectorized"
+        if batched:
+            graph.arrays()  # compile once: sensitivity and evaluation share the view
         worst_sensitivity = group_count_sensitivity(graph, hierarchy.partition_at(coarsest))
-        true_answers = self.workload.evaluate(graph)
+        true_answers = (
+            self.workload.evaluate_batch(graph) if batched else self.workload.evaluate(graph)
+        )
         level_releases: Dict[int, LevelRelease] = {}
         for level in levels:
             partition = hierarchy.partition_at(level)
             mech = GaussianMechanism(self.epsilon_g, self.delta, worst_sensitivity, rng=self._rng)
-            answers: Dict[str, Dict[str, float]] = {}
-            for name, answer in true_answers.items():
-                noisy = np.atleast_1d(np.asarray(mech.randomise(answer.values), dtype=float))
-                answers[name] = {label: float(v) for label, v in zip(answer.labels, noisy)}
+            answers = noisy_workload_answers(mech, true_answers, batched=batched)
             guarantee = GroupPrivacyGuarantee(
                 epsilon=self.epsilon_g,
                 delta=self.delta,

@@ -7,7 +7,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.exceptions import ValidationError
 from repro.grouping.specialization import SpecializationConfig
-from repro.utils.validation import check_fraction, check_positive
+from repro.utils.validation import check_engine, check_fraction, check_positive
 
 #: Mechanisms supported by phase 2 (noise injection).
 SUPPORTED_MECHANISMS: Tuple[str, ...] = (
@@ -55,6 +55,17 @@ class DisclosureConfig:
         (``"uniform"``, ``"geometric"`` or ``"proportional"``).
     allocation_ratio:
         Ratio parameter of the geometric allocation.
+    engine:
+        ``"vectorized"`` (default) answers the workload through the compiled
+        :class:`~repro.graphs.arrays.GraphArrays` view and draws each level's
+        noise as one batched array; ``"reference"`` keeps the pure-Python
+        per-query path.  The two engines produce identical true answers, and
+        identical releases for the Gaussian/Laplace mechanism families under
+        the same seed (see ``tests/test_engine_parity.py``).  Note the
+        sensitivity/scoring fast paths are opportunistic — they key off
+        ``graph.cached_arrays()`` — so a reference-engine run on a graph
+        whose arrays were already compiled still uses the (value-identical)
+        array kernels; benchmark the engines on separate graph objects.
     """
 
     epsilon_g: float = 1.0
@@ -65,6 +76,7 @@ class DisclosureConfig:
     budget_mode: str = "per_level"
     allocation: str = "uniform"
     allocation_ratio: float = 2.0
+    engine: str = "vectorized"
 
     def __post_init__(self):
         check_positive(self.epsilon_g, "epsilon_g")
@@ -77,6 +89,7 @@ class DisclosureConfig:
             raise ValidationError(
                 f"budget_mode must be one of {SUPPORTED_BUDGET_MODES}, got {self.budget_mode!r}"
             )
+        check_engine(self.engine)
         if not isinstance(self.specialization, SpecializationConfig):
             raise ValidationError("specialization must be a SpecializationConfig")
         if self.release_levels is not None:
@@ -117,6 +130,7 @@ class DisclosureConfig:
             "budget_mode": self.budget_mode,
             "allocation": self.allocation,
             "allocation_ratio": self.allocation_ratio,
+            "engine": self.engine,
         }
 
     @classmethod

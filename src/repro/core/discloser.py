@@ -4,8 +4,6 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Union
 
-import numpy as np
-
 from repro.accounting.allocation import make_allocation
 from repro.accounting.budget import BudgetLedger
 from repro.core.config import DisclosureConfig
@@ -21,7 +19,7 @@ from repro.mechanisms.laplace import LaplaceMechanism
 from repro.privacy.guarantees import GroupPrivacyGuarantee, PrivacyUnit
 from repro.queries.base import Query
 from repro.queries.counts import TotalAssociationCountQuery
-from repro.queries.workload import QueryWorkload
+from repro.queries.workload import QueryWorkload, noisy_workload_answers
 from repro.utils.rng import RandomState, derive_rng
 
 
@@ -94,6 +92,8 @@ class MultiLevelDiscloser:
     # ------------------------------------------------------------------
     def build_hierarchy(self, graph: BipartiteGraph) -> GroupHierarchy:
         """Run only the specialization phase and return the hierarchy."""
+        if self.config.engine == "vectorized":
+            graph.arrays()  # compile once so split scoring takes the array fast path
         result = self.specializer.build(graph)
         self.ledger.charge(result.privacy_cost, label="specialization")
         return result.hierarchy
@@ -160,6 +160,11 @@ class MultiLevelDiscloser:
         if graph.num_nodes() == 0:
             raise DisclosureError("cannot disclose an empty graph")
 
+        # In vectorized mode compile the array view once, up front: phase-1
+        # split scoring, sensitivity computation and workload evaluation all
+        # pick it up through the graph's cache.
+        arrays = graph.arrays() if self.config.engine == "vectorized" else None
+
         specialization_cost = PrivacyCost(0.0, 0.0)
         if hierarchy is None:
             result = self.specializer.build(graph)
@@ -179,7 +184,10 @@ class MultiLevelDiscloser:
             level: self._level_sensitivity(graph, hierarchy, level) for level in levels
         }
         epsilons = self._per_level_epsilon(levels, sensitivities)
-        true_answers = self.workload.evaluate(graph)
+        if arrays is not None:
+            true_answers = self.workload.evaluate_batch(graph, arrays=arrays)
+        else:
+            true_answers = self.workload.evaluate(graph)
 
         level_releases: Dict[int, LevelRelease] = {}
         for level in levels:
@@ -190,13 +198,8 @@ class MultiLevelDiscloser:
             cost = mechanism.privacy_cost()
             self.ledger.charge(cost, label=f"noise-injection-level-{level}")
 
-            answers: Dict[str, Dict[str, float]] = {}
-            for query_name, answer in true_answers.items():
-                noisy = mechanism.randomise(answer.values)
-                noisy = np.atleast_1d(np.asarray(noisy, dtype=float))
-                answers[query_name] = {
-                    label: float(value) for label, value in zip(answer.labels, noisy)
-                }
+            # Vectorized engine: one batched noise draw covers the level's workload.
+            answers = noisy_workload_answers(mechanism, true_answers, batched=arrays is not None)
 
             guarantee = GroupPrivacyGuarantee(
                 epsilon=cost.epsilon,

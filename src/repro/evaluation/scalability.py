@@ -56,6 +56,7 @@ def run_scalability(
     num_levels: int = 6,
     epsilon_g: float = 0.5,
     seed: RandomState = 3,
+    engine: str = "vectorized",
 ) -> ScalabilityResult:
     """Time the full pipeline on DBLP-like graphs of increasing size.
 
@@ -71,6 +72,9 @@ def run_scalability(
         Per-level budget of the phase-2 noise.
     seed:
         Base seed; each size derives its own stream.
+    engine:
+        ``"vectorized"`` (default) or ``"reference"`` — both are timed by
+        ``benchmarks/test_bench_engines.py`` to record the speedup.
     """
     if not author_counts:
         raise EvaluationError("author_counts must not be empty")
@@ -80,10 +84,13 @@ def run_scalability(
         config = DisclosureConfig(
             epsilon_g=epsilon_g,
             specialization=SpecializationConfig(num_levels=num_levels),
+            engine=engine,
         )
         discloser = MultiLevelDiscloser(config=config, rng=index)
 
         start = time.perf_counter()
+        if engine == "vectorized":
+            graph.arrays()  # compile inside the timed phase-1 window
         hierarchy = discloser.specializer.build(graph).hierarchy
         spec_seconds = time.perf_counter() - start
 
@@ -99,6 +106,7 @@ def run_scalability(
                 "specialization_seconds": spec_seconds,
                 "noise_seconds": noise_seconds,
                 "total_seconds": spec_seconds + noise_seconds,
+                "engine": engine,
             }
         )
     return result

@@ -75,6 +75,20 @@ class ParameterSweep:
                 raise EvaluationError(f"parameter {key!r} has no values")
         self.name = str(name)
 
+    def with_parameter(self, name: str, values: Iterable[Any]) -> "ParameterSweep":
+        """A new sweep whose grid gains one more parameter axis.
+
+        The main use is cross-engine validation: augmenting any existing grid
+        with ``engine=("reference", "vectorized")`` runs every configuration
+        under both execution engines so their rows can be compared
+        (``result.filter(engine="reference")`` vs ``...filter(engine="vectorized")``).
+        """
+        if name in self.grid:
+            raise EvaluationError(f"parameter {name!r} already in the grid")
+        grid = dict(self.grid)
+        grid[name] = list(values)
+        return ParameterSweep(self.runner, grid, name=self.name)
+
     def combinations(self) -> List[Dict[str, Any]]:
         """All parameter combinations, in deterministic order."""
         keys = list(self.grid)

@@ -8,6 +8,7 @@ data structure used by every other subsystem, plus builders, statistics,
 induced-subgraph utilities, projections and I/O.
 """
 
+from repro.graphs.arrays import GraphArrays
 from repro.graphs.bipartite import BipartiteGraph, Side
 from repro.graphs.builders import (
     from_association_list,
@@ -41,6 +42,7 @@ from repro.graphs.io import (
 
 __all__ = [
     "BipartiteGraph",
+    "GraphArrays",
     "Side",
     "from_association_list",
     "from_biadjacency",

@@ -1,0 +1,333 @@
+"""Compiled array view of a :class:`~repro.graphs.bipartite.BipartiteGraph`.
+
+The dict-of-set adjacency of :class:`BipartiteGraph` is the right structure
+for incremental mutation, but every aggregate query over it pays an
+interpreter-loop cost per node or per edge.  :class:`GraphArrays` compiles
+the graph once into contiguous NumPy arrays — CSR-style edge arrays, dense
+node index maps and per-node degree vectors — so that whole workloads can be
+answered with ``np.bincount``/segment-sum instead of per-group set iteration.
+
+Layout
+------
+* Left nodes receive local indices ``0 .. num_left - 1`` in the graph's
+  insertion order; right nodes receive ``0 .. num_right - 1`` likewise.
+  The *global* index space places the left block first: a right node with
+  local index ``j`` has global index ``num_left + j``.
+* Edges are stored in COO form (``edge_left``/``edge_right``, one entry per
+  association) sorted by ``(left index, right index)``, together with a CSR
+  row pointer ``left_indptr`` over the left side, so both flat per-edge
+  scans and per-node neighbour slices are O(1) to obtain.
+
+Staleness
+---------
+A compiled view is only valid for the graph revision it was built from.
+:meth:`GraphArrays.is_fresh` compares the stored revision against the
+graph's mutation counter; :meth:`BipartiteGraph.arrays` recompiles
+automatically whenever the graph has mutated since the last compile, so
+callers can never observe stale arrays (see ``tests/test_graphs_arrays.py``).
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graphs.bipartite import BipartiteGraph
+    from repro.grouping.partition import Partition
+
+Node = Hashable
+
+#: Sentinel group code for nodes not covered by a partition.
+NO_GROUP = -1
+
+
+class GraphArrays:
+    """Immutable array view of a bipartite graph at one mutation revision.
+
+    Build with :meth:`compile` (or, preferably, via the caching
+    :meth:`BipartiteGraph.arrays` accessor).  All arrays are read-only.
+    """
+
+    def __init__(
+        self,
+        revision: int,
+        left_ids: List[Node],
+        right_ids: List[Node],
+        edge_left: np.ndarray,
+        edge_right: np.ndarray,
+        left_indptr: np.ndarray,
+        left_degrees: np.ndarray,
+        right_degrees: np.ndarray,
+        graph: Optional["BipartiteGraph"] = None,
+    ):
+        self.revision = int(revision)
+        self.left_ids = left_ids
+        self.right_ids = right_ids
+        self.left_index: Dict[Node, int] = {node: i for i, node in enumerate(left_ids)}
+        self.right_index: Dict[Node, int] = {node: j for j, node in enumerate(right_ids)}
+        offset = len(left_ids)
+        self.global_index: Dict[Node, int] = dict(self.left_index)
+        for node, j in self.right_index.items():
+            self.global_index[node] = offset + j
+        self.edge_left = edge_left
+        self.edge_right = edge_right
+        self.left_indptr = left_indptr
+        self.left_degrees = left_degrees
+        self.right_degrees = right_degrees
+        #: Per-node degrees in global index order (left block, then right block).
+        self.degrees = np.concatenate([left_degrees, right_degrees]) if offset or len(right_ids) else np.zeros(0, dtype=np.int64)
+        #: Per-edge endpoint indices in the *global* index space.
+        self.edge_left_global = edge_left
+        self.edge_right_global = edge_right + offset
+        for array in (
+            self.edge_left,
+            self.edge_right,
+            self.left_indptr,
+            self.left_degrees,
+            self.right_degrees,
+            self.degrees,
+            self.edge_right_global,
+        ):
+            array.setflags(write=False)
+        self._graph_ref = weakref.ref(graph) if graph is not None else None
+        # Per-partition group-code memo; weak keys so dropping a Partition
+        # releases its codes.  Keyed values map a scope name to the codes.
+        self._partition_codes: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def compile(cls, graph: "BipartiteGraph") -> "GraphArrays":
+        """Compile ``graph`` into a fresh array view."""
+        left_ids = list(graph.left_nodes())
+        right_ids = list(graph.right_nodes())
+        right_index = {node: j for j, node in enumerate(right_ids)}
+
+        adjacency = graph._adj_left  # noqa: SLF001 - same-package fast path
+        counts = np.zeros(len(left_ids), dtype=np.int64)
+        columns: List[np.ndarray] = []
+        for i, node in enumerate(left_ids):
+            neighbours = adjacency[node]
+            counts[i] = len(neighbours)
+            if neighbours:
+                cols = np.fromiter(
+                    (right_index[nb] for nb in neighbours), dtype=np.int64, count=len(neighbours)
+                )
+                cols.sort()
+                columns.append(cols)
+        left_indptr = np.zeros(len(left_ids) + 1, dtype=np.int64)
+        np.cumsum(counts, out=left_indptr[1:])
+        edge_right = np.concatenate(columns) if columns else np.zeros(0, dtype=np.int64)
+        edge_left = np.repeat(np.arange(len(left_ids), dtype=np.int64), counts)
+
+        right_degrees = np.zeros(len(right_ids), dtype=np.int64)
+        if edge_right.size:
+            np.add.at(right_degrees, edge_right, 1)
+
+        return cls(
+            revision=graph.revision,
+            left_ids=left_ids,
+            right_ids=right_ids,
+            edge_left=edge_left,
+            edge_right=edge_right,
+            left_indptr=left_indptr,
+            left_degrees=counts,
+            right_degrees=right_degrees,
+            graph=graph,
+        )
+
+    # ------------------------------------------------------------------
+    # Shape and staleness
+    # ------------------------------------------------------------------
+    @property
+    def num_left(self) -> int:
+        """Number of left-side nodes."""
+        return len(self.left_ids)
+
+    @property
+    def num_right(self) -> int:
+        """Number of right-side nodes."""
+        return len(self.right_ids)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes across both sides."""
+        return len(self.left_ids) + len(self.right_ids)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of associations."""
+        return int(self.edge_left.size)
+
+    def is_fresh(self, graph: Optional["BipartiteGraph"] = None) -> bool:
+        """``True`` when the view still matches the graph's mutation counter."""
+        if graph is None and self._graph_ref is not None:
+            graph = self._graph_ref()
+        if graph is None:
+            return False
+        return self.revision == graph.revision
+
+    def neighbor_slice(self, left_local_index: int) -> np.ndarray:
+        """Sorted right-side local indices adjacent to one left node."""
+        start, stop = self.left_indptr[left_local_index], self.left_indptr[left_local_index + 1]
+        return self.edge_right[start:stop]
+
+    # ------------------------------------------------------------------
+    # Node-set helpers
+    # ------------------------------------------------------------------
+    def indices_of(self, nodes: Iterable[Node], scope: str = "global") -> np.ndarray:
+        """Indices of the given nodes in one index space, preserving order.
+
+        Nodes absent from the graph (or from the requested side) are silently
+        skipped, mirroring how the reference query path ignores stale group
+        members.  ``scope`` is ``"global"``, ``"left"`` or ``"right"``.
+        """
+        index = {
+            "global": self.global_index,
+            "left": self.left_index,
+            "right": self.right_index,
+        }[scope]
+        found = [index[node] for node in nodes if node in index]
+        return np.asarray(found, dtype=np.int64)
+
+    def degree_mass(self, nodes: Iterable[Node]) -> int:
+        """Sum of degrees of the given nodes (absent nodes contribute 0)."""
+        idx = self.indices_of(nodes)
+        if not idx.size:
+            return 0
+        return int(self.degrees[idx].sum())
+
+    def degrees_of(self, nodes: Iterable[Node]) -> np.ndarray:
+        """Degrees of the given (present) nodes, preserving order."""
+        idx = self.indices_of(nodes)
+        return self.degrees[idx].astype(np.float64)
+
+    def degrees_aligned(self, nodes: Sequence[Node]) -> np.ndarray:
+        """Degree per node, position-aligned: absent nodes contribute 0.
+
+        Unlike :meth:`degrees_of` the result has exactly ``len(nodes)``
+        entries, which lets callers take prefix sums over a node ordering.
+        """
+        if not self.degrees.size:
+            return np.zeros(len(nodes), dtype=np.int64)
+        index = self.global_index
+        idx = np.fromiter(
+            (index.get(node, -1) for node in nodes), dtype=np.int64, count=len(nodes)
+        )
+        if not idx.size:
+            return idx
+        return np.where(idx >= 0, self.degrees[np.maximum(idx, 0)], 0)
+
+    # ------------------------------------------------------------------
+    # Partition codes
+    # ------------------------------------------------------------------
+    def partition_codes(self, partition: "Partition", scope: str = "global") -> np.ndarray:
+        """Per-node group codes for ``partition`` over one index space.
+
+        Returns an ``int64`` array of length ``num_nodes`` (global scope) or
+        the side length, where entry ``i`` is the position of node ``i``'s
+        group in ``partition.groups()`` order, or :data:`NO_GROUP` for nodes
+        the partition does not cover.  Codes are memoised per partition (weak
+        keys), so repeated queries against the same grouping pay the node
+        scan once.
+        """
+        memo = self._partition_codes.get(partition)
+        if memo is not None and scope in memo:
+            return memo[scope]
+        length = {"global": self.num_nodes, "left": self.num_left, "right": self.num_right}[scope]
+        index = {
+            "global": self.global_index,
+            "left": self.left_index,
+            "right": self.right_index,
+        }[scope]
+        codes = np.full(length, NO_GROUP, dtype=np.int64)
+        for position, group in enumerate(partition.groups()):
+            for member in group.members:
+                i = index.get(member)
+                if i is not None:
+                    codes[i] = position
+        codes.setflags(write=False)
+        if memo is None:
+            memo = {}
+            try:
+                self._partition_codes[partition] = memo
+            except TypeError:  # pragma: no cover - unhashable/unweakrefable key
+                pass
+        memo[scope] = codes
+        return codes
+
+    # ------------------------------------------------------------------
+    # Batched aggregate counts (the vectorized query kernels)
+    # ------------------------------------------------------------------
+    def induced_counts(self, partition: "Partition") -> np.ndarray:
+        """Per-group counts of associations with *both* endpoints in the group.
+
+        The vectorized equivalent of calling
+        :func:`~repro.graphs.subgraphs.subgraph_association_count` once per
+        group: one ``np.bincount`` over the edge list.
+        """
+        codes = self.partition_codes(partition, scope="global")
+        num_groups = partition.num_groups()
+        if not self.num_edges or not num_groups:
+            return np.zeros(num_groups, dtype=np.int64)
+        lcodes = codes[self.edge_left_global]
+        rcodes = codes[self.edge_right_global]
+        mask = (lcodes == rcodes) & (lcodes != NO_GROUP)
+        return np.bincount(lcodes[mask], minlength=num_groups)
+
+    def incident_counts(self, partition: "Partition") -> np.ndarray:
+        """Per-group counts of associations with *at least one* endpoint in the group.
+
+        This is the quantity driving the group-level sensitivity of the
+        association-count query.  An edge whose endpoints fall in two
+        different groups is counted once for each; an edge inside one group
+        is counted once.
+        """
+        codes = self.partition_codes(partition, scope="global")
+        num_groups = partition.num_groups()
+        if not self.num_edges or not num_groups:
+            return np.zeros(num_groups, dtype=np.int64)
+        lcodes = codes[self.edge_left_global]
+        rcodes = codes[self.edge_right_global]
+        counts = np.bincount(lcodes[lcodes != NO_GROUP], minlength=num_groups)
+        counts += np.bincount(rcodes[rcodes != NO_GROUP], minlength=num_groups)
+        both_same = (lcodes == rcodes) & (lcodes != NO_GROUP)
+        counts -= np.bincount(lcodes[both_same], minlength=num_groups)
+        return counts
+
+    def cross_group_matrix(self, left_partition: "Partition", right_partition: "Partition") -> np.ndarray:
+        """Association counts between every (left group, right group) pair.
+
+        Rows follow ``left_partition.groups()`` order, columns
+        ``right_partition.groups()`` order; edges with an endpoint outside
+        the respective partition are ignored — exactly the semantics of the
+        reference :meth:`CrossGroupCountQuery.true_matrix`.
+        """
+        num_rows = left_partition.num_groups()
+        num_cols = right_partition.num_groups()
+        if not self.num_edges or not num_rows or not num_cols:
+            return np.zeros((num_rows, num_cols), dtype=np.float64)
+        lcodes = self.partition_codes(left_partition, scope="left")[self.edge_left]
+        rcodes = self.partition_codes(right_partition, scope="right")[self.edge_right]
+        mask = (lcodes != NO_GROUP) & (rcodes != NO_GROUP)
+        flat = lcodes[mask] * num_cols + rcodes[mask]
+        matrix = np.bincount(flat, minlength=num_rows * num_cols).astype(np.float64)
+        return matrix.reshape(num_rows, num_cols)
+
+    def degree_histogram(self, side, max_degree: int) -> np.ndarray:
+        """Clamped degree histogram of one side (``max_degree + 1`` bins)."""
+        from repro.graphs.bipartite import Side
+
+        degrees = self.left_degrees if Side(side) is Side.LEFT else self.right_degrees
+        clamped = np.minimum(degrees, max_degree)
+        return np.bincount(clamped, minlength=max_degree + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GraphArrays(revision={self.revision}, left={self.num_left}, "
+            f"right={self.num_right}, edges={self.num_edges})"
+        )

@@ -22,7 +22,7 @@ disclosure pipeline operates on.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Hashable, Iterable, Iterator, Mapping, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, Iterable, Iterator, Mapping, Optional, Set, Tuple
 
 from repro.exceptions import (
     DuplicateNodeError,
@@ -30,6 +30,9 @@ from repro.exceptions import (
     NodeNotFoundError,
     ValidationError,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graphs.arrays import GraphArrays
 
 Node = Hashable
 Association = Tuple[Node, Node]
@@ -71,6 +74,49 @@ class BipartiteGraph:
         self._adj_left: Dict[Node, Set[Node]] = {}
         self._adj_right: Dict[Node, Set[Node]] = {}
         self._num_associations = 0
+        self._revision = 0
+        self._arrays: Optional["GraphArrays"] = None
+
+    # ------------------------------------------------------------------
+    # Mutation tracking and the compiled array view
+    # ------------------------------------------------------------------
+    @property
+    def revision(self) -> int:
+        """Monotonic counter incremented by every structural mutation.
+
+        Attribute-only updates (merging attrs into an existing node) do not
+        bump the revision: the compiled array view only reflects structure.
+        """
+        return self._revision
+
+    def _mutated(self) -> None:
+        """Record a structural mutation, invalidating any compiled arrays."""
+        self._revision += 1
+        self._arrays = None
+
+    def arrays(self) -> "GraphArrays":
+        """The compiled :class:`~repro.graphs.arrays.GraphArrays` view.
+
+        Compiled lazily and cached; any structural mutation invalidates the
+        cache, so the returned view always matches the current graph.
+        """
+        from repro.graphs.arrays import GraphArrays
+
+        if self._arrays is None or self._arrays.revision != self._revision:
+            self._arrays = GraphArrays.compile(self)
+        return self._arrays
+
+    def cached_arrays(self) -> Optional["GraphArrays"]:
+        """The compiled view if present *and* fresh, else ``None``.
+
+        Fast-path helpers use this to vectorise opportunistically: the
+        vectorized engine compiles arrays up front, after which every
+        downstream aggregate sees them here; the reference engine never
+        compiles, so it keeps the pure-Python code paths.
+        """
+        if self._arrays is not None and self._arrays.revision == self._revision:
+            return self._arrays
+        return None
 
     # ------------------------------------------------------------------
     # Node management
@@ -106,6 +152,7 @@ class BipartiteGraph:
         nodes[node] = dict(attrs)
         adj = self._adj_left if side is Side.LEFT else self._adj_right
         adj[node] = set()
+        self._mutated()
 
     def remove_node(self, node: Node) -> None:
         """Remove a node and every association incident to it."""
@@ -119,6 +166,7 @@ class BipartiteGraph:
             other_adj[nb].discard(node)
         self._num_associations -= len(neighbours)
         del nodes[node]
+        self._mutated()
 
     def has_node(self, node: Node) -> bool:
         """Return ``True`` if ``node`` exists on either side."""
@@ -178,6 +226,7 @@ class BipartiteGraph:
         self._adj_left[left].add(right)
         self._adj_right[right].add(left)
         self._num_associations += 1
+        self._mutated()
         return True
 
     def remove_association(self, left: Node, right: Node) -> None:
@@ -190,6 +239,7 @@ class BipartiteGraph:
         self._adj_left[left].remove(right)
         self._adj_right[right].remove(left)
         self._num_associations -= 1
+        self._mutated()
 
     def has_association(self, left: Node, right: Node) -> bool:
         """Return ``True`` if the association ``(left, right)`` exists."""

@@ -56,6 +56,20 @@ class BalanceScore(SplitScore):
         return -abs(len(split.part_a) - len(split.part_b))
 
 
+def _cached_arrays(graph: BipartiteGraph):
+    """The graph's compiled array view, if the vectorized engine built one.
+
+    Split scoring is the hottest loop of phase 1 (one score per candidate per
+    Exponential-Mechanism round); when the disclosure pipeline runs with
+    ``engine="vectorized"`` it compiles :class:`~repro.graphs.arrays.GraphArrays`
+    before specialization, and the scores below read degree mass from the
+    compiled degree vectors instead of per-node dict lookups.  Both paths
+    compute the same integer masses, so the Exponential Mechanism sees
+    bit-identical score vectors either way.
+    """
+    return graph.cached_arrays()
+
+
 class BalancedAssociationScore(SplitScore):
     """Prefers splits whose two parts carry (nearly) equal **association** mass.
 
@@ -79,12 +93,44 @@ class BalancedAssociationScore(SplitScore):
         self.sensitivity = 1.0
 
     def _incident(self, graph: BipartiteGraph, nodes) -> int:
+        arrays = _cached_arrays(graph)
+        if arrays is not None:
+            return arrays.degree_mass(nodes)
         return sum(graph.degree(node) for node in nodes if graph.has_node(node))
 
     def score(self, graph: BipartiteGraph, split: CandidateSplit) -> float:
         mass_a = self._incident(graph, split.part_a)
         mass_b = self._incident(graph, split.part_b)
         return -abs(mass_a - mass_b) / self.degree_bound
+
+    def scores(self, graph: BipartiteGraph, splits: Sequence[CandidateSplit]) -> np.ndarray:
+        """Batched scoring of one candidate set.
+
+        Candidates produced by a :class:`~repro.grouping.splitters.Splitter`
+        are prefix cuts of one shared node ordering, so with compiled arrays
+        a single aligned degree scan plus prefix sums scores every candidate
+        — O(n + k) instead of O(n * k).  The masses are exact integers either
+        way, so the Exponential Mechanism sees identical scores.
+        """
+        arrays = _cached_arrays(graph)
+        if arrays is None or not splits:
+            return super().scores(graph, splits)
+        ordering = tuple(splits[0].part_a) + tuple(splits[0].part_b)
+        shared_ordering = all(
+            tuple(split.part_a) == ordering[: len(split.part_a)]
+            and tuple(split.part_b) == ordering[len(split.part_a):]
+            for split in splits
+        )
+        if not shared_ordering:
+            return super().scores(graph, splits)
+        prefix = np.zeros(len(ordering) + 1, dtype=np.int64)
+        np.cumsum(arrays.degrees_aligned(ordering), out=prefix[1:])
+        total = int(prefix[-1])
+        values = [
+            -abs(2 * int(prefix[len(split.part_a)]) - total) / self.degree_bound
+            for split in splits
+        ]
+        return np.array(values, dtype=float)
 
 
 class EdgeUniformityScore(SplitScore):
@@ -101,6 +147,12 @@ class EdgeUniformityScore(SplitScore):
 
     @staticmethod
     def _degree_std(graph: BipartiteGraph, nodes) -> float:
+        arrays = _cached_arrays(graph)
+        if arrays is not None:
+            degrees_array = arrays.degrees_of(nodes)
+            if not degrees_array.size:
+                return 0.0
+            return float(np.std(degrees_array))
         degrees = [graph.degree(node) for node in nodes if graph.has_node(node)]
         if not degrees:
             return 0.0

@@ -119,10 +119,18 @@ class HashOrderSplitter(Splitter):
     def __init__(self, cut_fractions: Sequence[float] = (0.3, 0.4, 0.5, 0.6, 0.7), salt: str = ""):
         super().__init__(cut_fractions)
         self.salt = str(salt)
+        # A node is re-ordered once per hierarchy transition, so the salted
+        # hash is recomputed O(levels) times without this memo.  The hash is
+        # a pure function of (salt, node), making the cache parity-safe.
+        self._hash_cache: dict = {}
 
     def _hash(self, node: Node) -> int:
-        digest = hashlib.sha256(f"{self.salt}::{node}".encode("utf-8")).digest()
-        return int.from_bytes(digest[:8], "big")
+        cached = self._hash_cache.get(node)
+        if cached is None:
+            digest = hashlib.sha256(f"{self.salt}::{node}".encode("utf-8")).digest()
+            cached = int.from_bytes(digest[:8], "big")
+            self._hash_cache[node] = cached
+        return cached
 
     def order(self, graph: BipartiteGraph, members: Sequence[Node], rng: RandomState = None) -> List[Node]:
         return sorted(members, key=lambda n: (self._hash(n), str(n)))

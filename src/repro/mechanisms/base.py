@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Union
+from typing import List, Sequence, Union
 
 import numpy as np
 
@@ -99,5 +99,42 @@ class NumericMechanism(Mechanism):
         array = np.asarray(value, dtype=float)
         return array + self.sample_noise(size=array.shape)
 
+    def randomise_batch(self, values: ArrayLike) -> np.ndarray:
+        """Perturb a whole batch of values with one vectorized noise draw.
+
+        Unlike :meth:`randomise` this always returns an ``ndarray`` (scalars
+        are promoted to shape ``(1,)``) and always draws the noise as a
+        single array — one call into the generator regardless of batch size.
+        For a given seed the result is identical to
+        ``values + sample_noise(size=values.shape)`` from a fresh generator,
+        which the parity suite asserts for every numeric mechanism.
+        """
+        array = np.atleast_1d(np.asarray(values, dtype=float))
+        return array + self.sample_noise(size=array.shape)
+
+    def randomise_many(self, answers: Sequence[ArrayLike]) -> List[np.ndarray]:
+        """Perturb several answer vectors with one concatenated noise draw.
+
+        All answers are flattened into a single array, noised with one
+        generator call, and split back into their original shapes.  For the
+        Gaussian and Laplace families numpy's generator fills batched draws
+        sequentially from the same bit stream, so the result is bit-for-bit
+        identical to noising each answer in turn; the two-sided geometric
+        interleaves its two underlying streams differently in batch (the
+        distribution is unchanged).
+        """
+        arrays = [np.atleast_1d(np.asarray(a, dtype=float)) for a in answers]
+        if not arrays:
+            return []
+        sizes = [a.size for a in arrays]
+        flat = np.concatenate([a.ravel() for a in arrays])
+        noisy = flat + self.sample_noise(size=flat.shape)
+        split_points = np.cumsum(sizes)[:-1]
+        return [
+            part.reshape(a.shape) for part, a in zip(np.split(noisy, split_points), arrays)
+        ]
+
     # British/American aliases keep the public API friendly to both spellings.
     randomize = randomise
+    randomize_batch = randomise_batch
+    randomize_many = randomise_many

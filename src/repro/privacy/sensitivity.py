@@ -38,9 +38,13 @@ def individual_count_sensitivity() -> float:
 
 def node_count_sensitivity(graph: BipartiteGraph, degree_bound: Optional[int] = None) -> float:
     """Sensitivity of the global count under node adjacency (max degree)."""
-    max_degree = 0
-    for node in graph.nodes():
-        max_degree = max(max_degree, graph.degree(node))
+    arrays = graph.cached_arrays()
+    if arrays is not None:
+        max_degree = int(arrays.degrees.max()) if arrays.degrees.size else 0
+    else:
+        max_degree = 0
+        for node in graph.nodes():
+            max_degree = max(max_degree, graph.degree(node))
     if degree_bound is not None:
         max_degree = min(max_degree, degree_bound) if max_degree else degree_bound
     return float(max_degree) if max_degree else 1.0
@@ -55,6 +59,10 @@ def group_count_sensitivity(graph: BipartiteGraph, partition: Partition) -> floa
     """
     if partition.num_groups() == 0:
         raise SensitivityError("partition has no groups")
+    arrays = graph.cached_arrays()
+    if arrays is not None:
+        worst = int(arrays.incident_counts(partition).max(initial=0))
+        return float(worst) if worst else 1.0
     worst = 0
     for group in partition.groups():
         worst = max(worst, graph.associations_incident_to(group.members))
@@ -63,6 +71,12 @@ def group_count_sensitivity(graph: BipartiteGraph, partition: Partition) -> floa
 
 def per_group_incident_counts(graph: BipartiteGraph, partition: Partition) -> Dict[str, int]:
     """Number of associations incident to each group of ``partition``."""
+    arrays = graph.cached_arrays()
+    if arrays is not None:
+        counts = arrays.incident_counts(partition)
+        return {
+            group.group_id: int(counts[i]) for i, group in enumerate(partition.groups())
+        }
     return {
         group.group_id: graph.associations_incident_to(group.members)
         for group in partition.groups()
@@ -81,6 +95,10 @@ def group_workload_l1_sensitivity(graph: BipartiteGraph, partition: Partition) -
     """
     if partition.num_groups() == 0:
         raise SensitivityError("partition has no groups")
+    arrays = graph.cached_arrays()
+    if arrays is not None:
+        worst = int(arrays.induced_counts(partition).max(initial=0))
+        return float(worst) if worst else 1.0
     from repro.graphs.subgraphs import subgraph_association_count
 
     worst = 0

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.exceptions import SensitivityError
+from repro.graphs.arrays import GraphArrays
 from repro.graphs.bipartite import BipartiteGraph
 from repro.grouping.partition import Partition
 
@@ -60,6 +61,18 @@ class Query(abc.ABC):
     @abc.abstractmethod
     def evaluate(self, graph: BipartiteGraph) -> QueryAnswer:
         """Compute the true (un-noised) answer."""
+
+    def evaluate_arrays(self, graph: BipartiteGraph, arrays: Optional[GraphArrays] = None) -> QueryAnswer:
+        """Compute the true answer from a compiled array view.
+
+        The vectorized engine calls this with a shared
+        :class:`~repro.graphs.arrays.GraphArrays`; subclasses override it
+        with a ``np.bincount``/segment-sum implementation that must agree
+        with :meth:`evaluate` exactly (the parity suite enforces this).  The
+        default falls back to the reference path, so custom queries work
+        under either engine without changes.
+        """
+        return self.evaluate(graph)
 
     @abc.abstractmethod
     def l1_sensitivity(

@@ -12,6 +12,7 @@ from typing import Optional
 import numpy as np
 
 from repro.exceptions import SensitivityError
+from repro.graphs.arrays import GraphArrays
 from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.subgraphs import subgraph_association_count
 from repro.grouping.partition import Partition
@@ -30,6 +31,10 @@ class TotalAssociationCountQuery(Query):
 
     def evaluate(self, graph: BipartiteGraph) -> QueryAnswer:
         return QueryAnswer(name=self.name, values=np.array([graph.num_associations()], dtype=float), labels=["total"])
+
+    def evaluate_arrays(self, graph: BipartiteGraph, arrays: Optional[GraphArrays] = None) -> QueryAnswer:
+        arrays = arrays if arrays is not None else graph.arrays()
+        return QueryAnswer(name=self.name, values=np.array([arrays.num_edges], dtype=float), labels=["total"])
 
     def l1_sensitivity(
         self, graph: BipartiteGraph, adjacency: str = "individual", partition: Optional[Partition] = None
@@ -71,6 +76,11 @@ class GroupedAssociationCountQuery(Query):
             labels.append(group.group_id)
             values.append(subgraph_association_count(graph, group.members))
         return QueryAnswer(name=self.name, values=np.array(values, dtype=float), labels=labels)
+
+    def evaluate_arrays(self, graph: BipartiteGraph, arrays: Optional[GraphArrays] = None) -> QueryAnswer:
+        arrays = arrays if arrays is not None else graph.arrays()
+        counts = arrays.induced_counts(self.query_partition).astype(float)
+        return QueryAnswer(name=self.name, values=counts, labels=self.query_partition.group_ids())
 
     def l1_sensitivity(
         self, graph: BipartiteGraph, adjacency: str = "individual", partition: Optional[Partition] = None

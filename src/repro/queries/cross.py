@@ -15,6 +15,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 import numpy as np
 
 from repro.exceptions import SensitivityError, ValidationError
+from repro.graphs.arrays import GraphArrays
 from repro.graphs.bipartite import BipartiteGraph, Side
 from repro.grouping.partition import Partition
 from repro.privacy.sensitivity import node_count_sensitivity
@@ -86,6 +87,11 @@ class CrossGroupCountQuery(Query):
 
     def evaluate(self, graph: BipartiteGraph) -> QueryAnswer:
         matrix = self.true_matrix(graph)
+        return QueryAnswer(name=self.name, values=matrix.ravel(), labels=self.cell_labels())
+
+    def evaluate_arrays(self, graph: BipartiteGraph, arrays: Optional[GraphArrays] = None) -> QueryAnswer:
+        arrays = arrays if arrays is not None else graph.arrays()
+        matrix = arrays.cross_group_matrix(self.left_partition, self.right_partition)
         return QueryAnswer(name=self.name, values=matrix.ravel(), labels=self.cell_labels())
 
     def l1_sensitivity(

@@ -11,6 +11,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.graphs.arrays import GraphArrays
 from repro.graphs.bipartite import BipartiteGraph, Side
 from repro.graphs.stats import degree_sequence
 from repro.grouping.partition import Partition
@@ -41,6 +42,12 @@ class DegreeHistogramQuery(Query):
         degrees = degree_sequence(graph, self.side)
         clamped = np.minimum(degrees, self.max_degree)
         counts = np.bincount(clamped, minlength=self.max_degree + 1).astype(float)
+        labels = [f"degree={d}" for d in range(self.max_degree)] + [f"degree>={self.max_degree}"]
+        return QueryAnswer(name=self.name, values=counts, labels=labels)
+
+    def evaluate_arrays(self, graph: BipartiteGraph, arrays: Optional[GraphArrays] = None) -> QueryAnswer:
+        arrays = arrays if arrays is not None else graph.arrays()
+        counts = arrays.degree_histogram(self.side, self.max_degree).astype(float)
         labels = [f"degree={d}" for d in range(self.max_degree)] + [f"degree>={self.max_degree}"]
         return QueryAnswer(name=self.name, values=counts, labels=labels)
 

@@ -2,9 +2,15 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mechanisms.base import NumericMechanism
 
 from repro.exceptions import ValidationError
+from repro.graphs.arrays import GraphArrays
 from repro.graphs.bipartite import BipartiteGraph
 from repro.grouping.partition import Partition
 from repro.queries.base import Query, QueryAnswer
@@ -30,6 +36,21 @@ class QueryWorkload:
     def evaluate(self, graph: BipartiteGraph) -> Dict[str, QueryAnswer]:
         """True answers of every query, keyed by query name."""
         return {query.name: query.evaluate(graph) for query in self.queries}
+
+    def evaluate_batch(
+        self, graph: BipartiteGraph, arrays: Optional[GraphArrays] = None
+    ) -> Dict[str, QueryAnswer]:
+        """Answer the whole workload from one compiled array view.
+
+        The array view is compiled (or fetched from the graph's cache) once
+        and shared by every member query, so a multi-query workload pays the
+        node/edge scan a single time instead of once per query.  Answers are
+        exactly equal to :meth:`evaluate` — the vectorized kernels compute
+        the same integer counts — which ``tests/test_engine_parity.py``
+        locks down.
+        """
+        arrays = arrays if arrays is not None else graph.arrays()
+        return {query.name: query.evaluate_arrays(graph, arrays) for query in self.queries}
 
     def l1_sensitivity(
         self, graph: BipartiteGraph, adjacency: str = "individual", partition: Optional[Partition] = None
@@ -61,3 +82,29 @@ class QueryWorkload:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"QueryWorkload(name={self.name!r}, queries={[q.name for q in self.queries]})"
+
+
+def noisy_workload_answers(
+    mechanism: "NumericMechanism",
+    true_answers: Dict[str, QueryAnswer],
+    batched: bool = True,
+) -> Dict[str, Dict[str, float]]:
+    """Perturb evaluated workload answers into the release's label->value form.
+
+    ``batched=True`` (the vectorized engine) draws one concatenated noise
+    array for the whole workload via
+    :meth:`~repro.mechanisms.base.NumericMechanism.randomise_many`;
+    ``batched=False`` reproduces the reference engine's per-query draws.  For
+    the Gaussian and Laplace families the two are bit-for-bit identical under
+    the same seed.
+    """
+    answers: Dict[str, Dict[str, float]] = {}
+    if batched:
+        noisy_batch = mechanism.randomise_many([a.values for a in true_answers.values()])
+        for (name, answer), noisy in zip(true_answers.items(), noisy_batch):
+            answers[name] = {label: float(v) for label, v in zip(answer.labels, noisy)}
+    else:
+        for name, answer in true_answers.items():
+            noisy = np.atleast_1d(np.asarray(mechanism.randomise(answer.values), dtype=float))
+            answers[name] = {label: float(v) for label, v in zip(answer.labels, noisy)}
+    return answers

@@ -1,0 +1,350 @@
+"""Property-based parity suite: the vectorized engine equals the reference engine.
+
+Three layers of parity, each exact (no tolerances):
+
+* **query parity** — for randomized graphs and partitions every vectorized
+  query answer (``evaluate_arrays`` / ``evaluate_batch``) equals the
+  reference answer bit for bit;
+* **mechanism parity** — ``randomise_batch`` with seed ``s`` matches the
+  same-shape draw from a fresh generator for every numeric mechanism, and
+  ``randomise_many`` matches per-answer draws for the stream-concatenating
+  families (Gaussian, Laplace);
+* **pipeline parity** — ``engine="reference"`` and ``engine="vectorized"``
+  produce identical multi-level releases under the same seed for the
+  Gaussian/Laplace mechanism families, and identical true answers always.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DisclosureConfig
+from repro.core.discloser import MultiLevelDiscloser
+from repro.baselines.individual_dp import IndividualDPDiscloser
+from repro.baselines.naive_group import NaiveGroupDPDiscloser
+from repro.baselines.safe_grouping import SafeGroupingDiscloser
+from repro.baselines.uniform_noise import UniformNoiseDiscloser
+from repro.datasets.dblp_like import generate_dblp_like
+from repro.graphs.bipartite import BipartiteGraph, Side
+from repro.grouping.partition import Group, Partition
+from repro.grouping.specialization import SpecializationConfig, Specializer
+from repro.mechanisms.gaussian import AnalyticGaussianMechanism, GaussianMechanism
+from repro.mechanisms.geometric import GeometricMechanism
+from repro.mechanisms.laplace import LaplaceMechanism
+from repro.queries.counts import GroupedAssociationCountQuery, TotalAssociationCountQuery
+from repro.queries.cross import CrossGroupCountQuery
+from repro.queries.degree import DegreeHistogramQuery
+from repro.queries.workload import QueryWorkload
+
+MECHANISMS = [
+    pytest.param(lambda rng: LaplaceMechanism(epsilon=0.7, sensitivity=3.0, rng=rng), id="laplace"),
+    pytest.param(lambda rng: GeometricMechanism(epsilon=0.7, sensitivity=3.0, rng=rng), id="geometric"),
+    pytest.param(lambda rng: GaussianMechanism(epsilon=0.7, delta=1e-5, sensitivity=3.0, rng=rng), id="gaussian"),
+    pytest.param(
+        lambda rng: AnalyticGaussianMechanism(epsilon=0.7, delta=1e-5, sensitivity=3.0, rng=rng),
+        id="analytic_gaussian",
+    ),
+]
+
+
+def random_graph(seed: int, max_left: int = 25, max_right: int = 25) -> BipartiteGraph:
+    """A small random bipartite graph (may have isolated nodes / empty sides)."""
+    rng = np.random.default_rng(seed)
+    num_left = int(rng.integers(0, max_left + 1))
+    num_right = int(rng.integers(0, max_right + 1))
+    graph = BipartiteGraph(name=f"random-{seed}")
+    graph.add_left_nodes([f"a{i}" for i in range(num_left)])
+    graph.add_right_nodes([f"b{j}" for j in range(num_right)])
+    if num_left and num_right:
+        density = float(rng.uniform(0.0, 0.35))
+        mask = rng.random((num_left, num_right)) < density
+        graph.add_associations(
+            (f"a{i}", f"b{j}") for i, j in zip(*mask.nonzero())
+        )
+    return graph
+
+
+def random_partition(graph: BipartiteGraph, seed: int, num_groups: int, include_absent: bool) -> Partition:
+    """A random partition of the graph's nodes, optionally with absent members."""
+    rng = np.random.default_rng(seed)
+    nodes = list(graph.left_nodes()) + list(graph.right_nodes())
+    if include_absent:
+        nodes = nodes + ["ghost-1", "ghost-2"]
+    assignment = rng.integers(0, num_groups, size=len(nodes))
+    mapping = {}
+    for gid in range(num_groups):
+        members = [node for node, a in zip(nodes, assignment) if a == gid]
+        if members:
+            mapping[f"g{gid}"] = members
+    if not mapping:
+        mapping = {"g0": nodes or ["ghost-1"]}
+    return Partition.from_mapping(mapping)
+
+
+def side_partition(graph: BipartiteGraph, side: Side, seed: int, num_groups: int) -> Partition:
+    rng = np.random.default_rng(seed)
+    prefix = "L" if side is Side.LEFT else "R"
+    nodes = list(graph.nodes(side))
+    # Leave some nodes uncovered so the ignore-uncovered path is exercised.
+    keep = [node for node in nodes if rng.random() < 0.8]
+    assignment = rng.integers(0, num_groups, size=len(keep))
+    mapping = {}
+    for gid in range(num_groups):
+        members = [node for node, a in zip(keep, assignment) if a == gid]
+        if members:
+            mapping[f"{prefix}{gid}"] = members
+    if not mapping:
+        mapping = {f"{prefix}0": [f"{prefix.lower()}ghost"]}
+    return Partition.from_mapping(mapping)
+
+
+def assert_answers_equal(reference, vectorized) -> None:
+    assert reference.name == vectorized.name
+    assert reference.labels == vectorized.labels
+    assert np.array_equal(reference.values, vectorized.values), (
+        reference.values,
+        vectorized.values,
+    )
+
+
+# ----------------------------------------------------------------------
+# Query parity
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_total_count_parity(seed):
+    graph = random_graph(seed)
+    query = TotalAssociationCountQuery()
+    assert_answers_equal(query.evaluate(graph), query.evaluate_arrays(graph))
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), num_groups=st.integers(1, 8), absent=st.booleans())
+def test_grouped_count_parity(seed, num_groups, absent):
+    graph = random_graph(seed)
+    partition = random_partition(graph, seed + 1, num_groups, include_absent=absent)
+    query = GroupedAssociationCountQuery(partition)
+    assert_answers_equal(query.evaluate(graph), query.evaluate_arrays(graph))
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), max_degree=st.integers(1, 12), left=st.booleans())
+def test_degree_histogram_parity(seed, max_degree, left):
+    graph = random_graph(seed)
+    query = DegreeHistogramQuery(side=Side.LEFT if left else Side.RIGHT, max_degree=max_degree)
+    assert_answers_equal(query.evaluate(graph), query.evaluate_arrays(graph))
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), nl=st.integers(1, 5), nr=st.integers(1, 5))
+def test_cross_group_parity(seed, nl, nr):
+    graph = random_graph(seed)
+    left = side_partition(graph, Side.LEFT, seed + 2, nl)
+    right = side_partition(graph, Side.RIGHT, seed + 3, nr)
+    query = CrossGroupCountQuery(left, right)
+    assert_answers_equal(query.evaluate(graph), query.evaluate_arrays(graph))
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_workload_evaluate_batch_parity(seed):
+    graph = random_graph(seed)
+    partition = random_partition(graph, seed + 1, 5, include_absent=False)
+    workload = QueryWorkload(
+        [
+            TotalAssociationCountQuery(),
+            GroupedAssociationCountQuery(partition),
+            DegreeHistogramQuery(max_degree=10),
+            CrossGroupCountQuery(
+                side_partition(graph, Side.LEFT, seed + 2, 3),
+                side_partition(graph, Side.RIGHT, seed + 3, 3),
+            ),
+        ]
+    )
+    reference = workload.evaluate(graph)
+    vectorized = workload.evaluate_batch(graph)
+    assert set(reference) == set(vectorized)
+    for name in reference:
+        assert_answers_equal(reference[name], vectorized[name])
+
+
+def test_evaluate_batch_reflects_mutation():
+    """A workload answered after a mutation must see the mutated graph."""
+    graph = random_graph(17)
+    workload = QueryWorkload([TotalAssociationCountQuery(), DegreeHistogramQuery(max_degree=5)])
+    before = workload.evaluate_batch(graph)
+    graph.add_left_node("new-author")
+    graph.add_right_node("new-paper")
+    graph.add_association("new-author", "new-paper")
+    after = workload.evaluate_batch(graph)
+    assert after["total_association_count"].scalar() == before["total_association_count"].scalar() + 1
+    for name in after:
+        assert_answers_equal(workload.evaluate(graph)[name], after[name])
+
+
+# ----------------------------------------------------------------------
+# Mechanism parity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("make_mechanism", MECHANISMS)
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), size=st.integers(1, 40))
+def test_randomise_batch_matches_fresh_generator(make_mechanism, seed, size):
+    values = np.arange(size, dtype=float) * 3.5
+    noised = make_mechanism(seed).randomise_batch(values)
+    fresh = make_mechanism(seed)
+    expected = values + fresh.sample_noise(size=values.shape)
+    assert np.array_equal(noised, np.atleast_1d(expected))
+
+
+@pytest.mark.parametrize("make_mechanism", MECHANISMS)
+def test_randomise_batch_scalar_promotes_to_array(make_mechanism):
+    noised = make_mechanism(0).randomise_batch(12.0)
+    assert isinstance(noised, np.ndarray) and noised.shape == (1,)
+
+
+@pytest.mark.parametrize("make_mechanism", [MECHANISMS[0], MECHANISMS[2], MECHANISMS[3]])
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), sizes=st.lists(st.integers(1, 9), min_size=1, max_size=5))
+def test_randomise_many_matches_sequential_randomise(make_mechanism, seed, sizes):
+    """Gaussian/Laplace generators fill batched draws sequentially, so one
+    concatenated draw equals per-answer draws under the same seed."""
+    answers = [np.arange(size, dtype=float) + 100.0 * index for index, size in enumerate(sizes)]
+    batched = make_mechanism(seed).randomise_many(answers)
+    sequential_mechanism = make_mechanism(seed)
+    sequential = [sequential_mechanism.randomise(a) for a in answers]
+    assert len(batched) == len(sequential)
+    for got, expected in zip(batched, sequential):
+        assert np.array_equal(got, np.atleast_1d(expected))
+
+
+def test_randomise_many_preserves_shapes_and_empty():
+    mech = LaplaceMechanism(epsilon=1.0, rng=0)
+    out = mech.randomise_many([np.zeros((2, 3)), 5.0, [1.0, 2.0]])
+    assert out[0].shape == (2, 3) and out[1].shape == (1,) and out[2].shape == (2,)
+    assert mech.randomise_many([]) == []
+
+
+def test_geometric_randomise_batch_stays_integral():
+    values = np.array([3.0, 10.0, 0.0])
+    noised = GeometricMechanism(epsilon=0.5, rng=4).randomise_batch(values)
+    assert np.array_equal(noised, np.round(noised))
+
+
+# ----------------------------------------------------------------------
+# Pipeline parity
+# ----------------------------------------------------------------------
+def _release_pair(mechanism: str, seed: int, queries=None):
+    releases = {}
+    for engine in ("reference", "vectorized"):
+        graph = generate_dblp_like(num_authors=120, seed=9)
+        config = DisclosureConfig(
+            epsilon_g=0.8,
+            mechanism=mechanism,
+            specialization=SpecializationConfig(num_levels=5),
+            engine=engine,
+        )
+        discloser = MultiLevelDiscloser(config=config, queries=queries, rng=seed)
+        releases[engine] = discloser.disclose(graph)
+    return releases["reference"], releases["vectorized"]
+
+
+@pytest.mark.parametrize("mechanism", ["gaussian", "laplace", "analytic_gaussian"])
+def test_discloser_release_parity(mechanism):
+    reference, vectorized = _release_pair(mechanism, seed=31)
+    assert reference.levels() == vectorized.levels()
+    for level in reference.levels():
+        ref_level, vec_level = reference.level(level), vectorized.level(level)
+        assert ref_level.sensitivity == vec_level.sensitivity
+        assert ref_level.noise_scale == vec_level.noise_scale
+        assert ref_level.answers == vec_level.answers
+
+
+def test_discloser_release_parity_multi_query_workload():
+    queries = [TotalAssociationCountQuery(), DegreeHistogramQuery(max_degree=15)]
+    reference, vectorized = _release_pair("gaussian", seed=5, queries=queries)
+    for level in reference.levels():
+        assert reference.level(level).answers == vectorized.level(level).answers
+
+
+def test_discloser_geometric_true_answer_parity():
+    """Geometric batch noise interleaves its two streams differently, so only
+    the *true* answers (and calibration) are asserted identical."""
+    reference, vectorized = _release_pair("geometric", seed=13)
+    assert reference.levels() == vectorized.levels()
+    for level in reference.levels():
+        assert reference.level(level).sensitivity == vectorized.level(level).sensitivity
+        assert reference.level(level).noise_scale == vectorized.level(level).noise_scale
+
+
+def test_specializer_hierarchy_parity():
+    """Phase-1 split scoring is bit-identical with and without compiled arrays."""
+    hierarchies = {}
+    for engine in ("reference", "vectorized"):
+        graph = generate_dblp_like(num_authors=150, seed=21)
+        if engine == "vectorized":
+            graph.arrays()
+        specializer = Specializer(config=SpecializationConfig(num_levels=5), rng=77)
+        hierarchies[engine] = specializer.build(graph).hierarchy
+    ref, vec = hierarchies["reference"], hierarchies["vectorized"]
+    assert ref.level_indices() == vec.level_indices()
+    for level in ref.level_indices():
+        ref_groups = {g.group_id: g.members for g in ref.partition_at(level).groups()}
+        vec_groups = {g.group_id: g.members for g in vec.partition_at(level).groups()}
+        assert ref_groups == vec_groups
+
+
+@pytest.mark.parametrize("baseline", ["individual", "naive", "uniform"])
+def test_baseline_engine_parity(baseline):
+    def build(engine):
+        # A fresh graph per engine: the opportunistic cached-arrays fast
+        # paths key off the graph object, so sharing one graph would let the
+        # vectorized run leave compiled arrays behind and silently
+        # accelerate (and thereby stop discriminating) the reference run.
+        graph = generate_dblp_like(num_authors=200, seed=42)
+        hierarchy = Specializer(config=SpecializationConfig(num_levels=5), rng=11).build(graph).hierarchy
+        if baseline == "individual":
+            return IndividualDPDiscloser(mechanism="gaussian", rng=3, engine=engine).as_multi_level_release(
+                graph, hierarchy
+            )
+        if baseline == "naive":
+            return NaiveGroupDPDiscloser(rng=3, engine=engine).disclose(graph, hierarchy)
+        return UniformNoiseDiscloser(rng=3, engine=engine).disclose(graph, hierarchy)
+
+    reference, vectorized = build("reference"), build("vectorized")
+    assert reference.levels() == vectorized.levels()
+    for level in reference.levels():
+        assert reference.level(level).answers == vectorized.level(level).answers
+
+
+def test_split_scores_parity_for_non_prefix_candidates():
+    """The batched prefix-sum scorer must reject candidate sets that are not
+    prefix cuts of one shared ordering and fall back to per-split scoring."""
+    from repro.grouping.scores import BalancedAssociationScore
+    from repro.grouping.splitters import CandidateSplit
+
+    graph = BipartiteGraph()
+    graph.add_left_nodes(["a0", "a1"])
+    graph.add_right_nodes(["b0", "b1"])
+    graph.add_associations([("a0", "b0"), ("a0", "b1"), ("a1", "b1")])
+    # Same part_a, different (non-complementary) part_b: a custom splitter
+    # could legally produce this shape.
+    splits = [
+        CandidateSplit(part_a=("a0",), part_b=("b0",)),
+        CandidateSplit(part_a=("a0",), part_b=("b1",)),
+        CandidateSplit(part_a=("a1", "b0"), part_b=("b1",)),
+    ]
+    score = BalancedAssociationScore()
+    reference = [score.score(graph, split) for split in splits]
+    graph.arrays()  # enable the vectorized path
+    vectorized = score.scores(graph, splits)
+    assert vectorized.tolist() == reference
+
+
+def test_safe_grouping_engine_parity(pharmacy_graph):
+    reference = SafeGroupingDiscloser(k=3, rng=7, engine="reference").disclose(pharmacy_graph)
+    vectorized = SafeGroupingDiscloser(k=3, rng=7, engine="vectorized").disclose(pharmacy_graph)
+    assert reference.group_pair_counts == vectorized.group_pair_counts
+    assert reference.total_associations() == vectorized.total_associations()
