@@ -44,6 +44,44 @@ Batched query evaluation is also available directly: build a
 ``workload.evaluate_batch(graph)`` to answer every member query from one
 compiled array view, or pass ``arrays=graph.arrays()`` to share the view
 across workloads.
+
+Parallel execution
+------------------
+The disclosure core is a staged pipeline
+(``specialize -> compile -> calibrate -> perturb -> assemble``; see
+:class:`~repro.core.pipeline.DisclosurePipeline`) whose independent work —
+per-level noise injection, per-trial Monte-Carlo runs — fans out through a
+pluggable :class:`~repro.execution.Executor`.  Select it with
+``DisclosureConfig(executor=...)``: ``"serial"`` (default), ``"thread"``, or
+``"process"`` for CPU-bound fan-out across cores.  Every task carries its own
+derived :class:`numpy.random.SeedSequence`, so for the same seed all three
+executors produce **bit-identical** releases.
+
+>>> config = DisclosureConfig(epsilon_g=0.5, executor="process")
+>>> release = MultiLevelDiscloser(config, rng=1).disclose(graph)
+
+The evaluation harnesses take the same selector, e.g.
+``run_figure1_trials(config=Figure1Config(executor="process"))`` distributes
+the 25-trial Figure-1 Monte-Carlo over all cores
+(``benchmarks/results/parallel.json`` records the measured speedup).
+
+The release store
+-----------------
+A release spends its privacy budget whether or not it is kept, so persist it
+and serve it instead of re-disclosing.  :class:`~repro.core.store.ReleaseStore`
+round-trips releases losslessly (JSON structure + float64 npz answers):
+
+>>> import tempfile
+>>> store = ReleaseStore(tempfile.mkdtemp())
+>>> key = store.save(release)
+>>> store.load(key).to_dict() == release.to_dict()
+True
+
+``GraphPublisher.export_views(..., store=...)`` persists the full release
+alongside the per-role view documents, ``repro disclose --store DIR``
+populates a store from the command line, and ``repro report --store DIR
+--key KEY`` re-renders Figure-1-style per-level metrics from the stored
+artefact without touching the graph again.
 """
 
 from repro.accounting.budget import BudgetLedger, PrivacyBudget
@@ -52,11 +90,14 @@ from repro.core.certificate import PrivacyCertificate, verify_release
 from repro.core.config import DisclosureConfig
 from repro.core.discloser import MultiLevelDiscloser
 from repro.core.publisher import GraphPublisher
+from repro.core.pipeline import DisclosurePipeline
 from repro.core.release import LevelRelease, MultiLevelRelease
+from repro.core.store import ReleaseStore
 from repro.datasets.dblp_like import generate_dblp_like
 from repro.datasets.movielens_like import generate_movie_ratings
 from repro.datasets.pharmacy import generate_pharmacy_purchases
 from repro.datasets.registry import load_dataset
+from repro.execution import ProcessExecutor, SerialExecutor, ThreadExecutor, make_executor
 from repro.graphs.arrays import GraphArrays
 from repro.graphs.bipartite import BipartiteGraph, Side
 from repro.grouping.hierarchy import GroupHierarchy
@@ -97,6 +138,13 @@ __all__ = [
     "InformationLevel",
     "PrivacyCertificate",
     "verify_release",
+    "DisclosurePipeline",
+    "ReleaseStore",
+    # execution
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
     # graphs & datasets
     "BipartiteGraph",
     "GraphArrays",

@@ -6,25 +6,79 @@ release a single noisy answer.  It is very accurate — and provides *no*
 group-level guarantee beyond the weak one implied by the group-privacy lemma,
 which the benchmark harness makes explicit by reporting the implied group
 epsilon for each hierarchy level.
+
+The single perturbation runs through the shared staged pipeline
+(compile -> calibrate -> perturb) with a one-plan
+:class:`IndividualCalibrateStage`; :meth:`as_multi_level_release` then
+replicates that answer across the requested levels with the lemma-implied
+guarantees.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Union
+from typing import Dict, Iterable, Optional
 
+from repro.core.common import DiscloseSeedStream, WorkloadLike, build_mechanism, normalise_workload
+from repro.core.pipeline import (
+    CalibrateStage,
+    CompileStage,
+    DisclosurePipeline,
+    LevelPlan,
+    PerturbStage,
+    PipelineContext,
+)
 from repro.core.release import LevelRelease, MultiLevelRelease
+from repro.execution import ExecutorSpec
 from repro.graphs.bipartite import BipartiteGraph
 from repro.grouping.hierarchy import GroupHierarchy
 from repro.mechanisms.base import PrivacyCost
-from repro.mechanisms.gaussian import GaussianMechanism
-from repro.mechanisms.laplace import LaplaceMechanism
 from repro.privacy.conversion import group_guarantee_from_individual
 from repro.privacy.guarantees import IndividualPrivacyGuarantee, PrivacyUnit
-from repro.queries.base import Query
-from repro.queries.counts import TotalAssociationCountQuery
-from repro.queries.workload import QueryWorkload, noisy_workload_answers
-from repro.utils.rng import RandomState, derive_rng
+from repro.utils.rng import RandomState
 from repro.utils.validation import check_engine, check_fraction, check_positive
+
+
+class IndividualCalibrateStage(CalibrateStage):
+    """Record-level calibration: one plan covering the whole release."""
+
+    name = "calibrate-individual"
+    description = "classical record-level differential privacy"
+
+    def __init__(self, epsilon_i: float, delta: float, mechanism: str):
+        self.epsilon_i = epsilon_i
+        self.delta = delta
+        self.mechanism = mechanism
+
+    def mechanism_for(self, context: PipelineContext) -> str:
+        return self.mechanism
+
+    def delta_for(self, context: PipelineContext) -> Optional[float]:
+        return self.delta
+
+    def sensitivity_for(self, context: PipelineContext, level: int) -> float:
+        if self.mechanism == "gaussian":
+            return context.workload.l2_sensitivity(context.graph, adjacency="individual")
+        return context.workload.l1_sensitivity(context.graph, adjacency="individual")
+
+    def epsilons_for(self, context: PipelineContext) -> Dict[int, float]:
+        return {0: self.epsilon_i}
+
+    def run(self, context: PipelineContext) -> None:
+        # No hierarchy: a single pseudo-level plan carries the whole release.
+        sensitivity = self.sensitivity_for(context, 0)
+        context.sensitivities = {0: sensitivity}
+        context.epsilons = self.epsilons_for(context)
+        context.plans = [
+            LevelPlan(
+                level=0,
+                epsilon=self.epsilon_i,
+                sensitivity=sensitivity,
+                mechanism=self.mechanism,
+                delta=self.delta,
+                noise_seed=context.level_seed(0),
+                description=self.description,
+            )
+        ]
 
 
 class IndividualDPDiscloser:
@@ -49,9 +103,10 @@ class IndividualDPDiscloser:
         epsilon_i: float = 1.0,
         delta: float = 1e-5,
         mechanism: str = "laplace",
-        queries: Union[None, Query, Iterable[Query], QueryWorkload] = None,
+        queries: WorkloadLike = None,
         rng: RandomState = None,
         engine: str = "vectorized",
+        executor: ExecutorSpec = None,
     ):
         self.epsilon_i = check_positive(epsilon_i, "epsilon_i")
         self.delta = check_fraction(delta, "delta")
@@ -59,34 +114,28 @@ class IndividualDPDiscloser:
             raise ValueError(f"mechanism must be 'laplace' or 'gaussian', got {mechanism!r}")
         self.mechanism = mechanism
         self.engine = check_engine(engine)
-        if queries is None:
-            self.workload = QueryWorkload([TotalAssociationCountQuery()], name="individual-baseline")
-        elif isinstance(queries, QueryWorkload):
-            self.workload = queries
-        elif isinstance(queries, Query):
-            self.workload = QueryWorkload([queries])
-        else:
-            self.workload = QueryWorkload(list(queries))
-        self._rng = derive_rng(rng, "individual-dp-baseline")
-
-    def _make_mechanism(self, sensitivity: float):
-        if self.mechanism == "gaussian":
-            return GaussianMechanism(self.epsilon_i, self.delta, sensitivity, rng=self._rng)
-        return LaplaceMechanism(self.epsilon_i, sensitivity, rng=self._rng)
+        self.executor = executor
+        self.workload = normalise_workload(queries, default_name="individual-baseline")
+        self._noise_seeds = DiscloseSeedStream(rng, "individual-dp-baseline")
 
     def disclose(self, graph: BipartiteGraph) -> Dict[str, Dict[str, float]]:
         """Return the noisy workload answers under individual DP."""
-        sensitivity = (
-            self.workload.l2_sensitivity(graph, adjacency="individual")
-            if self.mechanism == "gaussian"
-            else self.workload.l1_sensitivity(graph, adjacency="individual")
+        noise_seed = self._noise_seeds.next()
+        pipeline = DisclosurePipeline(
+            [
+                CompileStage(),
+                IndividualCalibrateStage(self.epsilon_i, self.delta, self.mechanism),
+                PerturbStage(),
+            ]
         )
-        mech = self._make_mechanism(sensitivity)
-        batched = self.engine == "vectorized"
-        true_answers = (
-            self.workload.evaluate_batch(graph) if batched else self.workload.evaluate(graph)
+        context = PipelineContext(
+            graph=graph,
+            engine=self.engine,
+            workload=self.workload,
+            executor=self.executor,
+            noise_seed=noise_seed,
         )
-        return noisy_workload_answers(mech, true_answers, batched=batched)
+        return pipeline.run(context).outcomes[0].answers
 
     def guarantee(self) -> IndividualPrivacyGuarantee:
         """The record-level guarantee of :meth:`disclose`."""
@@ -133,8 +182,10 @@ class IndividualDPDiscloser:
             levels = [level for level in hierarchy.level_indices() if level < hierarchy.top_level]
         level_releases: Dict[int, LevelRelease] = {}
         base_delta = self.delta if self.mechanism == "gaussian" else 0.0
+        unit_scale = build_mechanism(
+            self.mechanism, self.epsilon_i, 1.0, delta=self.delta
+        ).noise_scale()
         for level in levels:
-            partition = hierarchy.partition_at(level)
             guarantee = group_guarantee_from_individual(
                 self.guarantee(), group_size=max(1, int(round(implied[level] / self.epsilon_i))), level=level
             )
@@ -143,7 +194,7 @@ class IndividualDPDiscloser:
                 answers={name: dict(values) for name, values in answers.items()},
                 guarantee=guarantee,
                 mechanism=self.mechanism,
-                noise_scale=self._make_mechanism(1.0).noise_scale(),
+                noise_scale=unit_scale,
                 sensitivity=1.0,
             )
         return MultiLevelRelease(

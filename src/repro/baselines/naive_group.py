@@ -8,24 +8,32 @@ associations), instead of measuring how many associations the groups actually
 touch as the paper's calibration does.  The resulting noise is never smaller
 and is often one to two orders of magnitude larger, which experiment E6
 quantifies.
+
+The release runs on the shared staged pipeline
+(:mod:`repro.core.pipeline`) — only the calibration stage differs: a
+:class:`~repro.core.pipeline.WorstCaseCalibrateStage` swaps the paper's
+measured group sensitivity for the lemma's worst-case bound.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Union
+from typing import Iterable, Optional
 
-from repro.core.release import LevelRelease, MultiLevelRelease
+from repro.core.common import DiscloseSeedStream, WorkloadLike, normalise_workload
+from repro.core.pipeline import (
+    AssembleStage,
+    CompileStage,
+    DisclosurePipeline,
+    PerturbStage,
+    PipelineContext,
+    WorstCaseCalibrateStage,
+    worst_case_group_sensitivity,
+)
+from repro.core.release import MultiLevelRelease
+from repro.execution import ExecutorSpec
 from repro.graphs.bipartite import BipartiteGraph
 from repro.grouping.hierarchy import GroupHierarchy
-from repro.mechanisms.base import PrivacyCost
-from repro.mechanisms.gaussian import GaussianMechanism
-from repro.mechanisms.laplace import LaplaceMechanism
-from repro.privacy.guarantees import GroupPrivacyGuarantee, PrivacyUnit
-from repro.privacy.sensitivity import node_count_sensitivity, scale_sensitivity
-from repro.queries.base import Query
-from repro.queries.counts import TotalAssociationCountQuery
-from repro.queries.workload import QueryWorkload, noisy_workload_answers
-from repro.utils.rng import RandomState, derive_rng
+from repro.utils.rng import RandomState
 from repro.utils.validation import check_engine, check_fraction, check_positive
 
 
@@ -43,6 +51,8 @@ class NaiveGroupDPDiscloser:
         Workload; defaults to the total association count.
     rng:
         Seed / generator.
+    executor:
+        Executor spec for the per-level perturbations (default serial).
     """
 
     def __init__(
@@ -50,9 +60,10 @@ class NaiveGroupDPDiscloser:
         epsilon_g: float = 1.0,
         delta: float = 1e-5,
         mechanism: str = "gaussian",
-        queries: Union[None, Query, Iterable[Query], QueryWorkload] = None,
+        queries: WorkloadLike = None,
         rng: RandomState = None,
         engine: str = "vectorized",
+        executor: ExecutorSpec = None,
     ):
         self.epsilon_g = check_positive(epsilon_g, "epsilon_g")
         self.delta = check_fraction(delta, "delta")
@@ -60,74 +71,45 @@ class NaiveGroupDPDiscloser:
             raise ValueError(f"mechanism must be 'laplace' or 'gaussian', got {mechanism!r}")
         self.mechanism = mechanism
         self.engine = check_engine(engine)
-        if queries is None:
-            self.workload = QueryWorkload([TotalAssociationCountQuery()], name="naive-group-baseline")
-        elif isinstance(queries, QueryWorkload):
-            self.workload = queries
-        elif isinstance(queries, Query):
-            self.workload = QueryWorkload([queries])
-        else:
-            self.workload = QueryWorkload(list(queries))
-        self._rng = derive_rng(rng, "naive-group-baseline")
+        self.executor = executor
+        self.workload = normalise_workload(queries, default_name="naive-group-baseline")
+        self._noise_seeds = DiscloseSeedStream(rng, "naive-group-baseline")
 
     def level_sensitivity(self, graph: BipartiteGraph, hierarchy: GroupHierarchy, level: int) -> float:
         """The lemma-style worst-case sensitivity bound at one level."""
-        partition = hierarchy.partition_at(level)
-        max_group_size = max(1, partition.max_group_size())
-        max_degree = max(1.0, node_count_sensitivity(graph))
-        return scale_sensitivity(float(max_group_size), max_degree)
-
-    def _make_mechanism(self, sensitivity: float):
-        if self.mechanism == "gaussian":
-            return GaussianMechanism(self.epsilon_g, self.delta, sensitivity, rng=self._rng)
-        return LaplaceMechanism(self.epsilon_g, sensitivity, rng=self._rng)
+        return worst_case_group_sensitivity(graph, hierarchy.partition_at(level))
 
     def disclose(
         self,
         graph: BipartiteGraph,
         hierarchy: GroupHierarchy,
         levels: Optional[Iterable[int]] = None,
+        executor: ExecutorSpec = None,
     ) -> MultiLevelRelease:
         """Release every requested level with lemma-calibrated noise."""
-        if levels is None:
-            levels = [level for level in hierarchy.level_indices() if level < hierarchy.top_level]
-        batched = self.engine == "vectorized"
-        true_answers = (
-            self.workload.evaluate_batch(graph) if batched else self.workload.evaluate(graph)
+        noise_seed = self._noise_seeds.next()
+        pipeline = DisclosurePipeline(
+            [
+                CompileStage(),
+                WorstCaseCalibrateStage(self.epsilon_g, self.delta, self.mechanism),
+                PerturbStage(),
+                AssembleStage(),
+            ]
         )
-        level_releases: Dict[int, LevelRelease] = {}
-        for level in levels:
-            partition = hierarchy.partition_at(level)
-            sensitivity = self.level_sensitivity(graph, hierarchy, level)
-            mech = self._make_mechanism(sensitivity)
-            cost = mech.privacy_cost()
-            answers = noisy_workload_answers(mech, true_answers, batched=batched)
-            guarantee = GroupPrivacyGuarantee(
-                epsilon=cost.epsilon,
-                delta=cost.delta,
-                unit=PrivacyUnit.GROUP,
-                description="naive group DP via the worst-case group-privacy lemma bound",
-                level=level,
-                num_groups=partition.num_groups(),
-                max_group_size=partition.max_group_size(),
-            )
-            level_releases[level] = LevelRelease(
-                level=level,
-                answers=answers,
-                guarantee=guarantee,
-                mechanism=self.mechanism,
-                noise_scale=mech.noise_scale(),
-                sensitivity=sensitivity,
-            )
-        return MultiLevelRelease(
-            dataset_name=graph.name,
-            level_releases=level_releases,
-            level_statistics=hierarchy.level_statistics(),
-            specialization_cost=PrivacyCost(0.0, 0.0),
-            config={
+        context = PipelineContext(
+            graph=graph,
+            engine=self.engine,
+            workload=self.workload,
+            hierarchy=hierarchy,
+            executor=executor if executor is not None else self.executor,
+            noise_seed=noise_seed,
+            requested_levels=sorted(levels) if levels is not None else None,
+            strict_levels=levels is not None,
+            release_config={
                 "baseline": "naive_group",
                 "epsilon_g": self.epsilon_g,
                 "delta": self.delta,
                 "mechanism": self.mechanism,
             },
         )
+        return pipeline.run(context).release

@@ -9,17 +9,30 @@ and publishes the exact (noise-free) group-pair counts, which makes it a
 useful syntactic point of comparison: zero noise error, but only a
 syntactic (k-anonymity-style) protection rather than a differential-privacy
 guarantee.
+
+Orchestration runs on the shared :class:`~repro.core.pipeline.DisclosurePipeline`
+framework with baseline-specific stages: :class:`SafeGroupStage` groups the
+two sides (independently, so they fan out through the executor — each side
+draws its insertion order from its own derived stream, keeping serial and
+parallel runs identical), :class:`PairCountStage` tabulates the group-pair
+counts, and :class:`SafeAssembleStage` packages the release.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, Hashable, List, Optional, Tuple
 
+import numpy as np
+
+from repro.core.pipeline import DisclosurePipeline, PipelineContext, PipelineStage
 from repro.exceptions import GroupingError
+from repro.execution import ExecutorSpec
 from repro.graphs.bipartite import BipartiteGraph, Side
 from repro.grouping.partition import Group, Partition
-from repro.utils.rng import RandomState, as_rng
+from repro.core.common import DiscloseSeedStream
+from repro.utils.rng import RandomState, derive_seedseq
 from repro.utils.validation import check_engine, check_positive_int
 
 Node = Hashable
@@ -57,77 +70,101 @@ class SafeGroupingRelease:
         }
 
 
-class SafeGroupingDiscloser:
-    """Greedy safe-grouping of both sides followed by exact count publication.
+def _greedy_safe_groups(
+    graph: BipartiteGraph,
+    side: Side,
+    k: int,
+    max_attempts: int,
+    seed: Optional[np.random.SeedSequence],
+) -> List[List[Node]]:
+    """Greedy assignment of one side's nodes into safety-respecting groups.
 
-    Parameters
-    ----------
-    k:
-        Minimum group size on each side.
-    max_attempts:
-        How many greedy passes to try before giving up on the safety
-        condition for a node (it is then placed in the smallest group,
-        sacrificing safety but never failing — matching the practical
-        variants of the original algorithm).
-    rng:
-        Seed / generator driving the greedy insertion order.
+    Module-level (process-picklable) task function; the insertion order comes
+    from the side's own derived stream, so the result is independent of
+    whether the other side is grouped before, after or concurrently.
     """
-
-    def __init__(self, k: int = 3, max_attempts: int = 50, rng: RandomState = None, engine: str = "vectorized"):
-        self.k = check_positive_int(k, "k")
-        self.max_attempts = check_positive_int(max_attempts, "max_attempts")
-        self.engine = check_engine(engine)
-        self._rng = as_rng(rng)
-
-    def _safe_groups(self, graph: BipartiteGraph, side: Side) -> List[List[Node]]:
-        """Greedy assignment of one side's nodes into safety-respecting groups."""
-        nodes = list(graph.left_nodes() if side is Side.LEFT else graph.right_nodes())
-        if not nodes:
-            return []
-        order = self._rng.permutation(len(nodes))
-        nodes = [nodes[i] for i in order]
-        num_groups = max(1, len(nodes) // self.k)
-        groups: List[List[Node]] = [[] for _ in range(num_groups)]
-        group_neighbourhoods: List[set] = [set() for _ in range(num_groups)]
-        for node in nodes:
-            neighbours = graph.neighbors(node)
-            placed = False
-            # Prefer the smallest group whose existing members share no neighbour.
-            candidate_order = sorted(range(num_groups), key=lambda g: len(groups[g]))
-            for attempt, g in enumerate(candidate_order):
-                if attempt >= self.max_attempts:
-                    break
-                if group_neighbourhoods[g].isdisjoint(neighbours):
-                    groups[g].append(node)
-                    group_neighbourhoods[g].update(neighbours)
-                    placed = True
-                    break
-            if not placed:
-                g = candidate_order[0]
+    rng = np.random.default_rng(seed)
+    nodes = list(graph.left_nodes() if side is Side.LEFT else graph.right_nodes())
+    if not nodes:
+        return []
+    order = rng.permutation(len(nodes))
+    nodes = [nodes[i] for i in order]
+    num_groups = max(1, len(nodes) // k)
+    groups: List[List[Node]] = [[] for _ in range(num_groups)]
+    group_neighbourhoods: List[set] = [set() for _ in range(num_groups)]
+    for node in nodes:
+        neighbours = graph.neighbors(node)
+        placed = False
+        # Prefer the smallest group whose existing members share no neighbour.
+        candidate_order = sorted(range(num_groups), key=lambda g: len(groups[g]))
+        for attempt, g in enumerate(candidate_order):
+            if attempt >= max_attempts:
+                break
+            if group_neighbourhoods[g].isdisjoint(neighbours):
                 groups[g].append(node)
                 group_neighbourhoods[g].update(neighbours)
-        return [group for group in groups if group]
+                placed = True
+                break
+        if not placed:
+            g = candidate_order[0]
+            groups[g].append(node)
+            group_neighbourhoods[g].update(neighbours)
+    return [group for group in groups if group]
 
-    def disclose(self, graph: BipartiteGraph) -> SafeGroupingRelease:
-        """Group both sides and publish the exact group-pair counts."""
-        if graph.num_nodes() == 0:
-            raise GroupingError("cannot safe-group an empty graph")
-        left_groups = self._safe_groups(graph, Side.LEFT)
-        right_groups = self._safe_groups(graph, Side.RIGHT)
-        left_partition = Partition(
-            [
-                Group(group_id=f"SGL{i}", members=frozenset(members), side="left")
-                for i, members in enumerate(left_groups)
-            ]
+
+def _group_side(
+    side: Side,
+    graph: BipartiteGraph,
+    k: int,
+    max_attempts: int,
+    seed: Optional[np.random.SeedSequence],
+) -> Partition:
+    """Group one side and wrap it into a partition (executor task)."""
+    prefix = "SGL" if side is Side.LEFT else "SGR"
+    side_name = "left" if side is Side.LEFT else "right"
+    side_seed = derive_seedseq(seed, f"safe-{side_name}") if seed is not None else None
+    groups = _greedy_safe_groups(graph, side, k, max_attempts, side_seed)
+    return Partition(
+        [
+            Group(group_id=f"{prefix}{i}", members=frozenset(members), side=side_name)
+            for i, members in enumerate(groups)
+        ]
+    )
+
+
+class SafeGroupStage(PipelineStage):
+    """Group both sides, fanning the two independent sides out per executor."""
+
+    name = "safe-group"
+
+    def __init__(self, k: int, max_attempts: int):
+        self.k = k
+        self.max_attempts = max_attempts
+
+    def run(self, context: PipelineContext) -> None:
+        task = partial(
+            _group_side,
+            graph=context.graph,
+            k=self.k,
+            max_attempts=self.max_attempts,
+            seed=context.noise_seed,
         )
-        right_partition = Partition(
-            [
-                Group(group_id=f"SGR{j}", members=frozenset(members), side="right")
-                for j, members in enumerate(right_groups)
-            ]
-        )
+        left, right = context.executor.map(task, [Side.LEFT, Side.RIGHT])
+        context.extras["left_partition"] = left
+        context.extras["right_partition"] = right
+
+
+class PairCountStage(PipelineStage):
+    """Tabulate the exact group-pair association counts."""
+
+    name = "pair-count"
+
+    def run(self, context: PipelineContext) -> None:
+        graph = context.graph
+        left_partition: Partition = context.extras["left_partition"]
+        right_partition: Partition = context.extras["right_partition"]
         counts: Dict[Tuple[str, str], int] = {}
-        if self.engine == "vectorized":
+        if context.engine == "vectorized":
             # One bincount over the compiled edge arrays replaces the
             # per-association Python loop.
             matrix = graph.arrays().cross_group_matrix(left_partition, right_partition)
@@ -142,13 +179,77 @@ class SafeGroupingDiscloser:
             for left, right in graph.associations():
                 key = (left_of[left], right_of[right])
                 counts[key] = counts.get(key, 0) + 1
-        return SafeGroupingRelease(
-            dataset_name=graph.name,
-            left_partition=left_partition,
-            right_partition=right_partition,
-            group_pair_counts=counts,
+        context.extras["group_pair_counts"] = counts
+
+
+class SafeAssembleStage(PipelineStage):
+    """Package partitions and counts into a :class:`SafeGroupingRelease`."""
+
+    name = "safe-assemble"
+
+    def __init__(self, k: int):
+        self.k = k
+
+    def run(self, context: PipelineContext) -> None:
+        context.extras["safe_release"] = SafeGroupingRelease(
+            dataset_name=context.graph.name,
+            left_partition=context.extras["left_partition"],
+            right_partition=context.extras["right_partition"],
+            group_pair_counts=context.extras["group_pair_counts"],
             k=self.k,
         )
+
+
+class SafeGroupingDiscloser:
+    """Greedy safe-grouping of both sides followed by exact count publication.
+
+    Parameters
+    ----------
+    k:
+        Minimum group size on each side.
+    max_attempts:
+        How many greedy passes to try before giving up on the safety
+        condition for a node (it is then placed in the smallest group,
+        sacrificing safety but never failing — matching the practical
+        variants of the original algorithm).
+    rng:
+        Seed / generator driving the greedy insertion orders (each side
+        derives its own stream).
+    executor:
+        Executor spec; the two sides are grouped concurrently when a
+        parallel executor is configured.
+    """
+
+    def __init__(
+        self,
+        k: int = 3,
+        max_attempts: int = 50,
+        rng: RandomState = None,
+        engine: str = "vectorized",
+        executor: ExecutorSpec = None,
+    ):
+        self.k = check_positive_int(k, "k")
+        self.max_attempts = check_positive_int(max_attempts, "max_attempts")
+        self.engine = check_engine(engine)
+        self.executor = executor
+        self._seeds = DiscloseSeedStream(rng, "safe-grouping")
+
+    def disclose(self, graph: BipartiteGraph) -> SafeGroupingRelease:
+        """Group both sides and publish the exact group-pair counts."""
+        if graph.num_nodes() == 0:
+            raise GroupingError("cannot safe-group an empty graph")
+        seed = self._seeds.next()
+        pipeline = DisclosurePipeline(
+            [
+                SafeGroupStage(self.k, self.max_attempts),
+                PairCountStage(),
+                SafeAssembleStage(self.k),
+            ]
+        )
+        context = PipelineContext(
+            graph=graph, engine=self.engine, executor=self.executor, noise_seed=seed
+        )
+        return pipeline.run(context).extras["safe_release"]
 
     @staticmethod
     def safety_violations(graph: BipartiteGraph, release: SafeGroupingRelease) -> int:

@@ -7,23 +7,30 @@ level's guarantee but wastes all the utility head-room at the fine-grained
 levels — experiment E6 uses it to show that the *multi-level* aspect of the
 paper's pipeline (different noise per level) is what delivers the privilege /
 accuracy trade-off, not merely the group-aware sensitivity.
+
+The release runs on the shared staged pipeline with a
+:class:`~repro.core.pipeline.UniformCalibrateStage` that measures the
+coarsest level's sensitivity once and reuses it for every level.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Union
+from typing import Iterable, Optional
 
-from repro.core.release import LevelRelease, MultiLevelRelease
+from repro.core.common import DiscloseSeedStream, WorkloadLike, normalise_workload
+from repro.core.pipeline import (
+    AssembleStage,
+    CompileStage,
+    DisclosurePipeline,
+    PerturbStage,
+    PipelineContext,
+    UniformCalibrateStage,
+)
+from repro.core.release import MultiLevelRelease
+from repro.execution import ExecutorSpec
 from repro.graphs.bipartite import BipartiteGraph
 from repro.grouping.hierarchy import GroupHierarchy
-from repro.mechanisms.base import PrivacyCost
-from repro.mechanisms.gaussian import GaussianMechanism
-from repro.privacy.guarantees import GroupPrivacyGuarantee, PrivacyUnit
-from repro.privacy.sensitivity import group_count_sensitivity
-from repro.queries.base import Query
-from repro.queries.counts import TotalAssociationCountQuery
-from repro.queries.workload import QueryWorkload, noisy_workload_answers
-from repro.utils.rng import RandomState, derive_rng
+from repro.utils.rng import RandomState
 from repro.utils.validation import check_engine, check_fraction, check_positive
 
 
@@ -34,67 +41,48 @@ class UniformNoiseDiscloser:
         self,
         epsilon_g: float = 1.0,
         delta: float = 1e-5,
-        queries: Union[None, Query, Iterable[Query], QueryWorkload] = None,
+        queries: WorkloadLike = None,
         rng: RandomState = None,
         engine: str = "vectorized",
+        executor: ExecutorSpec = None,
     ):
         self.epsilon_g = check_positive(epsilon_g, "epsilon_g")
         self.delta = check_fraction(delta, "delta")
         self.engine = check_engine(engine)
-        if queries is None:
-            self.workload = QueryWorkload([TotalAssociationCountQuery()], name="uniform-noise-baseline")
-        elif isinstance(queries, QueryWorkload):
-            self.workload = queries
-        elif isinstance(queries, Query):
-            self.workload = QueryWorkload([queries])
-        else:
-            self.workload = QueryWorkload(list(queries))
-        self._rng = derive_rng(rng, "uniform-noise-baseline")
+        self.executor = executor
+        self.workload = normalise_workload(queries, default_name="uniform-noise-baseline")
+        self._noise_seeds = DiscloseSeedStream(rng, "uniform-noise-baseline")
 
     def disclose(
         self,
         graph: BipartiteGraph,
         hierarchy: GroupHierarchy,
         levels: Optional[Iterable[int]] = None,
+        executor: ExecutorSpec = None,
     ) -> MultiLevelRelease:
         """Release every level with noise calibrated to the coarsest level."""
-        if levels is None:
-            levels = [level for level in hierarchy.level_indices() if level < hierarchy.top_level]
-        levels = sorted(levels)
-        coarsest = max(levels)
-        batched = self.engine == "vectorized"
-        if batched:
-            graph.arrays()  # compile once: sensitivity and evaluation share the view
-        worst_sensitivity = group_count_sensitivity(graph, hierarchy.partition_at(coarsest))
-        true_answers = (
-            self.workload.evaluate_batch(graph) if batched else self.workload.evaluate(graph)
+        noise_seed = self._noise_seeds.next()
+        pipeline = DisclosurePipeline(
+            [
+                CompileStage(),
+                UniformCalibrateStage(self.epsilon_g, self.delta, "gaussian"),
+                PerturbStage(),
+                AssembleStage(),
+            ]
         )
-        level_releases: Dict[int, LevelRelease] = {}
-        for level in levels:
-            partition = hierarchy.partition_at(level)
-            mech = GaussianMechanism(self.epsilon_g, self.delta, worst_sensitivity, rng=self._rng)
-            answers = noisy_workload_answers(mech, true_answers, batched=batched)
-            guarantee = GroupPrivacyGuarantee(
-                epsilon=self.epsilon_g,
-                delta=self.delta,
-                unit=PrivacyUnit.GROUP,
-                description="uniform noise calibrated to the coarsest level",
-                level=level,
-                num_groups=partition.num_groups(),
-                max_group_size=partition.max_group_size(),
-            )
-            level_releases[level] = LevelRelease(
-                level=level,
-                answers=answers,
-                guarantee=guarantee,
-                mechanism="gaussian",
-                noise_scale=mech.noise_scale(),
-                sensitivity=worst_sensitivity,
-            )
-        return MultiLevelRelease(
-            dataset_name=graph.name,
-            level_releases=level_releases,
-            level_statistics=hierarchy.level_statistics(),
-            specialization_cost=PrivacyCost(0.0, 0.0),
-            config={"baseline": "uniform_noise", "epsilon_g": self.epsilon_g, "delta": self.delta},
+        context = PipelineContext(
+            graph=graph,
+            engine=self.engine,
+            workload=self.workload,
+            hierarchy=hierarchy,
+            executor=executor if executor is not None else self.executor,
+            noise_seed=noise_seed,
+            requested_levels=sorted(levels) if levels is not None else None,
+            strict_levels=levels is not None,
+            release_config={
+                "baseline": "uniform_noise",
+                "epsilon_g": self.epsilon_g,
+                "delta": self.delta,
+            },
         )
+        return pipeline.run(context).release

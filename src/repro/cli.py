@@ -1,13 +1,17 @@
 """Command-line interface.
 
-Three subcommands cover the common publisher workflows without writing any
+Four subcommands cover the common publisher workflows without writing any
 Python:
 
 * ``repro generate`` — build a synthetic dataset and write it as an edge list;
 * ``repro disclose`` — run the full multi-level group-private disclosure of a
-  graph (synthetic or loaded from an edge list) and write the release JSON;
+  graph (synthetic or loaded from an edge list) and write the release JSON
+  and/or persist it into a :class:`~repro.core.store.ReleaseStore`;
 * ``repro figure1``  — regenerate the paper's Figure 1 table on a synthetic
-  graph and print / save it.
+  graph and print / save it (``--per-trial`` runs the full-pipeline
+  Monte-Carlo, parallelisable with ``--executor process``);
+* ``repro report``   — re-render Figure-1-style per-level metrics from a
+  release persisted in a store, without re-disclosing.
 
 The module exposes :func:`main` (also installed as the ``repro`` console
 script) and :func:`build_parser` for testing.
@@ -23,9 +27,18 @@ from typing import List, Optional
 from repro.core.config import DisclosureConfig
 from repro.core.discloser import MultiLevelDiscloser
 from repro.core.certificate import verify_release
+from repro.core.store import ReleaseStore
+from repro.exceptions import ReleaseIntegrityError
 from repro.datasets.registry import available_datasets, load_dataset
-from repro.evaluation.figure1 import Figure1Config, run_figure1, run_figure1_analytic
+from repro.evaluation.figure1 import (
+    Figure1Config,
+    figure1_metrics_from_release,
+    run_figure1,
+    run_figure1_analytic,
+    run_figure1_trials,
+)
 from repro.evaluation.reporting import format_table
+from repro.execution import EXECUTOR_NAMES
 from repro.graphs.io import read_edge_list, write_edge_list
 from repro.grouping.specialization import SpecializationConfig
 from repro.utils.serialization import to_json_file
@@ -58,15 +71,45 @@ def build_parser() -> argparse.ArgumentParser:
         default="gaussian",
     )
     disclose.add_argument("--seed", type=int, default=0)
-    disclose.add_argument("--output", type=Path, required=True, help="release JSON to write")
+    disclose.add_argument(
+        "--executor",
+        choices=list(EXECUTOR_NAMES),
+        default="serial",
+        help="where per-level perturbation runs (bit-identical in all cases)",
+    )
+    disclose.add_argument("--output", type=Path, help="release JSON to write")
+    disclose.add_argument(
+        "--store", type=Path, help="release-store directory to persist the release into"
+    )
 
     figure1 = subparsers.add_parser("figure1", help="reproduce the paper's Figure 1 table")
     figure1.add_argument("--scale", default="tiny")
     figure1.add_argument("--levels", type=int, default=9)
     figure1.add_argument("--trials", type=int, default=25)
     figure1.add_argument("--seed", type=int, default=20170605)
-    figure1.add_argument("--analytic", action="store_true", help="use the closed-form expected RER")
+    figure1_mode = figure1.add_mutually_exclusive_group()
+    figure1_mode.add_argument(
+        "--analytic", action="store_true", help="use the closed-form expected RER"
+    )
+    figure1_mode.add_argument(
+        "--per-trial",
+        action="store_true",
+        help="Monte-Carlo over the full pipeline (fresh specialization per trial)",
+    )
+    figure1.add_argument(
+        "--executor",
+        choices=list(EXECUTOR_NAMES),
+        default="serial",
+        help="executor for the trial fan-out (use 'process' with --per-trial)",
+    )
     figure1.add_argument("--output", type=Path, help="optional JSON file for the result")
+
+    report = subparsers.add_parser(
+        "report", help="re-render per-level metrics from a stored release (no re-disclosure)"
+    )
+    report.add_argument("--store", type=Path, required=True, help="release-store directory")
+    report.add_argument("--key", help="release key (omit to list the stored keys)")
+    report.add_argument("--output", type=Path, help="optional JSON file for the metrics rows")
 
     return parser
 
@@ -80,6 +123,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_disclose(args: argparse.Namespace) -> int:
+    if args.output is None and args.store is None:
+        print("disclose: provide --output and/or --store", file=sys.stderr)
+        return 2
     if args.input is not None:
         graph = read_edge_list(args.input, name=args.input.stem)
     else:
@@ -89,22 +135,60 @@ def _cmd_disclose(args: argparse.Namespace) -> int:
         delta=args.delta,
         mechanism=args.mechanism,
         specialization=SpecializationConfig(num_levels=args.levels),
+        executor=args.executor,
     )
     release = MultiLevelDiscloser(config=config, rng=args.seed).disclose(graph)
-    to_json_file(release.to_dict(), args.output)
+    if args.output is not None:
+        to_json_file(release.to_dict(), args.output)
+        print(f"wrote release with levels {release.levels()} to {args.output}")
+    if args.store is not None:
+        key = ReleaseStore(args.store).save(release)
+        print(f"stored release under key {key!r} in {args.store}")
     certificate = verify_release(release)
-    print(f"wrote release with levels {release.levels()} to {args.output}")
     print("\n".join(certificate.summary_lines()))
     return 0
 
 
 def _cmd_figure1(args: argparse.Namespace) -> int:
-    config = Figure1Config(num_levels=args.levels, num_trials=args.trials, scale=args.scale, seed=args.seed)
-    runner = run_figure1_analytic if args.analytic else run_figure1
-    result = runner(config=config)
+    config = Figure1Config(
+        num_levels=args.levels,
+        num_trials=args.trials,
+        scale=args.scale,
+        seed=args.seed,
+        executor=args.executor,
+    )
+    if args.analytic:
+        result = run_figure1_analytic(config=config)
+    elif args.per_trial:
+        result = run_figure1_trials(config=config)
+    else:
+        result = run_figure1(config=config)
     print(result.format_table())
     if args.output is not None:
         to_json_file(result.to_dict(), args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = ReleaseStore(args.store)
+    if args.key is None:
+        keys = store.keys()
+        if not keys:
+            print(f"no releases stored in {args.store}")
+        else:
+            print("\n".join(keys))
+        return 0
+    try:
+        release = store.load(args.key)
+    except ReleaseIntegrityError as error:
+        print(f"report: {error}", file=sys.stderr)
+        return 2
+    rows = figure1_metrics_from_release(release)
+    print(f"release {args.key!r}: dataset={release.dataset_name}, levels={release.levels()}")
+    print(format_table(rows))
+    if args.output is not None:
+        to_json_file({"key": args.key, "rows": rows}, args.output)
         print(f"wrote {args.output}")
     return 0
 
@@ -113,6 +197,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "disclose": _cmd_disclose,
     "figure1": _cmd_figure1,
+    "report": _cmd_report,
 }
 
 

@@ -20,11 +20,28 @@ their privilege.
 """
 
 from repro.core.config import DisclosureConfig
+from repro.core.common import build_mechanism, normalise_workload
 from repro.core.discloser import MultiLevelDiscloser
+from repro.core.pipeline import (
+    AssembleStage,
+    CalibrateStage,
+    CompileStage,
+    DisclosurePipeline,
+    GroupCalibrateStage,
+    LevelOutcome,
+    LevelPlan,
+    PerturbStage,
+    PipelineContext,
+    PipelineStage,
+    SpecializeStage,
+    UniformCalibrateStage,
+    WorstCaseCalibrateStage,
+)
 from repro.core.release import LevelRelease, MultiLevelRelease
 from repro.core.access import AccessPolicy, InformationLevel
 from repro.core.certificate import PrivacyCertificate, verify_release
 from repro.core.publisher import GraphPublisher
+from repro.core.store import ReleaseStore
 
 __all__ = [
     "DisclosureConfig",
@@ -36,4 +53,21 @@ __all__ = [
     "PrivacyCertificate",
     "verify_release",
     "GraphPublisher",
+    "ReleaseStore",
+    # staged pipeline
+    "DisclosurePipeline",
+    "PipelineContext",
+    "PipelineStage",
+    "SpecializeStage",
+    "CompileStage",
+    "CalibrateStage",
+    "GroupCalibrateStage",
+    "WorstCaseCalibrateStage",
+    "UniformCalibrateStage",
+    "PerturbStage",
+    "AssembleStage",
+    "LevelPlan",
+    "LevelOutcome",
+    "build_mechanism",
+    "normalise_workload",
 ]

@@ -1,0 +1,105 @@
+"""Helpers shared by the discloser, the baselines and the pipeline stages.
+
+Before the staged pipeline existed, every discloser hand-rolled the same two
+chores — normalising whatever the caller passed as a workload, and turning a
+mechanism name into a calibrated mechanism instance — in four slightly
+divergent copies.  They live here once, so a new mechanism or workload shape
+is wired up in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import DisclosureError
+from repro.mechanisms.base import NumericMechanism
+from repro.mechanisms.gaussian import AnalyticGaussianMechanism, GaussianMechanism
+from repro.mechanisms.geometric import GeometricMechanism
+from repro.mechanisms.laplace import LaplaceMechanism
+from repro.queries.base import Query
+from repro.queries.counts import TotalAssociationCountQuery
+from repro.queries.workload import QueryWorkload
+from repro.utils.rng import RandomState, derive_seedseq
+
+WorkloadLike = Union[None, Query, Iterable[Query], QueryWorkload]
+
+#: Mechanism names accepted by :func:`build_mechanism`.
+MECHANISM_BUILDERS: Tuple[str, ...] = ("gaussian", "analytic_gaussian", "laplace", "geometric")
+
+#: Mechanism names that calibrate to the L2 sensitivity (and consume delta).
+L2_MECHANISMS: Tuple[str, ...] = ("gaussian", "analytic_gaussian")
+
+
+def normalise_workload(queries: WorkloadLike, default_name: str = "paper-count-workload") -> QueryWorkload:
+    """Coerce ``None`` / a query / an iterable of queries into a workload.
+
+    ``None`` yields the paper's single-query workload (the total association
+    count) under ``default_name``; an existing :class:`QueryWorkload` passes
+    through unchanged.
+    """
+    if queries is None:
+        return QueryWorkload([TotalAssociationCountQuery()], name=default_name)
+    if isinstance(queries, QueryWorkload):
+        return queries
+    if isinstance(queries, Query):
+        return QueryWorkload([queries])
+    return QueryWorkload(list(queries))
+
+
+def build_mechanism(
+    name: str,
+    epsilon: float,
+    sensitivity: float,
+    delta: Optional[float] = None,
+    rng: RandomState = None,
+) -> NumericMechanism:
+    """Instantiate a calibrated numeric mechanism by name.
+
+    ``delta`` is required by the Gaussian family and ignored by the pure-DP
+    mechanisms, mirroring how the disclosers have always treated it.
+    """
+    if name == "gaussian":
+        return GaussianMechanism(epsilon=epsilon, delta=delta, sensitivity=sensitivity, rng=rng)
+    if name == "analytic_gaussian":
+        return AnalyticGaussianMechanism(epsilon=epsilon, delta=delta, sensitivity=sensitivity, rng=rng)
+    if name == "laplace":
+        return LaplaceMechanism(epsilon=epsilon, sensitivity=sensitivity, rng=rng)
+    if name == "geometric":
+        return GeometricMechanism(epsilon=epsilon, sensitivity=sensitivity, rng=rng)
+    raise DisclosureError(f"unsupported mechanism {name!r} (supported: {MECHANISM_BUILDERS})")
+
+
+def uses_l2_sensitivity(mechanism: str) -> bool:
+    """Whether ``mechanism`` calibrates to the L2 (Gaussian-family) sensitivity."""
+    return mechanism in L2_MECHANISMS
+
+
+class DiscloseSeedStream:
+    """Derived noise-seed material, one independent stream per disclose call.
+
+    The one definition of the per-call derivation scheme shared by
+    :class:`~repro.core.discloser.MultiLevelDiscloser` and every baseline:
+    the root seed material is derived once from the caller's ``rng`` under a
+    component label, and each :meth:`next` yields a fresh
+    :class:`~numpy.random.SeedSequence` keyed by the call index
+    (``disclose-1``, ``disclose-2``, ...).  Deriving per call — rather than
+    advancing a live generator — is what keeps repeat disclosures and
+    serial/thread/process execution bit-identical for the same seed.  An
+    unseeded stream (``rng=None``) yields ``None``, i.e. fresh entropy
+    downstream.
+    """
+
+    def __init__(self, rng: RandomState, label: str):
+        self._root: Optional[np.random.SeedSequence] = (
+            derive_seedseq(rng, label) if rng is not None else None
+        )
+        self._calls = 0
+
+    def next(self) -> Optional[np.random.SeedSequence]:
+        """Seed material for the next disclose call."""
+        self._calls += 1
+        if self._root is None:
+            return None
+        return derive_seedseq(self._root, f"disclose-{self._calls}")

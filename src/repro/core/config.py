@@ -5,9 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core.common import uses_l2_sensitivity as common_uses_l2_sensitivity
 from repro.exceptions import ValidationError
+from repro.execution import check_executor_name
 from repro.grouping.specialization import SpecializationConfig
-from repro.utils.validation import check_engine, check_fraction, check_positive
+from repro.utils.validation import check_engine, check_fraction, check_positive, check_positive_int
 
 #: Mechanisms supported by phase 2 (noise injection).
 SUPPORTED_MECHANISMS: Tuple[str, ...] = (
@@ -66,6 +68,14 @@ class DisclosureConfig:
         ``graph.cached_arrays()`` — so a reference-engine run on a graph
         whose arrays were already compiled still uses the (value-identical)
         array kernels; benchmark the engines on separate graph objects.
+    executor:
+        Where the independent per-level perturbations run: ``"serial"``
+        (default), ``"thread"`` or ``"process"``.  Every level draws its
+        noise from its own :func:`~repro.utils.rng.derive_seedseq`-derived
+        stream, so all three executors produce bit-identical releases for
+        the same seed (``tests/test_engine_parity.py``).
+    max_workers:
+        Pool size for the thread/process executors (``None`` = CPU count).
     """
 
     epsilon_g: float = 1.0
@@ -77,6 +87,8 @@ class DisclosureConfig:
     allocation: str = "uniform"
     allocation_ratio: float = 2.0
     engine: str = "vectorized"
+    executor: str = "serial"
+    max_workers: Optional[int] = None
 
     def __post_init__(self):
         check_positive(self.epsilon_g, "epsilon_g")
@@ -90,6 +102,9 @@ class DisclosureConfig:
                 f"budget_mode must be one of {SUPPORTED_BUDGET_MODES}, got {self.budget_mode!r}"
             )
         check_engine(self.engine)
+        check_executor_name(self.executor)
+        if self.max_workers is not None:
+            self.max_workers = check_positive_int(self.max_workers, "max_workers")
         if not isinstance(self.specialization, SpecializationConfig):
             raise ValidationError("specialization must be a SpecializationConfig")
         if self.release_levels is not None:
@@ -117,7 +132,7 @@ class DisclosureConfig:
 
     def uses_l2_sensitivity(self) -> bool:
         """Gaussian-family mechanisms calibrate to the L2 sensitivity."""
-        return self.mechanism in ("gaussian", "analytic_gaussian")
+        return common_uses_l2_sensitivity(self.mechanism)
 
     def to_dict(self) -> dict:
         """JSON-serialisable representation."""
@@ -131,6 +146,8 @@ class DisclosureConfig:
             "allocation": self.allocation,
             "allocation_ratio": self.allocation_ratio,
             "engine": self.engine,
+            "executor": self.executor,
+            "max_workers": self.max_workers,
         }
 
     @classmethod

@@ -2,36 +2,38 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Optional
 
-from repro.accounting.allocation import make_allocation
 from repro.accounting.budget import BudgetLedger
+from repro.core.common import DiscloseSeedStream, WorkloadLike, normalise_workload
 from repro.core.config import DisclosureConfig
-from repro.core.release import LevelRelease, MultiLevelRelease
-from repro.exceptions import DisclosureError
+from repro.core.pipeline import DisclosurePipeline, PipelineContext
+from repro.core.release import MultiLevelRelease
+from repro.execution import ExecutorSpec, executor_name
 from repro.graphs.bipartite import BipartiteGraph
 from repro.grouping.hierarchy import GroupHierarchy
 from repro.grouping.specialization import Specializer
-from repro.mechanisms.base import NumericMechanism, PrivacyCost
-from repro.mechanisms.gaussian import AnalyticGaussianMechanism, GaussianMechanism
-from repro.mechanisms.geometric import GeometricMechanism
-from repro.mechanisms.laplace import LaplaceMechanism
-from repro.privacy.guarantees import GroupPrivacyGuarantee, PrivacyUnit
-from repro.queries.base import Query
-from repro.queries.counts import TotalAssociationCountQuery
-from repro.queries.workload import QueryWorkload, noisy_workload_answers
 from repro.utils.rng import RandomState, derive_rng
 
 
 class MultiLevelDiscloser:
     """Group differential privacy-preserving disclosure of a bipartite graph.
 
+    A thin front-end over the staged
+    :class:`~repro.core.pipeline.DisclosurePipeline`
+    (``specialize -> compile -> calibrate -> perturb -> assemble``): this
+    class owns the configuration, the specializer, the budget ledger and the
+    derived random streams, and builds one pipeline context per
+    :meth:`disclose` call.
+
     Parameters
     ----------
     config:
         A :class:`~repro.core.config.DisclosureConfig`; defaults reproduce the
         paper's setup (9 levels, 4-way splits, Gaussian noise, per-level
-        ``epsilon_g``).
+        ``epsilon_g``).  ``config.executor`` selects where the independent
+        per-level perturbations run (``"serial"``, ``"thread"`` or
+        ``"process"``) — the release is bit-identical in all three cases.
     specializer:
         The phase-1 specializer.  Defaults to an Exponential-Mechanism
         :class:`~repro.grouping.specialization.Specializer` built from
@@ -44,8 +46,9 @@ class MultiLevelDiscloser:
         query, :class:`~repro.queries.counts.TotalAssociationCountQuery`.
     rng:
         Seed, generator, or ``None``.  Phase 1 and phase 2 use independent
-        streams derived from this value, so re-running with the same seed
-        reproduces the release exactly.
+        streams derived from this value, and each released level derives its
+        own noise stream, so re-running with the same seed reproduces the
+        release exactly regardless of the executor.
 
     Examples
     --------
@@ -61,31 +64,24 @@ class MultiLevelDiscloser:
         self,
         config: Optional[DisclosureConfig] = None,
         specializer: Optional[Specializer] = None,
-        queries: Union[None, Query, Iterable[Query], QueryWorkload] = None,
+        queries: WorkloadLike = None,
         rng: RandomState = None,
     ):
         self.config = config if config is not None else DisclosureConfig()
         self._phase1_rng = derive_rng(rng, "phase1-specialization")
-        self._phase2_rng = derive_rng(rng, "phase2-noise")
+        # Seed *material* rather than a live generator: each disclose call
+        # (and, below it, each level) derives its own independent stream, so
+        # the noise does not depend on generator call order — the property
+        # that makes serial/thread/process execution bit-identical.
+        self._noise_seeds = DiscloseSeedStream(rng, "phase2-noise")
         self.specializer = (
             specializer
             if specializer is not None
             else Specializer(config=self.config.specialization, rng=self._phase1_rng)
         )
-        self.workload = self._normalise_workload(queries)
+        self.workload = normalise_workload(queries)
         self.ledger = BudgetLedger()
-
-    @staticmethod
-    def _normalise_workload(
-        queries: Union[None, Query, Iterable[Query], QueryWorkload]
-    ) -> QueryWorkload:
-        if queries is None:
-            return QueryWorkload([TotalAssociationCountQuery()], name="paper-count-workload")
-        if isinstance(queries, QueryWorkload):
-            return queries
-        if isinstance(queries, Query):
-            return QueryWorkload([queries])
-        return QueryWorkload(list(queries))
+        self.pipeline = DisclosurePipeline.standard()
 
     # ------------------------------------------------------------------
     # Phase 1
@@ -99,54 +95,15 @@ class MultiLevelDiscloser:
         return result.hierarchy
 
     # ------------------------------------------------------------------
-    # Phase 2 helpers
-    # ------------------------------------------------------------------
-    def _per_level_epsilon(
-        self, levels: List[int], sensitivities: Dict[int, float]
-    ) -> Dict[int, float]:
-        """Resolve the epsilon assigned to each released level."""
-        config = self.config
-        if config.budget_mode == "per_level":
-            return {level: config.epsilon_g for level in levels}
-        strategy_kwargs = {}
-        if config.allocation == "geometric":
-            strategy_kwargs["ratio"] = config.allocation_ratio
-        strategy = make_allocation(config.allocation, **strategy_kwargs)
-        return strategy.allocate(config.epsilon_g, levels, sensitivities=sensitivities)
-
-    def _make_mechanism(self, epsilon: float, sensitivity: float) -> NumericMechanism:
-        """Instantiate the configured phase-2 mechanism for one level."""
-        name = self.config.mechanism
-        if name == "gaussian":
-            return GaussianMechanism(
-                epsilon=epsilon, delta=self.config.delta, sensitivity=sensitivity, rng=self._phase2_rng
-            )
-        if name == "analytic_gaussian":
-            return AnalyticGaussianMechanism(
-                epsilon=epsilon, delta=self.config.delta, sensitivity=sensitivity, rng=self._phase2_rng
-            )
-        if name == "laplace":
-            return LaplaceMechanism(epsilon=epsilon, sensitivity=sensitivity, rng=self._phase2_rng)
-        if name == "geometric":
-            return GeometricMechanism(epsilon=epsilon, sensitivity=sensitivity, rng=self._phase2_rng)
-        raise DisclosureError(f"unsupported mechanism {name!r}")  # pragma: no cover - config validates
-
-    def _level_sensitivity(self, graph: BipartiteGraph, hierarchy: GroupHierarchy, level: int) -> float:
-        """Group-level sensitivity of the workload at one hierarchy level."""
-        partition = hierarchy.partition_at(level)
-        if self.config.uses_l2_sensitivity():
-            return self.workload.l2_sensitivity(graph, adjacency="group", partition=partition)
-        return self.workload.l1_sensitivity(graph, adjacency="group", partition=partition)
-
-    # ------------------------------------------------------------------
     # Full pipeline
     # ------------------------------------------------------------------
     def disclose(
         self,
         graph: BipartiteGraph,
         hierarchy: Optional[GroupHierarchy] = None,
+        executor: ExecutorSpec = None,
     ) -> MultiLevelRelease:
-        """Run both phases and return the multi-level release.
+        """Run the staged pipeline and return the multi-level release.
 
         Parameters
         ----------
@@ -156,76 +113,29 @@ class MultiLevelDiscloser:
             An existing group hierarchy to reuse (phase 1 is skipped and no
             specialization budget is charged).  Useful when the same grouping
             backs several releases, and in tests.
+        executor:
+            Override ``config.executor`` for this call — an executor name or
+            a live :class:`~repro.execution.Executor` instance (e.g. a shared
+            process pool amortised across many disclosures).
         """
-        if graph.num_nodes() == 0:
-            raise DisclosureError("cannot disclose an empty graph")
-
-        # In vectorized mode compile the array view once, up front: phase-1
-        # split scoring, sensitivity computation and workload evaluation all
-        # pick it up through the graph's cache.
-        arrays = graph.arrays() if self.config.engine == "vectorized" else None
-
-        specialization_cost = PrivacyCost(0.0, 0.0)
-        if hierarchy is None:
-            result = self.specializer.build(graph)
-            hierarchy = result.hierarchy
-            specialization_cost = result.privacy_cost
-            self.ledger.charge(specialization_cost, label="specialization")
-
-        requested_levels = self.config.resolved_release_levels()
-        levels = [level for level in requested_levels if hierarchy.has_level(level)]
-        if not levels:
-            raise DisclosureError(
-                f"none of the requested levels {requested_levels} exist in the hierarchy "
-                f"(available: {hierarchy.level_indices()})"
-            )
-
-        sensitivities = {
-            level: self._level_sensitivity(graph, hierarchy, level) for level in levels
-        }
-        epsilons = self._per_level_epsilon(levels, sensitivities)
-        if arrays is not None:
-            true_answers = self.workload.evaluate_batch(graph, arrays=arrays)
-        else:
-            true_answers = self.workload.evaluate(graph)
-
-        level_releases: Dict[int, LevelRelease] = {}
-        for level in levels:
-            partition = hierarchy.partition_at(level)
-            sensitivity = sensitivities[level]
-            epsilon = epsilons[level]
-            mechanism = self._make_mechanism(epsilon, sensitivity)
-            cost = mechanism.privacy_cost()
-            self.ledger.charge(cost, label=f"noise-injection-level-{level}")
-
-            # Vectorized engine: one batched noise draw covers the level's workload.
-            answers = noisy_workload_answers(mechanism, true_answers, batched=arrays is not None)
-
-            guarantee = GroupPrivacyGuarantee(
-                epsilon=cost.epsilon,
-                delta=cost.delta,
-                unit=PrivacyUnit.GROUP,
-                description=(
-                    f"group differential privacy at hierarchy level {level} "
-                    f"({partition.num_groups()} groups)"
-                ),
-                level=level,
-                num_groups=partition.num_groups(),
-                max_group_size=partition.max_group_size(),
-            )
-            level_releases[level] = LevelRelease(
-                level=level,
-                answers=answers,
-                guarantee=guarantee,
-                mechanism=self.config.mechanism,
-                noise_scale=mechanism.noise_scale(),
-                sensitivity=sensitivity,
-            )
-
-        return MultiLevelRelease(
-            dataset_name=graph.name,
-            level_releases=level_releases,
-            level_statistics=hierarchy.level_statistics(),
-            specialization_cost=specialization_cost,
-            config=self.config.to_dict(),
+        executor_spec = executor if executor is not None else self.config.executor
+        # The persisted config must record the executor that actually ran
+        # (provenance), which a per-call override makes different from
+        # config.executor.
+        release_config = self.config.to_dict()
+        release_config["executor"] = executor_name(executor_spec)
+        context = PipelineContext(
+            graph=graph,
+            engine=self.config.engine,
+            workload=self.workload,
+            hierarchy=hierarchy,
+            specializer=self.specializer,
+            ledger=self.ledger,
+            executor=executor_spec,
+            max_workers=self.config.max_workers,
+            noise_seed=self._noise_seeds.next(),
+            requested_levels=self.config.resolved_release_levels(),
+            config=self.config,
+            release_config=release_config,
         )
+        return self.pipeline.run(context).release

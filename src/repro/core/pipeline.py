@@ -1,0 +1,517 @@
+"""The staged disclosure pipeline shared by the discloser and the baselines.
+
+The paper's two-phase procedure decomposes into five explicit stages:
+
+1. :class:`SpecializeStage` — build the group hierarchy (phase 1), unless the
+   caller supplied one;
+2. :class:`CompileStage` — compile the graph's array view (vectorized
+   engine), resolve the released levels and evaluate the true workload
+   answers once;
+3. :class:`CalibrateStage` — compute each level's sensitivity and epsilon and
+   freeze them into picklable :class:`LevelPlan` payloads, one per level,
+   each carrying its own derived noise seed;
+4. :class:`PerturbStage` — map :func:`perturb_level` over the plans through
+   the configured :class:`~repro.execution.Executor` (levels are independent,
+   so they parallelise freely — and because every plan carries its own
+   :class:`~numpy.random.SeedSequence`, serial, thread and process execution
+   are bit-for-bit identical);
+5. :class:`AssembleStage` — charge the ledger, wrap the outcomes in
+   guarantees and assemble the :class:`~repro.core.release.MultiLevelRelease`.
+
+:class:`MultiLevelDiscloser` and the group-DP baselines all run this one
+pipeline; they differ only in which :class:`CalibrateStage` subclass resolves
+sensitivities and epsilons (:class:`GroupCalibrateStage` for the paper's
+calibration, :class:`WorstCaseCalibrateStage` for the naive lemma bound,
+:class:`UniformCalibrateStage` for the coarsest-level strawman).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from functools import partial
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.accounting.allocation import make_allocation
+from repro.accounting.budget import BudgetLedger
+from repro.core.common import build_mechanism, uses_l2_sensitivity
+from repro.core.release import LevelRelease, MultiLevelRelease
+from repro.exceptions import DisclosureError
+from repro.execution import Executor, executor_scope
+from repro.graphs.arrays import GraphArrays
+from repro.graphs.bipartite import BipartiteGraph
+from repro.grouping.hierarchy import GroupHierarchy
+from repro.grouping.specialization import Specializer
+from repro.mechanisms.base import PrivacyCost
+from repro.privacy.guarantees import GroupPrivacyGuarantee, PrivacyUnit
+from repro.privacy.sensitivity import group_count_sensitivity, node_count_sensitivity, scale_sensitivity
+from repro.queries.base import QueryAnswer
+from repro.queries.workload import QueryWorkload, noisy_workload_answers
+from repro.utils.rng import derive_seedseq
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import DisclosureConfig
+
+
+# ----------------------------------------------------------------------
+# Task payloads
+# ----------------------------------------------------------------------
+@dataclass
+class LevelPlan:
+    """Everything one level's perturbation task needs, frozen and picklable.
+
+    Calibration happens in the main process; the plan carries only plain
+    scalars plus a derived :class:`~numpy.random.SeedSequence`, so the
+    perturbation can run in any executor (including worker processes) and
+    still draw exactly the noise a serial run would draw.
+    """
+
+    level: int
+    epsilon: float
+    sensitivity: float
+    mechanism: str
+    delta: Optional[float] = None
+    num_groups: int = 0
+    max_group_size: int = 0
+    noise_seed: Optional[np.random.SeedSequence] = None
+    description: str = ""
+
+
+@dataclass
+class LevelOutcome:
+    """What one perturbation task hands back to the assemble stage."""
+
+    level: int
+    answers: Dict[str, Dict[str, float]]
+    cost: PrivacyCost
+    noise_scale: float
+
+
+def perturb_level(
+    plan: LevelPlan,
+    true_answers: Dict[str, QueryAnswer],
+    batched: bool = True,
+) -> LevelOutcome:
+    """Perturb the workload answers for one level plan.
+
+    Module-level (hence process-picklable) and pure: the only randomness
+    comes from the plan's own seed, so the result is independent of which
+    executor runs it and of how many other levels run concurrently.
+    """
+    mechanism = build_mechanism(
+        plan.mechanism, plan.epsilon, plan.sensitivity, delta=plan.delta, rng=plan.noise_seed
+    )
+    answers = noisy_workload_answers(mechanism, true_answers, batched=batched)
+    return LevelOutcome(
+        level=plan.level,
+        answers=answers,
+        cost=mechanism.privacy_cost(),
+        noise_scale=mechanism.noise_scale(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Context
+# ----------------------------------------------------------------------
+@dataclass
+class PipelineContext:
+    """Mutable state threaded through the pipeline stages.
+
+    Callers populate the input fields (graph, workload, hierarchy or
+    specializer, seeds, executor spec); stages fill in the products, ending
+    with :attr:`release`.
+    """
+
+    graph: BipartiteGraph
+    engine: str = "vectorized"
+    workload: Optional[QueryWorkload] = None
+    hierarchy: Optional[GroupHierarchy] = None
+    specializer: Optional[Specializer] = None
+    ledger: Optional[BudgetLedger] = None
+    executor: Any = None  # ExecutorSpec; resolved to an Executor by run()
+    max_workers: Optional[int] = None
+    noise_seed: Optional[np.random.SeedSequence] = None
+    requested_levels: Optional[Sequence[int]] = None
+    #: When true, a requested level absent from the hierarchy is an error
+    #: (set by the baselines for caller-supplied level lists); when false,
+    #: missing levels are dropped (the discloser's config-derived defaults).
+    strict_levels: bool = False
+    config: Optional["DisclosureConfig"] = None
+    release_config: Dict[str, Any] = field(default_factory=dict)
+
+    # Stage products.
+    arrays: Optional[GraphArrays] = None
+    batched: bool = False
+    levels: List[int] = field(default_factory=list)
+    true_answers: Optional[Dict[str, QueryAnswer]] = None
+    sensitivities: Dict[int, float] = field(default_factory=dict)
+    epsilons: Dict[int, float] = field(default_factory=dict)
+    plans: List[LevelPlan] = field(default_factory=list)
+    outcomes: List[LevelOutcome] = field(default_factory=list)
+    specialization_cost: PrivacyCost = field(default_factory=lambda: PrivacyCost(0.0, 0.0))
+    release: Optional[MultiLevelRelease] = None
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def charge(self, cost: PrivacyCost, label: str) -> None:
+        """Record a privacy spend when a ledger is attached."""
+        if self.ledger is not None:
+            self.ledger.charge(cost, label=label)
+
+    def level_seed(self, level: int) -> Optional[np.random.SeedSequence]:
+        """The per-level noise seed (``None`` propagates fresh entropy)."""
+        if self.noise_seed is None:
+            return None
+        return derive_seedseq(self.noise_seed, f"level-{level}")
+
+
+# ----------------------------------------------------------------------
+# Stages
+# ----------------------------------------------------------------------
+class PipelineStage(abc.ABC):
+    """One step of the staged pipeline; mutates the context in place."""
+
+    name: str = "stage"
+
+    @abc.abstractmethod
+    def run(self, context: PipelineContext) -> None:
+        """Execute the stage against ``context``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SpecializeStage(PipelineStage):
+    """Phase 1: build the group hierarchy unless one was supplied."""
+
+    name = "specialize"
+
+    def run(self, context: PipelineContext) -> None:
+        if context.hierarchy is not None:
+            return
+        if context.specializer is None:
+            raise DisclosureError("no hierarchy given and no specializer configured")
+        if context.engine == "vectorized":
+            context.graph.arrays()  # compile once so split scoring takes the fast path
+        result = context.specializer.build(context.graph)
+        context.hierarchy = result.hierarchy
+        context.specialization_cost = result.privacy_cost
+        context.charge(result.privacy_cost, "specialization")
+
+
+class CompileStage(PipelineStage):
+    """Compile the array view, resolve levels and evaluate true answers."""
+
+    name = "compile"
+
+    def run(self, context: PipelineContext) -> None:
+        context.batched = context.engine == "vectorized"
+        if context.batched:
+            context.arrays = context.graph.arrays()
+        if context.hierarchy is not None:
+            if context.requested_levels is not None:
+                requested = list(context.requested_levels)
+            else:
+                requested = [
+                    level
+                    for level in context.hierarchy.level_indices()
+                    if level < context.hierarchy.top_level
+                ]
+            levels = [level for level in requested if context.hierarchy.has_level(level)]
+            if context.strict_levels and len(levels) != len(requested):
+                missing = [level for level in requested if not context.hierarchy.has_level(level)]
+                raise DisclosureError(
+                    f"requested levels {missing} do not exist in the hierarchy "
+                    f"(available: {context.hierarchy.level_indices()})"
+                )
+            if not levels:
+                raise DisclosureError(
+                    f"none of the requested levels {requested} exist in the hierarchy "
+                    f"(available: {context.hierarchy.level_indices()})"
+                )
+            context.levels = levels
+        if context.workload is not None:
+            if context.batched:
+                context.true_answers = context.workload.evaluate_batch(
+                    context.graph, arrays=context.arrays
+                )
+            else:
+                context.true_answers = context.workload.evaluate(context.graph)
+
+
+class CalibrateStage(PipelineStage):
+    """Resolve per-level sensitivities/epsilons and freeze the level plans.
+
+    Subclasses define the calibration policy via :meth:`sensitivity_for`,
+    :meth:`epsilons_for` and the released mechanism/delta/description.
+    """
+
+    name = "calibrate"
+
+    #: Description template for the per-level guarantee.
+    description = "group differential privacy at hierarchy level {level} ({num_groups} groups)"
+
+    @abc.abstractmethod
+    def mechanism_for(self, context: PipelineContext) -> str:
+        """Name of the mechanism this calibration targets."""
+
+    @abc.abstractmethod
+    def delta_for(self, context: PipelineContext) -> Optional[float]:
+        """The delta handed to the mechanism builder (ignored by pure DP)."""
+
+    @abc.abstractmethod
+    def sensitivity_for(self, context: PipelineContext, level: int) -> float:
+        """The sensitivity the level's noise is calibrated to."""
+
+    @abc.abstractmethod
+    def epsilons_for(self, context: PipelineContext) -> Dict[int, float]:
+        """Mapping ``level -> epsilon`` for every released level."""
+
+    def run(self, context: PipelineContext) -> None:
+        if context.hierarchy is None:
+            raise DisclosureError("calibration requires a hierarchy")
+        context.sensitivities = {
+            level: self.sensitivity_for(context, level) for level in context.levels
+        }
+        context.epsilons = self.epsilons_for(context)
+        mechanism = self.mechanism_for(context)
+        delta = self.delta_for(context)
+        plans: List[LevelPlan] = []
+        for level in context.levels:
+            partition = context.hierarchy.partition_at(level)
+            num_groups = partition.num_groups()
+            max_group_size = partition.max_group_size()
+            plans.append(
+                LevelPlan(
+                    level=level,
+                    epsilon=context.epsilons[level],
+                    sensitivity=context.sensitivities[level],
+                    mechanism=mechanism,
+                    delta=delta,
+                    num_groups=num_groups,
+                    max_group_size=max_group_size,
+                    noise_seed=context.level_seed(level),
+                    description=self.description.format(level=level, num_groups=num_groups),
+                )
+            )
+        context.plans = plans
+
+
+class GroupCalibrateStage(CalibrateStage):
+    """The paper's calibration: measured group-level workload sensitivity.
+
+    Reads the :class:`~repro.core.config.DisclosureConfig` on the context for
+    the mechanism family, the budget mode and the allocation strategy.
+    """
+
+    name = "calibrate-group"
+
+    def _config(self, context: PipelineContext) -> "DisclosureConfig":
+        if context.config is None:
+            raise DisclosureError("GroupCalibrateStage requires context.config")
+        return context.config
+
+    def mechanism_for(self, context: PipelineContext) -> str:
+        return self._config(context).mechanism
+
+    def delta_for(self, context: PipelineContext) -> Optional[float]:
+        return self._config(context).delta
+
+    def sensitivity_for(self, context: PipelineContext, level: int) -> float:
+        partition = context.hierarchy.partition_at(level)
+        if uses_l2_sensitivity(self._config(context).mechanism):
+            return context.workload.l2_sensitivity(
+                context.graph, adjacency="group", partition=partition
+            )
+        return context.workload.l1_sensitivity(
+            context.graph, adjacency="group", partition=partition
+        )
+
+    def epsilons_for(self, context: PipelineContext) -> Dict[int, float]:
+        config = self._config(context)
+        if config.budget_mode == "per_level":
+            return {level: config.epsilon_g for level in context.levels}
+        strategy_kwargs = {}
+        if config.allocation == "geometric":
+            strategy_kwargs["ratio"] = config.allocation_ratio
+        strategy = make_allocation(config.allocation, **strategy_kwargs)
+        return strategy.allocate(
+            config.epsilon_g, context.levels, sensitivities=context.sensitivities
+        )
+
+
+class FixedEpsilonCalibrateStage(CalibrateStage):
+    """Base for baselines that release every level at one fixed epsilon."""
+
+    def __init__(self, epsilon: float, delta: Optional[float], mechanism: str):
+        self.epsilon = epsilon
+        self.delta = delta
+        self.mechanism = mechanism
+
+    def mechanism_for(self, context: PipelineContext) -> str:
+        return self.mechanism
+
+    def delta_for(self, context: PipelineContext) -> Optional[float]:
+        return self.delta
+
+    def epsilons_for(self, context: PipelineContext) -> Dict[int, float]:
+        return {level: self.epsilon for level in context.levels}
+
+
+def worst_case_group_sensitivity(graph: BipartiteGraph, partition) -> float:
+    """The generic group-privacy lemma's ``max group size x max degree`` bound.
+
+    The single definition behind :class:`WorstCaseCalibrateStage` and
+    :meth:`repro.baselines.naive_group.NaiveGroupDPDiscloser.level_sensitivity`,
+    so the released noise and the documented bound cannot drift apart.
+    """
+    max_group_size = max(1, partition.max_group_size())
+    max_degree = max(1.0, node_count_sensitivity(graph))
+    return scale_sensitivity(float(max_group_size), max_degree)
+
+
+class WorstCaseCalibrateStage(FixedEpsilonCalibrateStage):
+    """Naive group DP: the generic lemma's ``max group size x max degree`` bound."""
+
+    name = "calibrate-worst-case"
+    description = "naive group DP via the worst-case group-privacy lemma bound"
+
+    def sensitivity_for(self, context: PipelineContext, level: int) -> float:
+        return worst_case_group_sensitivity(
+            context.graph, context.hierarchy.partition_at(level)
+        )
+
+
+class UniformCalibrateStage(FixedEpsilonCalibrateStage):
+    """Uniform-noise strawman: every level gets the coarsest level's noise."""
+
+    name = "calibrate-uniform"
+    description = "uniform noise calibrated to the coarsest level"
+
+    def sensitivity_for(self, context: PipelineContext, level: int) -> float:
+        worst = context.extras.get("uniform_worst_sensitivity")
+        if worst is None:
+            coarsest = max(context.levels)
+            worst = group_count_sensitivity(
+                context.graph, context.hierarchy.partition_at(coarsest)
+            )
+            context.extras["uniform_worst_sensitivity"] = worst
+        return worst
+
+
+class PerturbStage(PipelineStage):
+    """Phase 2 proper: map the level plans through the executor."""
+
+    name = "perturb"
+
+    def run(self, context: PipelineContext) -> None:
+        if context.true_answers is None:
+            raise DisclosureError("perturbation requires evaluated true answers")
+        task = partial(
+            perturb_level, true_answers=context.true_answers, batched=context.batched
+        )
+        executor: Executor = context.executor
+        context.outcomes = executor.map(task, context.plans)
+
+
+class AssembleStage(PipelineStage):
+    """Charge the ledger and assemble the multi-level release."""
+
+    name = "assemble"
+
+    def run(self, context: PipelineContext) -> None:
+        level_releases: Dict[int, LevelRelease] = {}
+        for plan, outcome in zip(context.plans, context.outcomes):
+            context.charge(outcome.cost, f"noise-injection-level-{plan.level}")
+            guarantee = GroupPrivacyGuarantee(
+                epsilon=outcome.cost.epsilon,
+                delta=outcome.cost.delta,
+                unit=PrivacyUnit.GROUP,
+                description=plan.description,
+                level=plan.level,
+                num_groups=plan.num_groups,
+                max_group_size=plan.max_group_size,
+            )
+            level_releases[plan.level] = LevelRelease(
+                level=plan.level,
+                answers=outcome.answers,
+                guarantee=guarantee,
+                mechanism=plan.mechanism,
+                noise_scale=outcome.noise_scale,
+                sensitivity=plan.sensitivity,
+            )
+        context.release = MultiLevelRelease(
+            dataset_name=context.graph.name,
+            level_releases=level_releases,
+            level_statistics=context.hierarchy.level_statistics()
+            if context.hierarchy is not None
+            else [],
+            specialization_cost=context.specialization_cost,
+            config=dict(context.release_config),
+        )
+
+
+# ----------------------------------------------------------------------
+# The pipeline
+# ----------------------------------------------------------------------
+class DisclosurePipeline:
+    """An ordered sequence of stages run against one context.
+
+    Examples
+    --------
+    >>> from repro.core.config import DisclosureConfig
+    >>> from repro.datasets import generate_dblp_like
+    >>> from repro.grouping.specialization import SpecializationConfig, Specializer
+    >>> config = DisclosureConfig(specialization=SpecializationConfig(num_levels=4))
+    >>> context = PipelineContext(
+    ...     graph=generate_dblp_like(num_authors=120, seed=1),
+    ...     workload=None, config=config, release_config=config.to_dict(),
+    ...     specializer=Specializer(config=config.specialization, rng=0),
+    ... )
+    >>> from repro.core.common import normalise_workload
+    >>> context.workload = normalise_workload(None)
+    >>> release = DisclosurePipeline.standard().run(context).release
+    >>> sorted(release.levels())[0]
+    0
+    """
+
+    def __init__(self, stages: Sequence[PipelineStage]):
+        self.stages: List[PipelineStage] = list(stages)
+        if not self.stages:
+            raise DisclosureError("a pipeline needs at least one stage")
+
+    @classmethod
+    def standard(cls) -> "DisclosurePipeline":
+        """The paper's five-stage pipeline with group-sensitivity calibration."""
+        return cls(
+            [
+                SpecializeStage(),
+                CompileStage(),
+                GroupCalibrateStage(),
+                PerturbStage(),
+                AssembleStage(),
+            ]
+        )
+
+    def stage_names(self) -> List[str]:
+        """Names of the stages, in execution order."""
+        return [stage.name for stage in self.stages]
+
+    def run(self, context: PipelineContext) -> PipelineContext:
+        """Execute every stage in order and return the (mutated) context.
+
+        The executor spec on the context is resolved once for the whole run;
+        a pool created here is torn down afterwards, while a caller-supplied
+        :class:`~repro.execution.Executor` instance is left open for reuse.
+        """
+        if context.graph.num_nodes() == 0:
+            raise DisclosureError("cannot disclose an empty graph")
+        with executor_scope(context.executor, max_workers=context.max_workers) as executor:
+            context.executor = executor
+            for stage in self.stages:
+                stage.run(context)
+        return context
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DisclosurePipeline(stages={self.stage_names()})"

@@ -19,6 +19,7 @@ from repro.core.access import AccessPolicy
 from repro.core.config import DisclosureConfig
 from repro.core.discloser import MultiLevelDiscloser
 from repro.core.release import LevelRelease, MultiLevelRelease
+from repro.core.store import ReleaseStore
 from repro.exceptions import BudgetExceededError, DisclosureError
 from repro.graphs.bipartite import BipartiteGraph
 from repro.grouping.hierarchy import GroupHierarchy
@@ -190,6 +191,7 @@ class GraphPublisher:
         release: MultiLevelRelease,
         policy: AccessPolicy,
         directory: Union[str, Path],
+        store: Optional[ReleaseStore] = None,
     ) -> Dict[str, Path]:
         """Write one JSON document per role containing only that role's view.
 
@@ -197,8 +199,16 @@ class GraphPublisher:
         release and the role's information-level tag, never the full
         multi-level release, so handing a file to a user cannot leak a finer
         level than their privilege allows.
+
+        When a :class:`~repro.core.store.ReleaseStore` is given, the full
+        release is persisted there first and every role document records the
+        store key, so a serving layer can later re-derive any view from the
+        stored artefact instead of re-disclosing.
         """
         directory = Path(directory)
+        release_key: Optional[str] = None
+        if store is not None:
+            release_key = store.save(release)
         written: Dict[str, Path] = {}
         for role in policy.roles():
             view: LevelRelease = policy.view_for(role, release)
@@ -208,5 +218,7 @@ class GraphPublisher:
                 "dataset": release.dataset_name,
                 "release": view.to_dict(),
             }
+            if release_key is not None:
+                document["release_key"] = release_key
             written[role] = to_json_file(document, directory / f"{role}.json")
         return written

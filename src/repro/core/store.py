@@ -1,0 +1,276 @@
+"""Persistent storage for disclosure releases (JSON structure + npz answers).
+
+A release is an artefact worth keeping: the privacy budget it consumed is
+spent whether or not the noisy answers are saved, so a publisher should
+persist every release and *serve* it rather than re-disclose.
+:class:`ReleaseStore` provides that layer — a directory of releases, each
+stored as
+
+* ``release.json`` — the full release document (guarantees, noise scales,
+  level statistics, configuration) with the numeric answer vectors replaced
+  by references, and
+* ``answers.npz`` — the answer vectors themselves as float64 arrays, so the
+  round-trip is lossless down to the last bit.
+
+The store is wired through :meth:`repro.core.publisher.GraphPublisher.export_views`,
+the ``repro disclose --store`` / ``repro report`` CLI commands and the
+evaluation harnesses (:func:`~repro.evaluation.experiments.run_e6_baselines`
+resumes from stored releases via :meth:`ReleaseStore.get_or_create`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.release import LevelRelease, MultiLevelRelease
+from repro.exceptions import ReleaseIntegrityError
+from repro.utils.serialization import to_json_file
+
+PathLike = Union[str, Path]
+
+_KEY_RE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _slugify(text: str) -> str:
+    """Filesystem-safe store key fragment.
+
+    When sanitisation is lossy (the text contained characters outside
+    ``[A-Za-z0-9._-]``), a short digest of the *original* text is appended so
+    two distinct raw keys can never collide onto one directory (``"exp 1"``
+    vs ``"exp-1"``).
+    """
+    slug = _KEY_RE.sub("-", text.strip()).strip("-")
+    if not slug:
+        slug = "release"
+    if slug != text:
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()[:8]
+        slug = f"{slug}-{digest}"
+    return slug
+
+
+def _strip_answers(document: dict) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """Split a release document into JSON structure and numeric arrays.
+
+    Each level/query answer mapping is replaced by its label list plus the
+    npz key holding the value vector.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    levels = {}
+    for level_key, level_doc in document["levels"].items():
+        level_doc = dict(level_doc)
+        answers = {}
+        for query_name, values in level_doc["answers"].items():
+            npz_key = f"{level_key}|{query_name}"
+            labels = list(values.keys())
+            arrays[npz_key] = np.asarray([values[label] for label in labels], dtype=float)
+            answers[query_name] = {"labels": labels, "npz_key": npz_key}
+        level_doc["answers"] = answers
+        levels[level_key] = level_doc
+    document = dict(document)
+    document["levels"] = levels
+    return document, arrays
+
+
+def _restore_answers(document: dict, arrays: Dict[str, np.ndarray]) -> dict:
+    """Inverse of :func:`_strip_answers`."""
+    levels = {}
+    for level_key, level_doc in document["levels"].items():
+        level_doc = dict(level_doc)
+        answers = {}
+        for query_name, ref in level_doc["answers"].items():
+            try:
+                values = arrays[ref["npz_key"]]
+                labels = ref["labels"]
+            except (KeyError, TypeError) as exc:
+                raise ReleaseIntegrityError(
+                    f"answer arrays missing for level {level_key}, query {query_name!r}: {exc}"
+                ) from exc
+            if len(labels) != len(values):
+                raise ReleaseIntegrityError(
+                    f"label/value length mismatch for level {level_key}, query {query_name!r}"
+                )
+            answers[query_name] = {label: float(v) for label, v in zip(labels, values)}
+        level_doc["answers"] = answers
+        levels[level_key] = level_doc
+    document = dict(document)
+    document["levels"] = levels
+    return document
+
+
+class ReleaseStore:
+    """A directory of persisted multi-level releases, addressed by key.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro import DisclosureConfig, MultiLevelDiscloser, generate_dblp_like
+    >>> from repro.grouping.specialization import SpecializationConfig
+    >>> graph = generate_dblp_like(num_authors=80, seed=0)
+    >>> config = DisclosureConfig(specialization=SpecializationConfig(num_levels=3))
+    >>> release = MultiLevelDiscloser(config, rng=1).disclose(graph)
+    >>> store = ReleaseStore(tempfile.mkdtemp())
+    >>> key = store.save(release)
+    >>> store.load(key).levels() == release.levels()
+    True
+    """
+
+    #: File names inside each release directory.
+    DOCUMENT_NAME = "release.json"
+    ANSWERS_NAME = "answers.npz"
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # Keys and paths
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """Directory holding one release."""
+        return self.root / _slugify(key)
+
+    def exists(self, key: str) -> bool:
+        """Whether a release is stored under ``key``."""
+        return (self.path_for(key) / self.DOCUMENT_NAME).is_file()
+
+    def keys(self) -> List[str]:
+        """All stored release keys, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if (entry / self.DOCUMENT_NAME).is_file()
+        )
+
+    def _default_key(self, release: MultiLevelRelease) -> str:
+        digest = hashlib.sha256(
+            json.dumps(release.to_dict(), sort_keys=True, default=str).encode("utf-8")
+        ).hexdigest()[:12]
+        return f"{_slugify(release.dataset_name or 'release')}-{digest}"
+
+    # ------------------------------------------------------------------
+    # Multi-level releases
+    # ------------------------------------------------------------------
+    def save(self, release: MultiLevelRelease, key: Optional[str] = None) -> str:
+        """Persist a release and return its key.
+
+        ``key`` defaults to ``<dataset>-<content hash>``, so saving the same
+        release twice is idempotent.
+        """
+        key = _slugify(key) if key is not None else self._default_key(release)
+        directory = self.path_for(key)
+        directory.mkdir(parents=True, exist_ok=True)
+        document, arrays = _strip_answers(release.to_dict())
+        np.savez(directory / self.ANSWERS_NAME, **arrays)
+        to_json_file(document, directory / self.DOCUMENT_NAME)
+        return key
+
+    def load(self, key: str) -> MultiLevelRelease:
+        """Load a release by key.
+
+        Raises :class:`ReleaseIntegrityError` when the key is absent, holds a
+        level view rather than a full release, or its on-disk artefacts are
+        corrupt — never a raw parse error, so callers (e.g. ``repro report``)
+        have one exception type to handle.
+        """
+        directory = self.path_for(key)
+        document_path = directory / self.DOCUMENT_NAME
+        if not document_path.is_file():
+            raise ReleaseIntegrityError(
+                f"no release stored under key {key!r} in {self.root} (have: {self.keys()})"
+            )
+        try:
+            with document_path.open("r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ReleaseIntegrityError(f"release document for {key!r} is corrupt: {exc}") from exc
+        if document.get("level_view"):
+            raise ReleaseIntegrityError(
+                f"{key!r} holds a single level view, not a full release (use load_level)"
+            )
+        answers_path = directory / self.ANSWERS_NAME
+        arrays: Dict[str, np.ndarray] = {}
+        if answers_path.is_file():
+            try:
+                with np.load(answers_path) as npz:
+                    arrays = {name: npz[name] for name in npz.files}
+            except Exception as exc:  # np.load raises zipfile/OS/value errors
+                raise ReleaseIntegrityError(
+                    f"answer arrays for {key!r} are corrupt: {exc}"
+                ) from exc
+        try:
+            return MultiLevelRelease.from_dict(_restore_answers(document, arrays))
+        except ReleaseIntegrityError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReleaseIntegrityError(
+                f"release document for {key!r} has an invalid structure: {exc}"
+            ) from exc
+
+    def delete(self, key: str) -> None:
+        """Remove a stored release (no-op when absent)."""
+        directory = self.path_for(key)
+        if not directory.is_dir():
+            return
+        for name in (self.DOCUMENT_NAME, self.ANSWERS_NAME):
+            path = directory / name
+            if path.is_file():
+                path.unlink()
+        try:
+            directory.rmdir()
+        except OSError:  # pragma: no cover - directory had foreign files
+            pass
+
+    def get_or_create(
+        self, key: str, builder: Callable[[], MultiLevelRelease]
+    ) -> Tuple[MultiLevelRelease, bool]:
+        """Load ``key`` if stored, else build, persist and return it.
+
+        Returns ``(release, created)`` — ``created`` is ``False`` when the
+        release was served from the store, which is how the evaluation
+        harnesses resume interrupted experiments without re-spending budget.
+        """
+        if self.exists(key):
+            return self.load(key), False
+        release = builder()
+        self.save(release, key=key)
+        return release, True
+
+    # ------------------------------------------------------------------
+    # Single-level views
+    # ------------------------------------------------------------------
+    def save_level(self, view: LevelRelease, key: str) -> str:
+        """Persist a single level release (e.g. one role's view)."""
+        key = _slugify(key)
+        directory = self.path_for(key)
+        directory.mkdir(parents=True, exist_ok=True)
+        document = {"level_view": True, "levels": {str(view.level): view.to_dict()}}
+        document, arrays = _strip_answers(document)
+        np.savez(directory / self.ANSWERS_NAME, **arrays)
+        to_json_file(document, directory / self.DOCUMENT_NAME)
+        return key
+
+    def load_level(self, key: str) -> LevelRelease:
+        """Inverse of :meth:`save_level`."""
+        directory = self.path_for(key)
+        document_path = directory / self.DOCUMENT_NAME
+        if not document_path.is_file():
+            raise ReleaseIntegrityError(f"no level view stored under key {key!r} in {self.root}")
+        with document_path.open("r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        if not document.get("level_view"):
+            raise ReleaseIntegrityError(f"{key!r} holds a full release, not a level view")
+        with np.load(directory / self.ANSWERS_NAME) as npz:
+            arrays = {name: npz[name] for name in npz.files}
+        document = _restore_answers(document, arrays)
+        (level_doc,) = document["levels"].values()
+        return LevelRelease.from_dict(level_doc)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReleaseStore(root={str(self.root)!r}, releases={len(self.keys())})"

@@ -20,13 +20,16 @@ The harness mirrors the pipeline exactly:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from functools import partial
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.release import MultiLevelRelease
 from repro.datasets.registry import load_dataset
 from repro.evaluation.metrics import expected_rer_gaussian, expected_rer_laplace
 from repro.exceptions import EvaluationError
+from repro.execution import ExecutorSpec, check_executor_name, executor_name, executor_scope
 from repro.graphs.bipartite import BipartiteGraph
 from repro.grouping.hierarchy import GroupHierarchy
 from repro.grouping.specialization import SpecializationConfig, Specializer
@@ -63,16 +66,24 @@ class Figure1Config:
     specialization_epsilon: float = 1.0
     seed: int = 20170605
     engine: str = "vectorized"
+    executor: str = "serial"
+    max_workers: Optional[int] = None
 
     def __post_init__(self):
         check_engine(self.engine)
+        check_executor_name(self.executor)
 
     def release_levels(self) -> List[int]:
         """The information levels plotted in the figure: ``I_{L,0} .. I_{L,L-2}``."""
         return list(range(0, self.num_levels - 1))
 
-    def to_dict(self) -> dict:
-        """JSON-serialisable representation."""
+    def to_dict(self, executor_override: ExecutorSpec = None) -> dict:
+        """JSON-serialisable representation.
+
+        ``executor_override`` records provenance when a run was handed an
+        executor directly (overriding :attr:`executor`): the resulting
+        document names the executor that actually ran.
+        """
         return {
             "epsilons": list(self.epsilons),
             "num_levels": self.num_levels,
@@ -84,6 +95,12 @@ class Figure1Config:
             "specialization_epsilon": self.specialization_epsilon,
             "seed": self.seed,
             "engine": self.engine,
+            "executor": (
+                executor_name(executor_override)
+                if executor_override is not None
+                else self.executor
+            ),
+            "max_workers": self.max_workers,
         }
 
 
@@ -201,11 +218,37 @@ def _expected_rer(mechanism: str, scale: float, true_count: float) -> float:
     return expected_rer_laplace(scale, true_count)
 
 
+def _epsilon_rer_row(
+    task: Tuple[float, np.ndarray],
+    mechanism: str,
+    delta: float,
+    sensitivities: Dict[int, float],
+    levels: List[int],
+    true_count: float,
+) -> List[float]:
+    """Per-level RER at one epsilon from a precomputed unit-noise row.
+
+    Module-level executor task: the noise is drawn *before* the fan-out, so
+    the executor choice cannot change the sampled values — serial, thread and
+    process runs of :func:`run_figure1` are bit-identical, and the golden
+    regression (``tests/golden/figure1_small.json``) stays valid.
+    """
+    epsilon, unit_noise = task
+    mean_unit_magnitude = float(np.mean(np.abs(unit_noise)))
+    return [
+        mean_unit_magnitude
+        * _noise_scale(mechanism, epsilon, delta, sensitivities[level])
+        / true_count
+        for level in levels
+    ]
+
+
 def run_figure1(
     graph: Optional[BipartiteGraph] = None,
     config: Optional[Figure1Config] = None,
     hierarchy: Optional[GroupHierarchy] = None,
     rng: RandomState = None,
+    executor: ExecutorSpec = None,
 ) -> Figure1Result:
     """Reproduce Figure 1 by Monte-Carlo sampling of the calibrated noise.
 
@@ -219,6 +262,10 @@ def run_figure1(
         Reuse an existing hierarchy (skips specialization).
     rng:
         Seed / generator for the noise draws (defaults to ``config.seed``).
+    executor:
+        Override ``config.executor`` for the per-epsilon aggregation fan-out.
+        All noise is drawn up front (common random numbers, see below), so
+        every executor produces the same result bit for bit.
     """
     config = config if config is not None else Figure1Config()
     if graph is None:
@@ -235,7 +282,6 @@ def run_figure1(
     levels = [level for level in config.release_levels() if hierarchy.has_level(level)]
     sensitivities = level_sensitivities(graph, hierarchy, levels)
 
-    series: Dict[int, List[float]] = {level: [] for level in levels}
     # Common random numbers across levels: one batch of unit-scale noise per
     # epsilon, rescaled by each level's calibrated scale.  This is the
     # standard variance-reduction trick for comparing configurations and
@@ -243,23 +289,40 @@ def run_figure1(
     # expectations are.  The vectorized engine draws the whole
     # (epsilon x trial) matrix in one generator call; numpy fills batched
     # draws sequentially from the same bit stream, so the rows are identical
-    # to the reference engine's per-epsilon draws.
+    # to the reference engine's per-epsilon draws.  (For a Monte-Carlo over
+    # *both* pipeline phases with per-trial derived streams, see
+    # :func:`run_figure1_trials`.)
     draw = noise_rng.normal if config.mechanism == "gaussian" else noise_rng.laplace
     if config.engine == "vectorized":
         unit_matrix = draw(0.0, 1.0, size=(len(config.epsilons), config.num_trials))
-    for index, epsilon in enumerate(config.epsilons):
-        unit_noise = unit_matrix[index] if config.engine == "vectorized" else draw(0.0, 1.0, size=config.num_trials)
-        mean_unit_magnitude = float(np.mean(np.abs(unit_noise)))
-        for level in levels:
-            scale = _noise_scale(config.mechanism, epsilon, config.delta, sensitivities[level])
-            series[level].append(mean_unit_magnitude * scale / true_count)
+        unit_rows = [unit_matrix[index] for index in range(len(config.epsilons))]
+    else:
+        unit_rows = [draw(0.0, 1.0, size=config.num_trials) for _ in config.epsilons]
+
+    task = partial(
+        _epsilon_rer_row,
+        mechanism=config.mechanism,
+        delta=config.delta,
+        sensitivities=sensitivities,
+        levels=levels,
+        true_count=true_count,
+    )
+    with executor_scope(
+        executor if executor is not None else config.executor, config.max_workers
+    ) as pool:
+        rows = pool.map(task, list(zip(config.epsilons, unit_rows)))
+
+    series: Dict[int, List[float]] = {level: [] for level in levels}
+    for row in rows:
+        for position, level in enumerate(levels):
+            series[level].append(row[position])
     return Figure1Result(
         epsilons=list(config.epsilons),
         series=series,
         true_count=true_count,
         sensitivities=sensitivities,
         num_levels=config.num_levels,
-        config=config.to_dict(),
+        config=config.to_dict(executor_override=executor),
     )
 
 
@@ -301,3 +364,139 @@ def run_figure1_analytic(
         num_levels=config.num_levels,
         config=config.to_dict(),
     )
+
+
+# ----------------------------------------------------------------------
+# Full-pipeline Monte-Carlo (per-trial derived streams, executor-parallel)
+# ----------------------------------------------------------------------
+def _figure1_trial(trial: int, graph: BipartiteGraph, config: Figure1Config) -> Dict[str, Any]:
+    """One independent end-to-end Figure-1 trial (executor task).
+
+    Re-runs *both* pipeline phases — a fresh Exponential-Mechanism
+    specialization, fresh sensitivities, fresh noise — from streams derived
+    via ``derive_rng(seed, "figure1-trial-<index>-...")``.  Keying every
+    stream by the trial index (rather than advancing one shared generator
+    trial after trial) is what makes a serial run and any parallel execution
+    order produce identical results.
+    """
+    spec_rng = derive_rng(config.seed, f"figure1-trial-{trial}-spec")
+    hierarchy = build_figure1_hierarchy(graph, config, rng=spec_rng)
+    levels = [level for level in config.release_levels() if hierarchy.has_level(level)]
+    sensitivities = level_sensitivities(graph, hierarchy, levels)
+    true_count = float(graph.num_associations())
+
+    noise_rng = derive_rng(config.seed, f"figure1-trial-{trial}-noise")
+    draw = noise_rng.normal if config.mechanism == "gaussian" else noise_rng.laplace
+    unit = draw(0.0, 1.0, size=(len(config.epsilons), len(levels)))
+    series = {
+        level: [
+            abs(float(unit[eps_index][level_index]))
+            * _noise_scale(config.mechanism, epsilon, config.delta, sensitivities[level])
+            / true_count
+            for eps_index, epsilon in enumerate(config.epsilons)
+        ]
+        for level_index, level in enumerate(levels)
+    }
+    return {"levels": levels, "sensitivities": sensitivities, "series": series}
+
+
+def run_figure1_trials(
+    graph: Optional[BipartiteGraph] = None,
+    config: Optional[Figure1Config] = None,
+    executor: ExecutorSpec = None,
+) -> Figure1Result:
+    """Monte-Carlo Figure 1 over the *full* pipeline, one task per trial.
+
+    Unlike :func:`run_figure1` (which conditions on a single hierarchy and
+    only samples the noise), every trial here re-runs specialization,
+    sensitivity calibration and noise injection with its own derived random
+    streams, then the per-level RER is averaged across trials.  Trials are
+    completely independent, so they fan out through the configured
+    :class:`~repro.execution.Executor` — ``executor="process"`` distributes
+    them across cores with bit-identical results
+    (``benchmarks/test_bench_parallel.py`` records the speedup).
+    """
+    config = config if config is not None else Figure1Config()
+    if graph is None:
+        graph = load_dataset(config.dataset, config.scale, seed=config.seed)
+    true_count = float(graph.num_associations())
+    if true_count <= 0:
+        raise EvaluationError("the graph has no associations; RER is undefined")
+
+    task = partial(_figure1_trial, graph=graph, config=config)
+    with executor_scope(
+        executor if executor is not None else config.executor, config.max_workers
+    ) as pool:
+        trials = pool.map(task, list(range(config.num_trials)))
+    if not trials:
+        raise EvaluationError("num_trials must be >= 1")
+
+    levels = trials[0]["levels"]
+    for outcome in trials[1:]:
+        if outcome["levels"] != levels:
+            raise EvaluationError(
+                "trials produced different level sets; increase the graph size "
+                f"({outcome['levels']} vs {levels})"
+            )
+    series = {
+        level: [
+            float(np.mean([outcome["series"][level][eps_index] for outcome in trials]))
+            for eps_index in range(len(config.epsilons))
+        ]
+        for level in levels
+    }
+    mean_sensitivities = {
+        level: float(np.mean([outcome["sensitivities"][level] for outcome in trials]))
+        for level in levels
+    }
+    return Figure1Result(
+        epsilons=list(config.epsilons),
+        series=series,
+        true_count=true_count,
+        sensitivities=mean_sensitivities,
+        num_levels=config.num_levels,
+        config=config.to_dict(executor_override=executor),
+    )
+
+
+# ----------------------------------------------------------------------
+# Re-rendering metrics from a persisted release
+# ----------------------------------------------------------------------
+def figure1_metrics_from_release(
+    release: MultiLevelRelease, true_count: Optional[float] = None
+) -> List[Dict[str, Any]]:
+    """Figure-1-style per-level metrics recomputed from a stored release.
+
+    Only published information is used: the noise scale, sensitivity and
+    guarantee of each level, and — when ``true_count`` is not supplied — the
+    *released noisy* total association count as the RER denominator (an
+    estimate, since the true count is exactly what the release protects).
+    This is how ``repro report`` re-renders metrics from a
+    :class:`~repro.core.store.ReleaseStore` without re-disclosing.
+    """
+    rows: List[Dict[str, Any]] = []
+    for level in release.levels():
+        view = release.level(level)
+        denominator = true_count
+        if denominator is None and "total_association_count" in view.answers:
+            denominator = abs(view.scalar_answer("total_association_count"))
+        if denominator:
+            if view.mechanism in ("gaussian", "analytic_gaussian"):
+                expected = expected_rer_gaussian(view.noise_scale, denominator)
+            else:
+                expected = expected_rer_laplace(view.noise_scale, denominator)
+        else:
+            expected = None
+        rows.append(
+            {
+                "level": level,
+                "mechanism": view.mechanism,
+                "epsilon": view.guarantee.epsilon,
+                "delta": view.guarantee.delta,
+                "noise_scale": view.noise_scale,
+                "sensitivity": view.sensitivity,
+                "num_groups": getattr(view.guarantee, "num_groups", None),
+                "expected_rer": expected,
+            }
+        )
+    return rows

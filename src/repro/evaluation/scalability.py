@@ -10,14 +10,20 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from functools import partial
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.config import DisclosureConfig
 from repro.core.discloser import MultiLevelDiscloser
+from repro.core.release import MultiLevelRelease
+from repro.core.store import ReleaseStore
 from repro.datasets.dblp_like import generate_dblp_like
 from repro.exceptions import EvaluationError
+from repro.execution import ExecutorSpec, executor_scope
 from repro.grouping.specialization import SpecializationConfig
-from repro.utils.rng import RandomState
+from repro.utils.rng import RandomState, derive_seedseq
 
 
 @dataclass
@@ -51,12 +57,60 @@ class ScalabilityResult:
         return "\n".join(lines)
 
 
+def _measure_size(
+    task: Tuple[int, int, Optional[np.random.SeedSequence]],
+    num_levels: int,
+    epsilon_g: float,
+    engine: str,
+) -> Tuple[Dict[str, float], MultiLevelRelease]:
+    """Time one graph size end to end (executor task; self-contained).
+
+    Each size generates its own graph — from its own derived seed material,
+    per the execution layer's contract that tasks never share a mutable
+    generator — and times its own phases locally, so rows are meaningful
+    whether the sizes run serially or on separate workers (wall-clock
+    numbers from concurrent runs share the machine, of course — benchmarks
+    that compare absolute timings keep the serial default).
+    """
+    index, num_authors, graph_seed = task
+    graph = generate_dblp_like(num_authors=int(num_authors), seed=graph_seed)
+    config = DisclosureConfig(
+        epsilon_g=epsilon_g,
+        specialization=SpecializationConfig(num_levels=num_levels),
+        engine=engine,
+    )
+    discloser = MultiLevelDiscloser(config=config, rng=index)
+
+    start = time.perf_counter()
+    if engine == "vectorized":
+        graph.arrays()  # compile inside the timed phase-1 window
+    hierarchy = discloser.specializer.build(graph).hierarchy
+    spec_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    release = discloser.disclose(graph, hierarchy=hierarchy)
+    noise_seconds = time.perf_counter() - start
+
+    row = {
+        "num_authors": float(graph.num_left()),
+        "num_papers": float(graph.num_right()),
+        "num_associations": float(graph.num_associations()),
+        "specialization_seconds": spec_seconds,
+        "noise_seconds": noise_seconds,
+        "total_seconds": spec_seconds + noise_seconds,
+        "engine": engine,
+    }
+    return row, release
+
+
 def run_scalability(
     author_counts: Sequence[int] = (500, 1_000, 2_000, 4_000),
     num_levels: int = 6,
     epsilon_g: float = 0.5,
     seed: RandomState = 3,
     engine: str = "vectorized",
+    executor: ExecutorSpec = None,
+    store: Optional[ReleaseStore] = None,
 ) -> ScalabilityResult:
     """Time the full pipeline on DBLP-like graphs of increasing size.
 
@@ -75,38 +129,41 @@ def run_scalability(
     engine:
         ``"vectorized"`` (default) or ``"reference"`` — both are timed by
         ``benchmarks/test_bench_engines.py`` to record the speedup.
+    executor:
+        Fan the independent sizes out through an executor (default serial —
+        the right choice when absolute timings matter).
+    store:
+        Optional :class:`~repro.core.store.ReleaseStore`; each size's
+        release is persisted under
+        ``scalability-<engine>-l<levels>-eps<epsilon>-seed<seed>-<authors>``
+        so runs with different parameters keep distinct artefacts that can
+        be inspected or served without re-running.
     """
     if not author_counts:
         raise EvaluationError("author_counts must not be empty")
+    # Derive per-size seed material up front (in the caller, so a Generator
+    # parent is only ever advanced here): tasks must carry their own seeds,
+    # never a shared generator, for serial/thread/process runs to agree.
+    tasks = [
+        (
+            index,
+            count,
+            derive_seedseq(seed, f"scalability-size-{index}") if seed is not None else None,
+        )
+        for index, count in enumerate(author_counts)
+    ]
+    task = partial(_measure_size, num_levels=num_levels, epsilon_g=epsilon_g, engine=engine)
+    with executor_scope(executor) as pool:
+        measured = pool.map(task, tasks)
     result = ScalabilityResult()
-    for index, num_authors in enumerate(author_counts):
-        graph = generate_dblp_like(num_authors=int(num_authors), seed=seed)
-        config = DisclosureConfig(
-            epsilon_g=epsilon_g,
-            specialization=SpecializationConfig(num_levels=num_levels),
-            engine=engine,
-        )
-        discloser = MultiLevelDiscloser(config=config, rng=index)
-
-        start = time.perf_counter()
-        if engine == "vectorized":
-            graph.arrays()  # compile inside the timed phase-1 window
-        hierarchy = discloser.specializer.build(graph).hierarchy
-        spec_seconds = time.perf_counter() - start
-
-        start = time.perf_counter()
-        discloser.disclose(graph, hierarchy=hierarchy)
-        noise_seconds = time.perf_counter() - start
-
-        result.rows.append(
-            {
-                "num_authors": float(graph.num_left()),
-                "num_papers": float(graph.num_right()),
-                "num_associations": float(graph.num_associations()),
-                "specialization_seconds": spec_seconds,
-                "noise_seconds": noise_seconds,
-                "total_seconds": spec_seconds + noise_seconds,
-                "engine": engine,
-            }
-        )
+    for (row, release), num_authors in zip(measured, author_counts):
+        if store is not None:
+            store.save(
+                release,
+                key=(
+                    f"scalability-{engine}-l{num_levels}-eps{epsilon_g}"
+                    f"-seed{seed}-{int(num_authors)}"
+                ),
+            )
+        result.rows.append(row)
     return result

@@ -5,9 +5,35 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping
+from functools import partial
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
 
 from repro.exceptions import EvaluationError
+from repro.execution import ExecutorSpec, executor_scope
+
+
+def _run_combination(
+    params: Dict[str, Any],
+    runner: Callable[..., Mapping[str, Any]],
+    record_time: bool,
+) -> Dict[str, Any]:
+    """Run one grid combination (executor task; module-level so it pickles).
+
+    Timing happens inside the task, so ``elapsed_seconds`` reflects the
+    runner itself rather than queueing delays in a parallel run.
+    """
+    start = time.perf_counter()
+    output = runner(**params)
+    elapsed = time.perf_counter() - start
+    if not isinstance(output, Mapping):
+        raise EvaluationError(
+            f"runner must return a mapping of result columns, got {type(output).__name__}"
+        )
+    row = dict(params)
+    row.update(output)
+    if record_time:
+        row["elapsed_seconds"] = elapsed
+    return row
 
 
 @dataclass
@@ -94,20 +120,22 @@ class ParameterSweep:
         keys = list(self.grid)
         return [dict(zip(keys, combo)) for combo in itertools.product(*(self.grid[k] for k in keys))]
 
-    def run(self, record_time: bool = False) -> SweepResult:
-        """Execute the runner for every combination and collect rows."""
-        result = SweepResult(name=self.name)
-        for params in self.combinations():
-            start = time.perf_counter()
-            output = self.runner(**params)
-            elapsed = time.perf_counter() - start
-            if not isinstance(output, Mapping):
-                raise EvaluationError(
-                    f"runner must return a mapping of result columns, got {type(output).__name__}"
-                )
-            row = dict(params)
-            row.update(output)
-            if record_time:
-                row["elapsed_seconds"] = elapsed
-            result.rows.append(row)
-        return result
+    def run(
+        self,
+        record_time: bool = False,
+        executor: ExecutorSpec = None,
+        max_workers: Optional[int] = None,
+    ) -> SweepResult:
+        """Execute the runner for every combination and collect rows.
+
+        Combinations are independent, so they fan out through ``executor``
+        (``None``/``"serial"``, ``"thread"``, ``"process"`` or an
+        :class:`~repro.execution.Executor` instance).  Rows always come back
+        in deterministic combination order; with a process executor the
+        runner must be a picklable module-level callable and should derive
+        any random state from its own parameters.
+        """
+        task = partial(_run_combination, runner=self.runner, record_time=record_time)
+        with executor_scope(executor, max_workers=max_workers) as pool:
+            rows = pool.map(task, self.combinations())
+        return SweepResult(name=self.name, rows=rows)

@@ -1,0 +1,37 @@
+"""Execution backends: where the pipeline's independent work actually runs.
+
+The disclosure core and the evaluation harnesses express parallelisable work
+(per-level perturbation, per-trial Monte-Carlo runs, per-combination sweep
+rows) as pure functions mapped over task payloads; the classes here decide
+whether that map runs serially, on a thread pool, or across processes — with
+bit-identical results in all three cases (see
+:mod:`repro.execution.executors` for the determinism contract).
+"""
+
+from repro.execution.executors import (
+    EXECUTOR_NAMES,
+    Executor,
+    ExecutorSpec,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    check_executor_name,
+    default_max_workers,
+    executor_name,
+    executor_scope,
+    make_executor,
+)
+
+__all__ = [
+    "EXECUTOR_NAMES",
+    "Executor",
+    "ExecutorSpec",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "check_executor_name",
+    "default_max_workers",
+    "executor_name",
+    "executor_scope",
+    "make_executor",
+]

@@ -1,0 +1,228 @@
+"""Pluggable parallel executors for the disclosure and evaluation pipelines.
+
+Every independent unit of work in the library — per-level noise injection,
+per-trial Monte-Carlo runs, per-combination sweep rows — is expressed as a
+pure function mapped over a list of task payloads.  An :class:`Executor`
+decides *where* that map runs:
+
+* :class:`SerialExecutor` — in the calling thread, one task after another
+  (the default, and the semantics every parallel backend must reproduce);
+* :class:`ThreadExecutor` — a shared :class:`~concurrent.futures.ThreadPoolExecutor`
+  (useful when tasks release the GIL in NumPy kernels);
+* :class:`ProcessExecutor` — a :class:`~concurrent.futures.ProcessPoolExecutor`
+  for CPU-bound fan-out across cores.
+
+Determinism contract
+--------------------
+``Executor.map`` always returns results **in submission order**, and task
+functions must carry their own random state (a picklable
+:class:`numpy.random.SeedSequence` derived per task via
+:func:`repro.utils.rng.derive_seedseq`) rather than sharing a sequentially
+mutated generator.  Under that contract the three executors are bit-for-bit
+interchangeable: ``tests/test_engine_parity.py`` locks serial, thread and
+process disclosures to identical releases for the same seed.
+
+Process caveats
+---------------
+:class:`ProcessExecutor` pickles the task function and every payload, so task
+functions must be module-level callables (or :func:`functools.partial` over
+one) and payloads must be picklable.  Nested process pools are not spawned:
+code running inside a worker should use :class:`SerialExecutor`.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.exceptions import ValidationError
+
+#: Names accepted wherever an executor is selected by string.
+EXECUTOR_NAMES: Tuple[str, ...] = ("serial", "thread", "process")
+
+#: The union of types accepted wherever the library takes an executor.
+ExecutorSpec = Union[None, str, "Executor"]
+
+
+def default_max_workers() -> int:
+    """Worker count used when none is configured (CPU count, floor 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+class Executor(abc.ABC):
+    """Maps a function over task payloads, preserving submission order."""
+
+    #: Name reported in configs and benchmark artefacts.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> List[Any]:
+        """Apply ``fn`` to every task and return the results in task order."""
+
+    def close(self) -> None:
+        """Release any worker pool (idempotent; the serial executor is a no-op)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(Executor):
+    """Run every task inline in the calling thread.
+
+    The reference semantics: parallel executors must produce exactly the
+    results a :class:`SerialExecutor` produces for the same tasks.
+    """
+
+    name = "serial"
+
+    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> List[Any]:
+        return [fn(task) for task in tasks]
+
+
+class ThreadExecutor(Executor):
+    """Fan tasks out over a lazily created thread pool.
+
+    Threads share the interpreter, so payloads are not pickled and task
+    functions may close over arbitrary state; speedups come from NumPy
+    kernels that release the GIL.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self._max_workers = int(max_workers) if max_workers is not None else default_max_workers()
+        if self._max_workers < 1:
+            raise ValidationError(f"max_workers must be >= 1, got {max_workers}")
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self._max_workers)
+        return self._pool
+
+    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> List[Any]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if len(tasks) == 1:  # skip pool dispatch for a single task
+            return [fn(tasks[0])]
+        return list(self._ensure_pool().map(fn, tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessExecutor(Executor):
+    """Fan tasks out over a lazily created process pool.
+
+    Task functions must be picklable module-level callables and payloads
+    must be picklable.  Results come back in submission order, so a
+    process-parallel run is indistinguishable from a serial one as long as
+    tasks carry their own derived random state.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self._max_workers = int(max_workers) if max_workers is not None else default_max_workers()
+        if self._max_workers < 1:
+            raise ValidationError(f"max_workers must be >= 1, got {max_workers}")
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def max_workers(self) -> int:
+        """Configured pool size."""
+        return self._max_workers
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
+        return self._pool
+
+    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> List[Any]:
+        # No single-task inline shortcut here (unlike ThreadExecutor): it
+        # would skip pickling and let a non-picklable task succeed at n==1
+        # only to fail when the task count grows — the contract must be
+        # enforced uniformly.
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        chunksize = max(1, len(tasks) // (self._max_workers * 4))
+        return list(self._ensure_pool().map(fn, tasks, chunksize=chunksize))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def check_executor_name(value: Any, name: str = "executor") -> str:
+    """Validate an executor selector string."""
+    if value not in EXECUTOR_NAMES:
+        raise ValidationError(f"{name} must be one of {EXECUTOR_NAMES}, got {value!r}")
+    return value
+
+
+def executor_name(spec: ExecutorSpec) -> str:
+    """Canonical name of an executor spec (``None`` means serial).
+
+    Used to record execution provenance (e.g. in a release's ``config``)
+    from whatever the caller actually passed — a name, ``None``, or a live
+    :class:`Executor` instance.
+    """
+    if isinstance(spec, Executor):
+        return spec.name
+    if spec is None:
+        return "serial"
+    return check_executor_name(spec)
+
+
+def make_executor(spec: ExecutorSpec = None, max_workers: Optional[int] = None) -> Executor:
+    """Build an executor from a name, ``None`` (serial) or an existing instance.
+
+    Parameters
+    ----------
+    spec:
+        ``None`` / ``"serial"``, ``"thread"``, ``"process"`` or an
+        :class:`Executor` (returned unchanged; ``max_workers`` is ignored).
+    max_workers:
+        Pool size for the thread/process executors (defaults to the CPU count).
+    """
+    if isinstance(spec, Executor):
+        return spec
+    if spec is None or spec == "serial":
+        return SerialExecutor()
+    check_executor_name(spec)
+    if spec == "thread":
+        return ThreadExecutor(max_workers=max_workers)
+    return ProcessExecutor(max_workers=max_workers)
+
+
+@contextmanager
+def executor_scope(
+    spec: ExecutorSpec = None, max_workers: Optional[int] = None
+) -> Iterator[Executor]:
+    """Context manager resolving ``spec`` and closing only pools it created.
+
+    An :class:`Executor` *instance* passed in stays open (the caller owns its
+    lifecycle); a name spec gets a fresh executor that is closed on exit.
+    """
+    if isinstance(spec, Executor):
+        yield spec
+        return
+    executor = make_executor(spec, max_workers=max_workers)
+    try:
+        yield executor
+    finally:
+        executor.close()

@@ -77,6 +77,14 @@ class BipartiteGraph:
         self._revision = 0
         self._arrays: Optional["GraphArrays"] = None
 
+    def __getstate__(self) -> dict:
+        # The compiled array view holds weakrefs (not picklable); drop it and
+        # let the unpickled graph recompile lazily on first use, so graphs can
+        # cross process boundaries for the parallel executors.
+        state = self.__dict__.copy()
+        state["_arrays"] = None
+        return state
+
     # ------------------------------------------------------------------
     # Mutation tracking and the compiled array view
     # ------------------------------------------------------------------

@@ -57,6 +57,37 @@ def _key_to_int(key: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def derive_seedseq(rng: RandomState, key: str) -> np.random.SeedSequence:
+    """Derive the :class:`~numpy.random.SeedSequence` behind :func:`derive_rng`.
+
+    A ``SeedSequence`` is plain seed *material*: picklable, cheap to copy, and
+    derivable again with further keys.  The parallel execution layer passes
+    these across process boundaries so every task can instantiate its own
+    generator locally — two tasks keyed the same way produce identical
+    streams whether they run serially, on threads, or in worker processes.
+
+    Parameters
+    ----------
+    rng:
+        Parent random state (``None`` yields fresh entropy).
+    key:
+        Arbitrary label identifying the consumer (e.g. ``"level-3"``).
+    """
+    key_int = _key_to_int(key)
+    if rng is None:
+        return np.random.SeedSequence()
+    if isinstance(rng, (int, np.integer)):
+        return np.random.SeedSequence(entropy=int(rng), spawn_key=(key_int,))
+    if isinstance(rng, np.random.SeedSequence):
+        return np.random.SeedSequence(
+            entropy=rng.entropy, spawn_key=tuple(rng.spawn_key) + (key_int,)
+        )
+    if isinstance(rng, np.random.Generator):
+        seed = int(rng.integers(0, 2**63 - 1))
+        return np.random.SeedSequence(entropy=seed, spawn_key=(key_int,))
+    raise TypeError(f"unsupported rng type {type(rng)!r}")
+
+
 def derive_rng(rng: RandomState, key: str) -> np.random.Generator:
     """Derive an independent generator keyed by ``key``.
 
@@ -73,19 +104,9 @@ def derive_rng(rng: RandomState, key: str) -> np.random.Generator:
     key:
         Arbitrary label identifying the consumer (e.g. ``"specialization"``).
     """
-    key_int = _key_to_int(key)
     if rng is None:
         return np.random.default_rng()
-    if isinstance(rng, (int, np.integer)):
-        return np.random.default_rng(np.random.SeedSequence(entropy=int(rng), spawn_key=(key_int,)))
-    if isinstance(rng, np.random.SeedSequence):
-        return np.random.default_rng(
-            np.random.SeedSequence(entropy=rng.entropy, spawn_key=tuple(rng.spawn_key) + (key_int,))
-        )
-    if isinstance(rng, np.random.Generator):
-        seed = int(rng.integers(0, 2**63 - 1))
-        return np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(key_int,)))
-    raise TypeError(f"unsupported rng type {type(rng)!r}")
+    return np.random.default_rng(derive_seedseq(rng, key))
 
 
 def spawn_rngs(rng: RandomState, keys: Iterable[str]) -> List[np.random.Generator]:

@@ -17,6 +17,13 @@ class TestNaiveGroupDPDiscloser:
         for level in release.levels():
             assert release.level(level).guarantee.unit is PrivacyUnit.GROUP
 
+    def test_explicitly_requested_missing_level_raises(self, dblp_graph, dblp_hierarchy):
+        """A typo'd level list must fail fast, not silently shrink the release."""
+        from repro.exceptions import DisclosureError
+
+        with pytest.raises(DisclosureError, match=r"\[99\]"):
+            NaiveGroupDPDiscloser(rng=1).disclose(dblp_graph, dblp_hierarchy, levels=[2, 99])
+
     def test_sensitivity_is_lemma_bound(self, dblp_graph, dblp_hierarchy):
         baseline = NaiveGroupDPDiscloser(epsilon_g=0.5)
         level = 2

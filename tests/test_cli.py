@@ -21,6 +21,10 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["disclose", "--output", "r.json", "--mechanism", "magic"])
 
+    def test_figure1_analytic_and_per_trial_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure1", "--analytic", "--per-trial"])
+
 
 class TestCommands:
     def test_generate_writes_edge_list(self, tmp_path, capsys):
@@ -96,3 +100,76 @@ class TestCommands:
         code = main(["figure1", "--scale", "tiny", "--levels", "4", "--trials", "5"])
         assert code == 0
         assert "eps_g" in capsys.readouterr().out
+
+    def test_figure1_per_trial_with_executor(self, capsys):
+        code = main(
+            [
+                "figure1",
+                "--scale",
+                "tiny",
+                "--levels",
+                "4",
+                "--trials",
+                "3",
+                "--per-trial",
+                "--executor",
+                "thread",
+            ]
+        )
+        assert code == 0
+        assert "eps_g" in capsys.readouterr().out
+
+    def test_disclose_requires_output_or_store(self, capsys):
+        code = main(["disclose", "--scale", "tiny", "--levels", "3"])
+        assert code == 2
+        assert "--output and/or --store" in capsys.readouterr().err
+
+    def test_disclose_into_store_then_report(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        code = main(
+            [
+                "disclose",
+                "--scale",
+                "tiny",
+                "--levels",
+                "4",
+                "--seed",
+                "2",
+                "--executor",
+                "thread",
+                "--store",
+                str(store_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stored release under key" in out
+
+        # `report` with no key lists the stored releases...
+        code = main(["report", "--store", str(store_dir)])
+        assert code == 0
+        keys = capsys.readouterr().out.split()
+        assert len(keys) == 1
+
+        # ...and with a key re-renders per-level metrics from the stored
+        # artefact alone — no graph, no re-disclosure, no budget spend.
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            ["report", "--store", str(store_dir), "--key", keys[0], "--output", str(metrics_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "levels=[0, 1, 2]" in out
+        rows = json.loads(metrics_path.read_text())["rows"]
+        assert [row["level"] for row in rows] == [0, 1, 2]
+        assert all(row["expected_rer"] is not None for row in rows)
+
+    def test_report_empty_store(self, tmp_path, capsys):
+        code = main(["report", "--store", str(tmp_path / "empty")])
+        assert code == 0
+        assert "no releases stored" in capsys.readouterr().out
+
+    def test_report_unknown_key_fails_cleanly(self, tmp_path, capsys):
+        code = main(["report", "--store", str(tmp_path / "empty"), "--key", "typo"])
+        assert code == 2
+        assert "no release stored under key 'typo'" in capsys.readouterr().err

@@ -1,5 +1,7 @@
 """Tests for access policies and information levels."""
 
+import json
+
 import pytest
 
 from repro.core.access import AccessPolicy, InformationLevel
@@ -62,6 +64,25 @@ class TestAccessPolicy:
         back = AccessPolicy.from_dict(policy.to_dict())
         assert back.roles() == policy.roles()
         assert back.level_for("public") == 2
+
+    def test_dict_round_trip_is_exact_and_json_safe(self, policy):
+        document = policy.to_dict()
+        # The document survives a real JSON round-trip (what export_views
+        # and the release store write to disk).
+        document = json.loads(json.dumps(document))
+        back = AccessPolicy.from_dict(document)
+        assert back.to_dict() == policy.to_dict()
+        assert back.top_level == policy.top_level
+        # And the reconstructed policy clamps views exactly like the original.
+        release = make_release(levels=(0, 1, 2))
+        for role in policy.roles():
+            assert back.view_for(role, release).level == policy.view_for(role, release).level
+
+    def test_from_dict_rejects_invalid_documents(self):
+        with pytest.raises(ValidationError):
+            AccessPolicy.from_dict({"top_level": 9, "role_levels": {}})
+        with pytest.raises(ValidationError):
+            AccessPolicy.from_dict({"top_level": 3, "role_levels": {"public": 4}})
 
     def test_uniform_tiers(self):
         policy = AccessPolicy.uniform_tiers([0, 2, 5], top_level=9)

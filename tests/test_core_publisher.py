@@ -6,6 +6,7 @@ from repro.accounting.budget import PrivacyBudget
 from repro.core.access import AccessPolicy
 from repro.core.config import DisclosureConfig
 from repro.core.publisher import GraphPublisher
+from repro.core.store import ReleaseStore
 from repro.exceptions import BudgetExceededError, DisclosureError
 from repro.graphs.bipartite import BipartiteGraph
 from repro.grouping.specialization import SpecializationConfig
@@ -105,3 +106,46 @@ class TestGraphPublisher:
         assert public_doc["release"]["level"] == 2
         # The export must not contain any other level's answers.
         assert "levels" not in public_doc
+
+    def test_export_views_without_store_records_no_key(self, publisher, tmp_path):
+        release = publisher.release()
+        policy = AccessPolicy({"public": 2}, top_level=4)
+        written = publisher.export_views(release, policy, tmp_path / "views")
+        assert "release_key" not in from_json_file(written["public"])
+
+    def test_export_views_persists_release_into_store(self, publisher, tmp_path):
+        release = publisher.release()
+        policy = AccessPolicy({"owner": 0, "public": 2}, top_level=4)
+        store = ReleaseStore(tmp_path / "store")
+        written = publisher.export_views(release, policy, tmp_path / "views", store=store)
+        # Every role document records the same store key...
+        keys = {from_json_file(path)["release_key"] for path in written.values()}
+        assert len(keys) == 1
+        (key,) = keys
+        # ...and the stored artefact is the full release, so a serving layer
+        # can re-derive any view without re-disclosing.
+        stored = store.load(key)
+        assert stored.to_dict() == release.to_dict()
+        for role in policy.roles():
+            view = policy.view_for(role, stored)
+            assert view.to_dict() == from_json_file(written[role])["release"]
+
+    def test_budget_exhaustion_does_not_record_the_failed_release(
+        self, dblp_graph, base_config
+    ):
+        publisher = GraphPublisher(
+            dblp_graph,
+            total_budget=PrivacyBudget(epsilon=1.6, delta=1e-3),
+            base_config=base_config,
+            rng=3,
+        )
+        publisher.release()
+        spent_before = publisher.spent().epsilon
+        with pytest.raises(BudgetExceededError):
+            publisher.release()
+        # The refused release neither spends budget nor appears in history.
+        assert publisher.spent().epsilon == pytest.approx(spent_before)
+        assert len(publisher.releases()) == 1
+        # A cheaper release that still fits the remaining budget goes through.
+        release = publisher.release(epsilon_g=0.05)
+        assert release.levels() == [0, 1, 2]

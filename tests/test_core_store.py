@@ -1,0 +1,139 @@
+"""Tests for the persistent release store (JSON + npz round-trip)."""
+
+import json
+
+import pytest
+
+from repro.core.config import DisclosureConfig
+from repro.core.discloser import MultiLevelDiscloser
+from repro.core.store import ReleaseStore
+from repro.exceptions import ReleaseIntegrityError
+from repro.grouping.specialization import SpecializationConfig
+
+
+@pytest.fixture
+def release(dblp_graph):
+    config = DisclosureConfig(
+        epsilon_g=0.5, specialization=SpecializationConfig(num_levels=4)
+    )
+    return MultiLevelDiscloser(config, rng=11).disclose(dblp_graph)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ReleaseStore(tmp_path / "releases")
+
+
+class TestRoundTrip:
+    def test_save_load_is_lossless(self, store, release):
+        key = store.save(release)
+        loaded = store.load(key)
+        # Bit-for-bit: answers travel as float64 npz arrays, everything else
+        # as JSON, so the full document survives unchanged.
+        assert loaded.to_dict() == release.to_dict()
+
+    def test_save_is_idempotent_under_default_key(self, store, release):
+        assert store.save(release) == store.save(release)
+        assert len(store.keys()) == 1
+
+    def test_explicit_keys_are_slugified(self, store, release):
+        key = store.save(release, key="figure 1 / run #7")
+        assert key.startswith("figure-1-run-7-")
+        assert store.exists(key)
+        # The raw key addresses the same release as the canonical slug.
+        assert store.exists("figure 1 / run #7")
+        assert store.load("figure 1 / run #7").levels() == release.levels()
+
+    def test_lossy_slugs_cannot_collide(self, store, release):
+        """Distinct raw keys that sanitise to the same text stay distinct."""
+        key_a = store.save(release, key="exp 1")
+        key_b = store.save(release, key="exp-1")
+        assert key_a != key_b
+        assert len(store.keys()) == 2
+
+    def test_keys_lists_stored_releases_sorted(self, store, release):
+        assert store.keys() == []
+        store.save(release, key="beta")
+        store.save(release, key="alpha")
+        assert store.keys() == ["alpha", "beta"]
+
+    def test_level_view_round_trip(self, store, release):
+        view = release.level(release.levels()[0])
+        key = store.save_level(view, key="owner-view")
+        loaded = store.load_level(key)
+        assert loaded.to_dict() == view.to_dict()
+
+    def test_answers_split_out_of_the_json_document(self, store, release):
+        key = store.save(release)
+        document = json.loads(
+            (store.path_for(key) / ReleaseStore.DOCUMENT_NAME).read_text()
+        )
+        for level_doc in document["levels"].values():
+            for ref in level_doc["answers"].values():
+                assert set(ref) == {"labels", "npz_key"}
+        assert (store.path_for(key) / ReleaseStore.ANSWERS_NAME).is_file()
+
+
+class TestErrors:
+    def test_load_missing_key_raises(self, store):
+        with pytest.raises(ReleaseIntegrityError):
+            store.load("nope")
+
+    def test_load_level_missing_key_raises(self, store):
+        with pytest.raises(ReleaseIntegrityError):
+            store.load_level("nope")
+
+    def test_load_level_rejects_full_release(self, store, release):
+        key = store.save(release)
+        with pytest.raises(ReleaseIntegrityError):
+            store.load_level(key)
+
+    def test_load_rejects_level_view(self, store, release):
+        key = store.save_level(release.level(release.levels()[0]), key="one-view")
+        with pytest.raises(ReleaseIntegrityError):
+            store.load(key)
+
+    def test_load_wraps_corrupt_document(self, store, release):
+        key = store.save(release)
+        (store.path_for(key) / ReleaseStore.DOCUMENT_NAME).write_text("{not json")
+        with pytest.raises(ReleaseIntegrityError):
+            store.load(key)
+
+    def test_load_wraps_corrupt_answers(self, store, release):
+        key = store.save(release)
+        (store.path_for(key) / ReleaseStore.ANSWERS_NAME).write_bytes(b"not an npz")
+        with pytest.raises(ReleaseIntegrityError):
+            store.load(key)
+
+    def test_load_wraps_invalid_structure(self, store, release):
+        key = store.save(release)
+        (store.path_for(key) / ReleaseStore.DOCUMENT_NAME).write_text('{"levels": {}}')
+        with pytest.raises(ReleaseIntegrityError):
+            store.load(key)
+
+    def test_missing_answer_arrays_detected(self, store, release):
+        key = store.save(release)
+        (store.path_for(key) / ReleaseStore.ANSWERS_NAME).unlink()
+        with pytest.raises(ReleaseIntegrityError):
+            store.load(key)
+
+    def test_delete_then_absent(self, store, release):
+        key = store.save(release)
+        store.delete(key)
+        assert not store.exists(key)
+        store.delete(key)  # idempotent
+
+
+class TestGetOrCreate:
+    def test_builds_once_then_serves_from_store(self, store, release):
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return release
+
+        first, created_first = store.get_or_create("e6-run", builder)
+        second, created_second = store.get_or_create("e6-run", builder)
+        assert (created_first, created_second) == (True, False)
+        assert len(calls) == 1
+        assert second.to_dict() == first.to_dict()

@@ -67,6 +67,23 @@ class TestE3:
         result = run_e3_scalability(author_counts=(100,), num_levels=3)
         assert "assoc" in result.format_table()
 
+    def test_sizes_get_independent_derived_seeds(self):
+        """Serial and thread runs of the same seed build identical graphs —
+        each size carries its own derived seed instead of sharing a
+        sequentially advanced generator across tasks."""
+        from repro.evaluation.scalability import run_scalability
+
+        graph_fields = ("num_authors", "num_papers", "num_associations")
+
+        def fingerprint(result):
+            return [[row[field] for field in graph_fields] for row in result.rows]
+
+        serial = run_scalability(author_counts=(100, 150), num_levels=3, seed=5)
+        threaded = run_scalability(
+            author_counts=(100, 150), num_levels=3, seed=5, executor="thread"
+        )
+        assert fingerprint(serial) == fingerprint(threaded)
+
 
 class TestE4E5:
     def test_e4_compares_three_methods(self, tiny_dblp):
