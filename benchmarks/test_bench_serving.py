@@ -1,0 +1,129 @@
+"""Throughput and latency of the read-only HTTP serving layer.
+
+Populates a store with one release of the benchmark graph, starts a
+:class:`~repro.serving.ReleaseServer` on a free port, and measures the
+request path the way a consumer sees it — full HTTP round-trips through the
+stdlib client fetching per-role views.  Two store configurations are timed:
+
+* **cold cache** (``cache_size=0``): every request re-reads and re-parses
+  the stored JSON+npz artefacts;
+* **warm cache** (``cache_size=32``): after the first load the parsed
+  release is served from the LRU read-through cache (each hit re-validated
+  against the backend's change fingerprint).
+
+Results — requests/sec plus p50/p99 latency per configuration — go to
+``benchmarks/results/serving.json`` / ``serving.txt``.  The benchmark
+asserts only sanity (every response 200 and bit-stable, warm no slower than
+half of cold) because absolute numbers are hardware-bound.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, save_text
+from repro.core.access import AccessPolicy
+from repro.core.config import DisclosureConfig
+from repro.core.discloser import MultiLevelDiscloser
+from repro.core.store import ReleaseStore
+from repro.grouping.specialization import SpecializationConfig
+from repro.serving import ReleaseServer, http_get
+from repro.utils.serialization import to_json_file
+
+#: Hierarchy depth of the benchmark release.
+NUM_LEVELS = 9
+
+#: Requests measured per store configuration (after warm-up).
+NUM_REQUESTS = 400
+
+#: Unmeasured warm-up requests (connection setup, first cache fill).
+NUM_WARMUP = 25
+
+
+def _measure(server: ReleaseServer, paths: List[str], num_requests: int) -> Dict:
+    """Round-robin ``paths`` for ``num_requests`` full HTTP round-trips."""
+    bodies = {}
+    for index in range(NUM_WARMUP):
+        status, body = http_get(server.url + paths[index % len(paths)])
+        assert status == 200
+        bodies.setdefault(paths[index % len(paths)], body)
+
+    latencies = []
+    start = time.perf_counter()
+    for index in range(num_requests):
+        path = paths[index % len(paths)]
+        tick = time.perf_counter()
+        status, body = http_get(server.url + path)
+        latencies.append(time.perf_counter() - tick)
+        assert status == 200
+        # Serving is deterministic: every response for a path is bit-stable.
+        assert body == bodies[path]
+    elapsed = time.perf_counter() - start
+
+    latencies_ms = np.asarray(latencies) * 1000.0
+    return {
+        "requests": num_requests,
+        "seconds": elapsed,
+        "requests_per_second": num_requests / elapsed,
+        "latency_ms": {
+            "p50": float(np.percentile(latencies_ms, 50)),
+            "p90": float(np.percentile(latencies_ms, 90)),
+            "p99": float(np.percentile(latencies_ms, 99)),
+            "mean": float(latencies_ms.mean()),
+            "max": float(latencies_ms.max()),
+        },
+    }
+
+
+@pytest.mark.slow
+def test_bench_serving_throughput_and_latency(bench_graph, results_dir, tmp_path):
+    """requests/sec + latency percentiles of per-role view serving."""
+    config = DisclosureConfig(
+        epsilon_g=0.5, specialization=SpecializationConfig(num_levels=NUM_LEVELS)
+    )
+    release = MultiLevelDiscloser(config, rng=BENCH_SEED).disclose(bench_graph)
+    policy = AccessPolicy(
+        {"analyst": 0, "partner": release.levels()[len(release.levels()) // 2],
+         "public": release.levels()[-1]},
+        top_level=NUM_LEVELS,
+    )
+
+    record = {
+        "benchmark": "serving-http-views",
+        "scale": BENCH_SCALE,
+        "num_levels": NUM_LEVELS,
+        "seed": BENCH_SEED,
+        "roles": policy.roles(),
+    }
+    for label, cache_size in (("cold_cache", 0), ("warm_cache", 32)):
+        store = ReleaseStore(tmp_path / f"store-{label}", cache_size=cache_size)
+        key = store.save(release)
+        paths = [f"/releases/{key}/views/{role}" for role in policy.roles()]
+        with ReleaseServer(store, policy, port=0) as server:
+            record[label] = _measure(server, paths, NUM_REQUESTS)
+            record[label]["cache"] = store.cache_info()
+
+    to_json_file(record, results_dir / "serving.json")
+    lines = [f"HTTP serving of per-role views (scale={BENCH_SCALE}, "
+             f"{NUM_REQUESTS} requests/config)"]
+    for label in ("cold_cache", "warm_cache"):
+        stats = record[label]
+        lines.append(
+            f"{label}\t{stats['requests_per_second']:.0f} req/s"
+            f"\tp50 {stats['latency_ms']['p50']:.2f} ms"
+            f"\tp99 {stats['latency_ms']['p99']:.2f} ms"
+        )
+    save_text(results_dir / "serving.txt", "\n".join(lines))
+    print("\n" + "\n".join(lines[1:]))
+
+    # The warm cache skipped (almost) every re-parse...
+    assert record["warm_cache"]["cache"]["hits"] >= NUM_REQUESTS - len(policy.roles())
+    # ...so warm serving must not be materially slower than cold.
+    assert (
+        record["warm_cache"]["requests_per_second"]
+        >= 0.5 * record["cold_cache"]["requests_per_second"]
+    )

@@ -82,6 +82,30 @@ alongside the per-role view documents, ``repro disclose --store DIR``
 populates a store from the command line, and ``repro report --store DIR
 --key KEY`` re-renders Figure-1-style per-level metrics from the stored
 artefact without touching the graph again.
+
+The store sits on a pluggable :class:`~repro.core.store.StoreBackend`
+(a directory of JSON+npz pairs with a persisted O(1) key index by default,
+or :meth:`ReleaseStore.in_memory` for tests and caches) and can keep an LRU
+read-through cache of parsed releases (``cache_size=...``) whose hits are
+re-validated against the backend's change fingerprint.
+
+Serving releases over HTTP
+--------------------------
+Disclosure spends budget once; serving the stored artefact spends nothing.
+The read-only HTTP layer (:mod:`repro.serving`, stdlib ``http.server`` only)
+loads releases from a store and resolves each caller's role through
+:meth:`AccessPolicy.view_for`:
+
+>>> from repro.serving import ReleaseServer, fetch_json
+>>> policy = AccessPolicy({"analyst": 0, "public": 2}, top_level=3)
+>>> server = ReleaseServer(store, policy, port=0).start()
+>>> fetch_json(server.url, f"/releases/{key}/views/public")["release"]["level"]
+2
+>>> server.stop()
+
+``repro serve --store DIR --policy FILE`` starts the same server from the
+command line, and ``GraphPublisher.serve(release, policy, store)`` persists
+a fresh release and hands back a ready server in one call.
 """
 
 from repro.accounting.budget import BudgetLedger, PrivacyBudget
@@ -119,6 +143,10 @@ from repro.privacy.guarantees import (
     PrivacyGuarantee,
     PrivacyUnit,
 )
+from repro.core.store import DirectoryBackend, MemoryBackend, StoreBackend
+from repro.exceptions import ServingError
+from repro.serving.client import fetch_json, http_get
+from repro.serving.server import ReleaseServer, create_server
 from repro.queries.counts import GroupedAssociationCountQuery, TotalAssociationCountQuery
 from repro.queries.cross import CrossGroupCountQuery
 from repro.queries.degree import DegreeHistogramQuery
@@ -140,6 +168,15 @@ __all__ = [
     "verify_release",
     "DisclosurePipeline",
     "ReleaseStore",
+    "StoreBackend",
+    "DirectoryBackend",
+    "MemoryBackend",
+    # serving
+    "ReleaseServer",
+    "create_server",
+    "fetch_json",
+    "http_get",
+    "ServingError",
     # execution
     "SerialExecutor",
     "ThreadExecutor",

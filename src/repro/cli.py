@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands cover the common publisher workflows without writing any
+Five subcommands cover the common publisher workflows without writing any
 Python:
 
 * ``repro generate`` — build a synthetic dataset and write it as an edge list;
@@ -11,7 +11,11 @@ Python:
   graph and print / save it (``--per-trial`` runs the full-pipeline
   Monte-Carlo, parallelisable with ``--executor process``);
 * ``repro report``   — re-render Figure-1-style per-level metrics from a
-  release persisted in a store, without re-disclosing.
+  release persisted in a store, without re-disclosing;
+* ``repro serve``    — serve the releases in a store over a read-only HTTP
+  API, resolving each caller's role through an
+  :class:`~repro.core.access.AccessPolicy` (no disclosure code runs while
+  serving, so no budget is ever spent).
 
 The module exposes :func:`main` (also installed as the ``repro`` console
 script) and :func:`build_parser` for testing.
@@ -111,6 +115,29 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--key", help="release key (omit to list the stored keys)")
     report.add_argument("--output", type=Path, help="optional JSON file for the metrics rows")
 
+    serve = subparsers.add_parser(
+        "serve", help="serve stored releases over a read-only HTTP API"
+    )
+    serve.add_argument("--store", type=Path, required=True, help="release-store directory")
+    serve.add_argument(
+        "--policy",
+        type=Path,
+        required=True,
+        help="access-policy JSON file (AccessPolicy.to_dict format)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080, help="0 picks a free port")
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=None,
+        dest="cache_size",
+        help="releases kept hot in the read-through cache (default 32; 0 disables)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log one line per request to stderr"
+    )
+
     return parser
 
 
@@ -193,11 +220,45 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving.server import DEFAULT_CACHE_SIZE, create_server
+
+    if not args.store.is_dir():
+        print(f"serve: store directory {args.store} does not exist", file=sys.stderr)
+        return 2
+    if not args.policy.is_file():
+        print(f"serve: policy file {args.policy} does not exist", file=sys.stderr)
+        return 2
+    cache_size = args.cache_size if args.cache_size is not None else DEFAULT_CACHE_SIZE
+    try:
+        server = create_server(
+            store=args.store,
+            policy=args.policy,
+            host=args.host,
+            port=args.port,
+            cache_size=cache_size,
+            verbose=args.verbose,
+        )
+    except (OSError, KeyError, TypeError, ValueError) as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+    keys = server.store.keys()
+    roles = server.policy.roles()
+    print(
+        f"serving {len(keys)} release(s) to {len(roles)} role(s) on {server.url}",
+        flush=True,
+    )
+    print(f"try: GET {server.url}/releases", flush=True)
+    server.serve_forever()
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "disclose": _cmd_disclose,
     "figure1": _cmd_figure1,
     "report": _cmd_report,
+    "serve": _cmd_serve,
 }
 
 

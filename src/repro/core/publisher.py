@@ -222,3 +222,27 @@ class GraphPublisher:
                 document["release_key"] = release_key
             written[role] = to_json_file(document, directory / f"{role}.json")
         return written
+
+    def serve(
+        self,
+        release: MultiLevelRelease,
+        policy: AccessPolicy,
+        store: Union[ReleaseStore, str, Path],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        """Persist ``release`` into ``store`` and return a ready (unstarted)
+        :class:`~repro.serving.server.ReleaseServer` for it.
+
+        The returned server holds no reference to the publisher, the graph,
+        or the disclosure pipeline — only to the store and the policy — so
+        once it is started the budget-spending half of the system can shut
+        down entirely while consumers keep fetching their views.  Call
+        ``.start()`` (non-blocking) or ``.serve_forever()`` on the result.
+        """
+        from repro.serving.server import DEFAULT_CACHE_SIZE, ReleaseServer
+
+        if not isinstance(store, ReleaseStore):
+            store = ReleaseStore(store, cache_size=DEFAULT_CACHE_SIZE)
+        store.save(release)
+        return ReleaseServer(store=store, policy=policy, host=host, port=port)

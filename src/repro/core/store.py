@@ -3,34 +3,54 @@
 A release is an artefact worth keeping: the privacy budget it consumed is
 spent whether or not the noisy answers are saved, so a publisher should
 persist every release and *serve* it rather than re-disclose.
-:class:`ReleaseStore` provides that layer — a directory of releases, each
-stored as
+:class:`ReleaseStore` provides that layer on top of a pluggable
+:class:`StoreBackend`:
 
-* ``release.json`` — the full release document (guarantees, noise scales,
-  level statistics, configuration) with the numeric answer vectors replaced
-  by references, and
-* ``answers.npz`` — the answer vectors themselves as float64 arrays, so the
-  round-trip is lossless down to the last bit.
+* :class:`DirectoryBackend` (the default, selected by constructing the store
+  with a path) keeps one directory per release holding ``release.json`` — the
+  full release document with the numeric answer vectors replaced by
+  references — and ``answers.npz`` — the answer vectors as float64 arrays, so
+  the round-trip is lossless down to the last bit.  A persisted ``index.json``
+  at the store root is maintained incrementally on every ``put``/``delete``
+  so :meth:`ReleaseStore.keys` is O(1) instead of an O(n) directory scan;
+  legacy stores without an index (and stores whose directory contents drifted
+  from the index) are healed by an automatic rebuild.
+* :class:`MemoryBackend` keeps the same two artefacts per key in process
+  memory — the natural backend for tests and for serving-layer caches — and
+  produces byte-identical documents, so a release stored through either
+  backend serialises identically.
+
+On top of the backend, :class:`ReleaseStore` optionally keeps an LRU
+read-through cache of parsed releases (``cache_size``).  Every cache hit is
+re-validated against the backend's cheap change fingerprint (file size +
+mtime for directories, a revision counter in memory), so a release that was
+rewritten or corrupted behind the store is never served stale from memory.
 
 The store is wired through :meth:`repro.core.publisher.GraphPublisher.export_views`,
-the ``repro disclose --store`` / ``repro report`` CLI commands and the
-evaluation harnesses (:func:`~repro.evaluation.experiments.run_e6_baselines`
-resumes from stored releases via :meth:`ReleaseStore.get_or_create`).
+the ``repro disclose --store`` / ``repro report`` / ``repro serve`` CLI
+commands, the read-only HTTP layer (:mod:`repro.serving`) and the evaluation
+harnesses (:func:`~repro.evaluation.experiments.run_e6_baselines` resumes
+from stored releases via :meth:`ReleaseStore.get_or_create`).
 """
 
 from __future__ import annotations
 
 import hashlib
+import io
 import json
+import os
 import re
+import threading
+from abc import ABC, abstractmethod
+from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.release import LevelRelease, MultiLevelRelease
-from repro.exceptions import ReleaseIntegrityError
-from repro.utils.serialization import to_json_file
+from repro.exceptions import ReleaseIntegrityError, ValidationError
+from repro.utils.serialization import canonical_json_bytes
 
 PathLike = Union[str, Path]
 
@@ -46,7 +66,8 @@ def _slugify(text: str) -> str:
     vs ``"exp-1"``).
     """
     slug = _KEY_RE.sub("-", text.strip()).strip("-")
-    if not slug:
+    if not slug or slug.strip(".") == "":
+        # All-dot slugs ("." / "..") would escape the store root as paths.
         slug = "release"
     if slug != text:
         digest = hashlib.sha256(text.encode("utf-8")).hexdigest()[:8]
@@ -103,8 +124,329 @@ def _restore_answers(document: dict, arrays: Dict[str, np.ndarray]) -> dict:
     return document
 
 
+def _document_bytes(document: dict) -> bytes:
+    """Canonical serialisation of a release document — identical across
+    backends (and to the serving layer's responses) by construction."""
+    return canonical_json_bytes(document)
+
+
+def _answers_bytes(arrays: Dict[str, np.ndarray]) -> bytes:
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return buffer.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+class StoreBackend(ABC):
+    """Byte-level I/O behind a :class:`ReleaseStore`.
+
+    A backend stores, per (already slugified) key, exactly two artefacts: the
+    release *document* (canonical JSON bytes) and the *answers* (npz bytes).
+    Keeping the contract this small is what lets the same :class:`ReleaseStore`
+    interface target a directory tree today and object storage or a key-value
+    database tomorrow.
+    """
+
+    @abstractmethod
+    def put(self, key: str, document: bytes, answers: bytes) -> None:
+        """Store both artefacts under ``key`` (overwriting any previous pair)."""
+
+    @abstractmethod
+    def get_document(self, key: str) -> bytes:
+        """The document bytes for ``key``; raises :class:`KeyError` when absent."""
+
+    @abstractmethod
+    def get_answers(self, key: str) -> Optional[bytes]:
+        """The answers bytes for ``key``, or ``None`` when that artefact is absent."""
+
+    @abstractmethod
+    def exists(self, key: str) -> bool:
+        """Whether a document is stored under ``key``."""
+
+    @abstractmethod
+    def delete(self, key: str) -> None:
+        """Remove both artefacts (no-op when absent)."""
+
+    @abstractmethod
+    def keys(self) -> List[str]:
+        """All stored keys, sorted."""
+
+    @abstractmethod
+    def fingerprint(self, key: str) -> Optional[str]:
+        """A cheap change-detection token for ``key`` (``None`` when absent).
+
+        The token must change whenever the stored bytes may have changed; it
+        is what the read-through cache re-checks before serving a release
+        from memory, so computing it must not require reading the artefacts.
+        """
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human-readable location for error messages and ``repr``."""
+
+
+class DirectoryBackend(StoreBackend):
+    """One directory per release (``release.json`` + ``answers.npz``).
+
+    A persisted ``index.json`` at the store root lists the stored keys and is
+    maintained incrementally by :meth:`put`/:meth:`delete`, making
+    :meth:`keys` a single O(1) file read on stores with thousands of
+    releases.  Stores created before the index existed — or whose directory
+    contents drifted from the index (releases copied in or removed by hand) —
+    are handled by :meth:`rebuild_index` plus read-repair in
+    :meth:`get_document`.
+    """
+
+    DOCUMENT_NAME = "release.json"
+    ANSWERS_NAME = "answers.npz"
+    INDEX_NAME = "index.json"
+    INDEX_VERSION = 1
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+        self._index_lock = threading.Lock()
+        self._known_keys: Optional[set] = None
+
+    # -- paths ---------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """Directory holding one release."""
+        if not key or key.strip(".") == "" or "/" in key or "\\" in key:
+            raise ValidationError(f"invalid store key {key!r}: would escape the store root")
+        return self.root / key
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / self.INDEX_NAME
+
+    # -- index maintenance --------------------------------------------
+    def _scan_keys(self) -> List[str]:
+        """O(n) directory scan — the rebuild path, not the hot path."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if (entry / self.DOCUMENT_NAME).is_file()
+        )
+
+    def _write_index(self, keys: List[str]) -> None:
+        """Atomically persist the key list (temp file + rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {"version": self.INDEX_VERSION, "keys": sorted(keys)}
+        tmp_path = self.index_path.with_name(self.INDEX_NAME + ".tmp")
+        tmp_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        os.replace(tmp_path, self.index_path)
+
+    def _read_index(self) -> Optional[List[str]]:
+        """The indexed key list, or ``None`` when missing/corrupt (→ rebuild)."""
+        try:
+            payload = json.loads(self.index_path.read_text(encoding="utf-8"))
+            keys = payload["keys"]
+            if payload.get("version") != self.INDEX_VERSION or not isinstance(keys, list):
+                return None
+            return [str(key) for key in keys]
+        except (OSError, json.JSONDecodeError, KeyError, TypeError):
+            return None
+
+    def rebuild_index(self) -> List[str]:
+        """Rescan the directory tree and rewrite the index; returns the keys.
+
+        The recovery path for legacy (pre-index) stores and for drift —
+        release directories copied in or deleted behind the store's back.
+        """
+        with self._index_lock:
+            keys = self._scan_keys()
+            self._known_keys = set(keys)
+            if self.root.is_dir():
+                self._write_index(keys)
+            return keys
+
+    def _index_add(self, key: str) -> None:
+        with self._index_lock:
+            keys = self._read_index()
+            if keys is None:
+                keys = self._scan_keys()
+            elif key in keys:
+                self._known_keys = set(keys)
+                return
+            else:
+                keys.append(key)
+            self._known_keys = set(keys)
+            self._write_index(keys)
+
+    def _index_discard(self, key: str) -> None:
+        with self._index_lock:
+            keys = self._read_index()
+            if keys is None:
+                keys = self._scan_keys()
+            elif key not in keys:
+                self._known_keys = set(keys)
+                return
+            else:
+                keys.remove(key)
+            self._known_keys = set(keys)
+            self._write_index(keys)
+
+    # -- StoreBackend --------------------------------------------------
+    def put(self, key: str, document: bytes, answers: bytes) -> None:
+        if key == self.INDEX_NAME:
+            raise ValidationError(
+                f"store key {key!r} is reserved for the key index"
+            )
+        directory = self.path_for(key)
+        directory.mkdir(parents=True, exist_ok=True)
+        # Write-then-rename per artefact so a concurrent reader (the serving
+        # layer republishing under a live key) never sees a torn file.  The
+        # answers land before the document: the document is what readers
+        # check first, so it must never reference not-yet-renamed answers.
+        for name, data in ((self.ANSWERS_NAME, answers), (self.DOCUMENT_NAME, document)):
+            tmp_path = directory / (name + ".tmp")
+            tmp_path.write_bytes(data)
+            os.replace(tmp_path, directory / name)
+        self._index_add(key)
+
+    def get_document(self, key: str) -> bytes:
+        try:
+            data = (self.path_for(key) / self.DOCUMENT_NAME).read_bytes()
+        except OSError:
+            # Read-repair: drop a dangling index entry for a vanished release.
+            indexed = self._read_index()
+            if indexed is not None and key in indexed:
+                self._index_discard(key)
+            raise KeyError(key) from None
+        # Read-repair for a release copied in behind our back.  The in-memory
+        # key set keeps this O(1) on the hot path: the index file is only
+        # parsed once per process, not per read.
+        known = self._known_keys
+        if known is None:
+            indexed = self._read_index()
+            known = set(indexed) if indexed is not None else set(self._scan_keys())
+            self._known_keys = known
+        if key not in known:
+            try:
+                self._index_add(key)
+            except OSError:  # read-only store: serve the bytes, skip the repair
+                known.add(key)
+        return data
+
+    def get_answers(self, key: str) -> Optional[bytes]:
+        path = self.path_for(key) / self.ANSWERS_NAME
+        if not path.is_file():
+            return None
+        return path.read_bytes()
+
+    def exists(self, key: str) -> bool:
+        return (self.path_for(key) / self.DOCUMENT_NAME).is_file()
+
+    def delete(self, key: str) -> None:
+        directory = self.path_for(key)
+        if directory.is_dir():
+            for name in (self.DOCUMENT_NAME, self.ANSWERS_NAME):
+                path = directory / name
+                if path.is_file():
+                    path.unlink()
+            for leftover in directory.glob("*.tmp"):  # interrupted put()
+                leftover.unlink()
+            try:
+                directory.rmdir()
+            except OSError:  # pragma: no cover - directory had foreign files
+                pass
+        self._index_discard(key)
+
+    def keys(self) -> List[str]:
+        keys = self._read_index()
+        if keys is None:
+            # Legacy store (or corrupt index): scan, then persist the index
+            # best-effort — listing must never materialise a directory for a
+            # store that does not exist, nor fail on a read-only mount.
+            keys = self._scan_keys()
+            if self.root.is_dir():
+                try:
+                    with self._index_lock:
+                        self._known_keys = set(keys)
+                        self._write_index(keys)
+                except OSError:  # pragma: no cover - read-only filesystem
+                    pass
+        return sorted(keys)
+
+    def fingerprint(self, key: str) -> Optional[str]:
+        parts = []
+        for name in (self.DOCUMENT_NAME, self.ANSWERS_NAME):
+            try:
+                stat = (self.path_for(key) / name).stat()
+            except OSError:
+                parts.append("absent")
+                continue
+            parts.append(f"{stat.st_mtime_ns}:{stat.st_size}")
+        if parts[0] == "absent":
+            return None
+        return "|".join(parts)
+
+    def describe(self) -> str:
+        return str(self.root)
+
+
+class MemoryBackend(StoreBackend):
+    """In-process backend: the same two artefacts per key, held as bytes.
+
+    Used for tests and for serving deployments that pre-load a working set;
+    because documents are serialised through the same canonical writer, a
+    release stored here is byte-identical to its directory-backed twin.
+    """
+
+    def __init__(self):
+        self._blobs: Dict[str, Tuple[bytes, bytes, int]] = {}
+        self._revision = 0
+        self._lock = threading.Lock()
+
+    def put(self, key: str, document: bytes, answers: bytes) -> None:
+        with self._lock:
+            self._revision += 1
+            self._blobs[key] = (document, answers, self._revision)
+
+    def get_document(self, key: str) -> bytes:
+        return self._blobs[key][0]
+
+    def get_answers(self, key: str) -> Optional[bytes]:
+        entry = self._blobs.get(key)
+        return entry[1] if entry is not None else None
+
+    def exists(self, key: str) -> bool:
+        return key in self._blobs
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            self._blobs.pop(key, None)
+
+    def keys(self) -> List[str]:
+        return sorted(self._blobs)
+
+    def fingerprint(self, key: str) -> Optional[str]:
+        entry = self._blobs.get(key)
+        return f"rev:{entry[2]}" if entry is not None else None
+
+    def describe(self) -> str:
+        return "<in-memory store>"
+
+
 class ReleaseStore:
-    """A directory of persisted multi-level releases, addressed by key.
+    """Persisted multi-level releases, addressed by key, behind a backend.
+
+    Parameters
+    ----------
+    root:
+        Either a directory path (a :class:`DirectoryBackend` is created for
+        it — the historical constructor, unchanged) or any
+        :class:`StoreBackend` instance.
+    cache_size:
+        When positive, keep up to this many parsed releases in an LRU
+        read-through cache.  Hits are re-validated against the backend's
+        change fingerprint before being served, so mutating or corrupting
+        the stored artefacts behind the store is always detected.  The
+        default (0) disables caching, preserving load-always-reads
+        semantics; the serving layer enables it.
 
     Examples
     --------
@@ -120,39 +462,99 @@ class ReleaseStore:
     True
     """
 
-    #: File names inside each release directory.
-    DOCUMENT_NAME = "release.json"
-    ANSWERS_NAME = "answers.npz"
+    #: File names inside each release directory (directory backend).
+    DOCUMENT_NAME = DirectoryBackend.DOCUMENT_NAME
+    ANSWERS_NAME = DirectoryBackend.ANSWERS_NAME
 
-    def __init__(self, root: PathLike):
-        self.root = Path(root)
+    def __init__(self, root: Union[PathLike, StoreBackend], cache_size: int = 0):
+        if isinstance(root, StoreBackend):
+            self.backend = root
+        else:
+            self.backend = DirectoryBackend(root)
+        self.root = getattr(self.backend, "root", None)
+        self.cache_size = int(cache_size)
+        self._cache: "OrderedDict[str, Tuple[Optional[str], MultiLevelRelease]]" = OrderedDict()
+        self._cache_lock = threading.Lock()
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    @classmethod
+    def in_memory(cls, cache_size: int = 0) -> "ReleaseStore":
+        """A store backed by process memory (tests, serving caches)."""
+        return cls(MemoryBackend(), cache_size=cache_size)
 
     # ------------------------------------------------------------------
     # Keys and paths
     # ------------------------------------------------------------------
     def path_for(self, key: str) -> Path:
-        """Directory holding one release."""
-        return self.root / _slugify(key)
+        """Directory holding one release (directory backend only)."""
+        if not isinstance(self.backend, DirectoryBackend):
+            raise TypeError(
+                f"{type(self.backend).__name__} does not store releases on the filesystem"
+            )
+        return self.backend.path_for(_slugify(key))
 
     def exists(self, key: str) -> bool:
         """Whether a release is stored under ``key``."""
-        return (self.path_for(key) / self.DOCUMENT_NAME).is_file()
+        return self.backend.exists(_slugify(key))
 
     def keys(self) -> List[str]:
-        """All stored release keys, sorted."""
-        if not self.root.is_dir():
-            return []
-        return sorted(
-            entry.name
-            for entry in self.root.iterdir()
-            if (entry / self.DOCUMENT_NAME).is_file()
-        )
+        """All stored release keys, sorted (O(1) on an indexed directory store)."""
+        return self.backend.keys()
 
     def _default_key(self, release: MultiLevelRelease) -> str:
         digest = hashlib.sha256(
             json.dumps(release.to_dict(), sort_keys=True, default=str).encode("utf-8")
         ).hexdigest()[:12]
         return f"{_slugify(release.dataset_name or 'release')}-{digest}"
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss/size counters of the read-through cache."""
+        with self._cache_lock:
+            return {
+                "hits": self._cache_hits,
+                "misses": self._cache_misses,
+                "size": len(self._cache),
+                "max_size": self.cache_size,
+            }
+
+    def _cache_get(self, key: str) -> Optional[MultiLevelRelease]:
+        if self.cache_size <= 0:
+            return None
+        with self._cache_lock:
+            entry = self._cache.get(key)
+            if entry is None:
+                self._cache_misses += 1
+                return None
+            fingerprint, release = entry
+        # Integrity re-check outside the lock: the backend must report the
+        # same change token as when the entry was cached.
+        if fingerprint is None or self.backend.fingerprint(key) != fingerprint:
+            with self._cache_lock:
+                self._cache.pop(key, None)
+                self._cache_misses += 1
+            return None
+        with self._cache_lock:
+            if key in self._cache:
+                self._cache.move_to_end(key)
+            self._cache_hits += 1
+        return release
+
+    def _cache_put(self, key: str, fingerprint: Optional[str], release: MultiLevelRelease) -> None:
+        if self.cache_size <= 0 or fingerprint is None:
+            return
+        with self._cache_lock:
+            self._cache[key] = (fingerprint, release)
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+
+    def _cache_drop(self, key: str) -> None:
+        with self._cache_lock:
+            self._cache.pop(key, None)
 
     # ------------------------------------------------------------------
     # Multi-level releases
@@ -164,68 +566,84 @@ class ReleaseStore:
         release twice is idempotent.
         """
         key = _slugify(key) if key is not None else self._default_key(release)
-        directory = self.path_for(key)
-        directory.mkdir(parents=True, exist_ok=True)
         document, arrays = _strip_answers(release.to_dict())
-        np.savez(directory / self.ANSWERS_NAME, **arrays)
-        to_json_file(document, directory / self.DOCUMENT_NAME)
+        self.backend.put(key, _document_bytes(document), _answers_bytes(arrays))
+        self._cache_drop(key)
         return key
 
+    def _load_document(self, key: str, slug: str) -> dict:
+        try:
+            raw = self.backend.get_document(slug)
+        except KeyError:
+            raise ReleaseIntegrityError(
+                f"no release stored under key {key!r} in {self.backend.describe()} "
+                f"(have: {self.keys()})"
+            ) from None
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ReleaseIntegrityError(f"release document for {key!r} is corrupt: {exc}") from exc
+
+    def _load_arrays(self, key: str, slug: str) -> Dict[str, np.ndarray]:
+        raw = self.backend.get_answers(slug)
+        if raw is None:
+            return {}
+        try:
+            with np.load(io.BytesIO(raw)) as npz:
+                return {name: npz[name] for name in npz.files}
+        except Exception as exc:  # np.load raises zipfile/OS/value errors
+            raise ReleaseIntegrityError(f"answer arrays for {key!r} are corrupt: {exc}") from exc
+
+    def load_document(self, key: str) -> dict:
+        """The stored release document alone — answers stay as npz references.
+
+        The cheap path for metadata/provenance readers (e.g. the serving
+        layer's release-metadata endpoint): the answer arrays are never read
+        or parsed.  Raises :class:`ReleaseIntegrityError` exactly like
+        :meth:`load`.
+        """
+        return self._load_document(key, _slugify(key))
+
     def load(self, key: str) -> MultiLevelRelease:
-        """Load a release by key.
+        """Load a release by key (read-through cached when ``cache_size > 0``).
 
         Raises :class:`ReleaseIntegrityError` when the key is absent, holds a
         level view rather than a full release, or its on-disk artefacts are
         corrupt — never a raw parse error, so callers (e.g. ``repro report``)
         have one exception type to handle.
+
+        Cached releases are shared objects: treat the return value as
+        read-only when caching is enabled.
         """
-        directory = self.path_for(key)
-        document_path = directory / self.DOCUMENT_NAME
-        if not document_path.is_file():
-            raise ReleaseIntegrityError(
-                f"no release stored under key {key!r} in {self.root} (have: {self.keys()})"
-            )
-        try:
-            with document_path.open("r", encoding="utf-8") as handle:
-                document = json.load(handle)
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            raise ReleaseIntegrityError(f"release document for {key!r} is corrupt: {exc}") from exc
+        slug = _slugify(key)
+        cached = self._cache_get(slug)
+        if cached is not None:
+            return cached
+        # Fingerprint before reading: if the artefacts change mid-read the
+        # stale token makes the next hit re-validate and reload.
+        fingerprint = self.backend.fingerprint(slug)
+        document = self._load_document(key, slug)
         if document.get("level_view"):
             raise ReleaseIntegrityError(
                 f"{key!r} holds a single level view, not a full release (use load_level)"
             )
-        answers_path = directory / self.ANSWERS_NAME
-        arrays: Dict[str, np.ndarray] = {}
-        if answers_path.is_file():
-            try:
-                with np.load(answers_path) as npz:
-                    arrays = {name: npz[name] for name in npz.files}
-            except Exception as exc:  # np.load raises zipfile/OS/value errors
-                raise ReleaseIntegrityError(
-                    f"answer arrays for {key!r} are corrupt: {exc}"
-                ) from exc
+        arrays = self._load_arrays(key, slug)
         try:
-            return MultiLevelRelease.from_dict(_restore_answers(document, arrays))
+            release = MultiLevelRelease.from_dict(_restore_answers(document, arrays))
         except ReleaseIntegrityError:
             raise
         except (KeyError, TypeError, ValueError) as exc:
             raise ReleaseIntegrityError(
                 f"release document for {key!r} has an invalid structure: {exc}"
             ) from exc
+        self._cache_put(slug, fingerprint, release)
+        return release
 
     def delete(self, key: str) -> None:
         """Remove a stored release (no-op when absent)."""
-        directory = self.path_for(key)
-        if not directory.is_dir():
-            return
-        for name in (self.DOCUMENT_NAME, self.ANSWERS_NAME):
-            path = directory / name
-            if path.is_file():
-                path.unlink()
-        try:
-            directory.rmdir()
-        except OSError:  # pragma: no cover - directory had foreign files
-            pass
+        slug = _slugify(key)
+        self.backend.delete(slug)
+        self._cache_drop(slug)
 
     def get_or_create(
         self, key: str, builder: Callable[[], MultiLevelRelease]
@@ -248,29 +666,32 @@ class ReleaseStore:
     def save_level(self, view: LevelRelease, key: str) -> str:
         """Persist a single level release (e.g. one role's view)."""
         key = _slugify(key)
-        directory = self.path_for(key)
-        directory.mkdir(parents=True, exist_ok=True)
         document = {"level_view": True, "levels": {str(view.level): view.to_dict()}}
         document, arrays = _strip_answers(document)
-        np.savez(directory / self.ANSWERS_NAME, **arrays)
-        to_json_file(document, directory / self.DOCUMENT_NAME)
+        self.backend.put(key, _document_bytes(document), _answers_bytes(arrays))
+        self._cache_drop(key)
         return key
 
     def load_level(self, key: str) -> LevelRelease:
         """Inverse of :meth:`save_level`."""
-        directory = self.path_for(key)
-        document_path = directory / self.DOCUMENT_NAME
-        if not document_path.is_file():
-            raise ReleaseIntegrityError(f"no level view stored under key {key!r} in {self.root}")
-        with document_path.open("r", encoding="utf-8") as handle:
-            document = json.load(handle)
+        slug = _slugify(key)
+        try:
+            raw = self.backend.get_document(slug)
+        except KeyError:
+            raise ReleaseIntegrityError(
+                f"no level view stored under key {key!r} in {self.backend.describe()}"
+            ) from None
+        try:
+            document = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ReleaseIntegrityError(
+                f"level-view document for {key!r} is corrupt: {exc}"
+            ) from exc
         if not document.get("level_view"):
             raise ReleaseIntegrityError(f"{key!r} holds a full release, not a level view")
-        with np.load(directory / self.ANSWERS_NAME) as npz:
-            arrays = {name: npz[name] for name in npz.files}
-        document = _restore_answers(document, arrays)
+        document = _restore_answers(document, self._load_arrays(key, slug))
         (level_doc,) = document["levels"].values()
         return LevelRelease.from_dict(level_doc)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ReleaseStore(root={str(self.root)!r}, releases={len(self.keys())})"
+        return f"ReleaseStore(backend={self.backend.describe()!r}, releases={len(self.keys())})"

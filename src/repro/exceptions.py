@@ -106,6 +106,15 @@ class ReleaseIntegrityError(DisclosureError):
     """A release object is internally inconsistent (tampering or bug)."""
 
 
+class ServingError(ReproError):
+    """A serving-layer request failed (connection error or non-200 response)."""
+
+    def __init__(self, message, status=None, body=None):
+        self.status = status
+        self.body = body
+        super().__init__(message)
+
+
 class DatasetError(ReproError):
     """Base class for dataset-generation and loading errors."""
 

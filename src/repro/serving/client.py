@@ -1,0 +1,43 @@
+"""Minimal stdlib client for the serving API (tests, examples, benchmarks).
+
+Deliberately tiny — two functions over :mod:`urllib.request` — so consumers
+of a served release need nothing beyond the standard library either.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Tuple
+
+from repro.exceptions import ServingError
+
+
+def http_get(url: str, timeout: float = 10.0) -> Tuple[int, bytes]:
+    """``GET url`` and return ``(status, body bytes)``.
+
+    Non-2xx statuses are returned, not raised, so callers can assert on the
+    API's error mapping; only transport failures (connection refused, DNS,
+    timeout) raise :class:`ServingError`.
+    """
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+    except urllib.error.URLError as error:
+        raise ServingError(f"GET {url} failed: {error.reason}") from error
+
+
+def fetch_json(base_url: str, path: str = "", timeout: float = 10.0) -> dict:
+    """``GET base_url + path``, require a 200, and parse the JSON body."""
+    url = base_url.rstrip("/") + path
+    status, body = http_get(url, timeout=timeout)
+    if status != 200:
+        raise ServingError(
+            f"GET {url} returned {status}: {body.decode('utf-8', 'replace').strip()}",
+            status=status,
+            body=body,
+        )
+    return json.loads(body.decode("utf-8"))

@@ -1,0 +1,391 @@
+"""The read-only HTTP server over a :class:`~repro.core.store.ReleaseStore`.
+
+Endpoints (all ``GET``, all JSON):
+
+========================================  =====================================
+``/``                                     endpoint directory
+``/healthz``                              liveness + store/policy summary
+``/releases``                             stored release keys
+``/releases/<key>``                       release metadata and provenance
+                                          (guarantees, noise scales, config —
+                                          everything except the answers)
+``/releases/<key>/roles``                 the roles the policy can resolve
+``/releases/<key>/views/<role>``          the single per-level view the role
+                                          is entitled to, resolved through
+                                          :meth:`AccessPolicy.view_for`
+========================================  =====================================
+
+Error mapping: an unknown release key is ``404``, an unknown role (or a role
+whose level cannot be served) is ``403``, a write verb is ``405``, and a
+stored-but-corrupt artefact is ``500``.  Responses are canonical JSON
+(sorted keys, two-space indent, trailing newline), so the same stored
+release serialises byte-identically regardless of the store backend behind
+the server.
+
+The server is a stdlib :class:`~http.server.ThreadingHTTPServer` — one
+thread per connection, no framework — and the request path only ever reads
+from the store and applies the access policy.  Nothing here can spend
+privacy budget: the disclosure pipeline is not imported.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+from urllib.parse import unquote, urlsplit
+
+from repro.core.access import AccessPolicy
+from repro.core.release import MultiLevelRelease
+from repro.core.store import ReleaseStore
+from repro.exceptions import AccessLevelError, ReleaseIntegrityError
+from repro.utils.serialization import canonical_json_bytes as canonical_json
+from repro.utils.serialization import from_json_file
+
+PathLike = Union[str, Path]
+
+#: Parsed releases kept hot in the store's read-through cache by default.
+DEFAULT_CACHE_SIZE = 32
+
+
+def _release_metadata(key: str, document: dict) -> dict:
+    """Everything about a stored release except the answers themselves.
+
+    Works directly off the stored document (answers still npz references),
+    so serving metadata never reads or parses the answer arrays.
+    """
+    level_metadata = {}
+    for level_key, level_doc in document["levels"].items():
+        level_metadata[level_key] = {
+            "guarantee": level_doc["guarantee"],
+            "mechanism": level_doc["mechanism"],
+            "noise_scale": level_doc["noise_scale"],
+            "sensitivity": level_doc["sensitivity"],
+            "queries": sorted(level_doc["answers"]),
+        }
+    return {
+        "key": key,
+        "dataset": document["dataset_name"],
+        "levels": sorted(int(level) for level in document["levels"]),
+        "level_metadata": level_metadata,
+        "level_statistics": document.get("level_statistics", []),
+        "specialization_cost": document.get("specialization_cost", {}),
+        "config": document.get("config", {}),
+    }
+
+
+class _ReleaseHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the store/policy for its handlers."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, store: ReleaseStore, policy: AccessPolicy, verbose: bool):
+        self.store = store
+        self.policy = policy
+        self.verbose = verbose
+        super().__init__(address, handler)
+
+
+class ReleaseRequestHandler(BaseHTTPRequestHandler):
+    """Routes one request; holds no state beyond the connection."""
+
+    server_version = "repro-serving/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload, extra_headers=()) -> None:
+        body = canonical_json(payload)
+        self.send_response(status)
+        for name, value in extra_headers:
+            self.send_header(name, value)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if self.command != "HEAD":
+            self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"status": status, "error": message})
+
+    def _drain_request_body(self) -> None:
+        """Consume an unread request body so a keep-alive connection stays
+        aligned on the next request line (chunked bodies close instead)."""
+        if self.headers.get("Transfer-Encoding", "").lower() == "chunked":
+            self.close_connection = True
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            # Malformed header: the body length is unknowable, so the
+            # connection cannot be re-aligned — answer, then close it.
+            self.close_connection = True
+            return
+        while length > 0:
+            chunk = self.rfile.read(min(length, 65536))
+            if not chunk:
+                self.close_connection = True
+                return
+            length -= len(chunk)
+
+    def _method_not_allowed(self) -> None:
+        self._drain_request_body()
+        self._send_json(
+            405,
+            {"status": 405, "error": "this API is read-only"},
+            extra_headers=(("Allow", "GET, HEAD"),),
+        )
+
+    def do_POST(self) -> None:
+        self._method_not_allowed()
+
+    def do_PUT(self) -> None:
+        self._method_not_allowed()
+
+    def do_DELETE(self) -> None:
+        self._method_not_allowed()
+
+    def do_PATCH(self) -> None:
+        self._method_not_allowed()
+
+    def do_HEAD(self) -> None:
+        # Same routing and headers as GET; _send_json suppresses the body,
+        # so load-balancer probes (`curl -I /healthz`) see a real 200.
+        self.do_GET()
+
+    # -- routing ---------------------------------------------------------
+    def do_GET(self) -> None:
+        segments = [unquote(part) for part in urlsplit(self.path).path.split("/") if part]
+        try:
+            self._route(segments)
+        except BrokenPipeError:  # pragma: no cover - client hung up
+            pass
+        except Exception as exc:  # noqa: BLE001 - a bug must not drop the connection
+            try:
+                self._send_error_json(500, f"internal error: {exc}")
+            except Exception:  # pragma: no cover - response already in flight
+                pass
+
+    def _route(self, segments: List[str]) -> None:
+        if not segments:
+            return self._handle_index()
+        if segments == ["healthz"]:
+            return self._handle_health()
+        if segments[0] != "releases":
+            return self._send_error_json(404, f"unknown endpoint /{'/'.join(segments)}")
+        if len(segments) == 1:
+            return self._handle_list()
+        key = segments[1]
+        if len(segments) == 2:
+            return self._handle_metadata(key)
+        if len(segments) == 3 and segments[2] == "roles":
+            return self._handle_roles(key)
+        if len(segments) == 4 and segments[2] == "views":
+            return self._handle_view(key, segments[3])
+        return self._send_error_json(404, f"unknown endpoint /{'/'.join(segments)}")
+
+    # -- endpoint handlers -------------------------------------------------
+    def _handle_index(self) -> None:
+        self._send_json(
+            200,
+            {
+                "service": "repro release serving",
+                "endpoints": [
+                    "/healthz",
+                    "/releases",
+                    "/releases/<key>",
+                    "/releases/<key>/roles",
+                    "/releases/<key>/views/<role>",
+                ],
+            },
+        )
+
+    def _handle_health(self) -> None:
+        store: ReleaseStore = self.server.store
+        policy: AccessPolicy = self.server.policy
+        self._send_json(
+            200,
+            {
+                "status": "ok",
+                "releases": len(store.keys()),
+                "roles": policy.roles(),
+                "cache": store.cache_info(),
+            },
+        )
+
+    def _handle_list(self) -> None:
+        self._send_json(200, {"releases": self.server.store.keys()})
+
+    def _load_release(self, key: str) -> Optional[MultiLevelRelease]:
+        """Load a release or answer the request with 404/500; None on failure."""
+        store: ReleaseStore = self.server.store
+        try:
+            return store.load(key)
+        except ReleaseIntegrityError as error:
+            if not store.exists(key):
+                self._send_error_json(404, f"no release stored under key {key!r}")
+            else:
+                self._send_error_json(500, f"stored release {key!r} cannot be served: {error}")
+            return None
+
+    def _handle_metadata(self, key: str) -> None:
+        store: ReleaseStore = self.server.store
+        try:
+            document = store.load_document(key)
+        except ReleaseIntegrityError as error:
+            if not store.exists(key):
+                self._send_error_json(404, f"no release stored under key {key!r}")
+            else:
+                self._send_error_json(500, f"stored release {key!r} cannot be served: {error}")
+            return
+        if document.get("level_view"):
+            self._send_error_json(
+                500, f"stored key {key!r} holds a single level view, not a release"
+            )
+            return
+        self._send_json(200, _release_metadata(key, document))
+
+    def _handle_roles(self, key: str) -> None:
+        if not self.server.store.exists(key):
+            return self._send_error_json(404, f"no release stored under key {key!r}")
+        policy: AccessPolicy = self.server.policy
+        roles = {
+            role: {
+                "level": policy.level_for(role),
+                "information_level": policy.information_level(role).name,
+            }
+            for role in policy.roles()
+        }
+        self._send_json(200, {"key": key, "roles": roles})
+
+    def _handle_view(self, key: str, role: str) -> None:
+        release = self._load_release(key)
+        if release is None:
+            return
+        policy: AccessPolicy = self.server.policy
+        try:
+            view = policy.view_for(role, release)
+        except AccessLevelError as error:
+            return self._send_error_json(403, f"role {role!r} cannot be served: {error}")
+        self._send_json(
+            200,
+            {
+                "key": key,
+                "role": role,
+                "information_level": policy.information_level(role).name,
+                "dataset": release.dataset_name,
+                "release": view.to_dict(),
+            },
+        )
+
+
+class ReleaseServer:
+    """A read-only HTTP server over a release store and an access policy.
+
+    Parameters
+    ----------
+    store:
+        The :class:`ReleaseStore` releases are served from.  Serving only
+        ever reads; a publisher process populates the store separately.
+    policy:
+        Maps caller roles onto the information levels they may read.
+    host, port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port` / :attr:`url`).
+    verbose:
+        Log one line per request to stderr (default quiet).
+
+    Examples
+    --------
+    >>> server = ReleaseServer(store, policy, port=0).start()   # doctest: +SKIP
+    >>> fetch_json(server.url, "/healthz")["status"]            # doctest: +SKIP
+    'ok'
+    >>> server.stop()                                           # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        store: ReleaseStore,
+        policy: AccessPolicy,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ):
+        self.store = store
+        self.policy = policy
+        self._http = _ReleaseHTTPServer((host, port), ReleaseRequestHandler, store, policy, verbose)
+        self._thread: Optional[threading.Thread] = None
+
+    # -- address -----------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._http.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._http.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "ReleaseServer":
+        """Serve on a daemon thread; returns ``self`` for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._http.serve_forever, name="repro-serving", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut down the listener and release the socket (idempotent)."""
+        if self._thread is not None:
+            self._http.shutdown()
+            self._thread.join()
+            self._thread = None
+        self._http.server_close()
+
+    def serve_forever(self) -> None:
+        """Blocking serve loop for the CLI (Ctrl-C returns cleanly)."""
+        try:
+            self._http.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self._http.server_close()
+
+    def __enter__(self) -> "ReleaseServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def create_server(
+    store: Union[ReleaseStore, PathLike],
+    policy: Union[AccessPolicy, PathLike],
+    host: str = "127.0.0.1",
+    port: int = 0,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    verbose: bool = False,
+) -> ReleaseServer:
+    """Build a :class:`ReleaseServer` from objects or from on-disk paths.
+
+    ``store`` may be a store directory (opened with a read-through cache of
+    ``cache_size`` releases) and ``policy`` a JSON file in the
+    :meth:`AccessPolicy.to_dict` format — exactly what ``repro serve`` passes
+    through from its command line.
+    """
+    if not isinstance(store, ReleaseStore):
+        store = ReleaseStore(store, cache_size=cache_size)
+    if not isinstance(policy, AccessPolicy):
+        policy = AccessPolicy.from_dict(from_json_file(policy))
+    return ReleaseServer(store, policy, host=host, port=port, verbose=verbose)

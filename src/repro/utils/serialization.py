@@ -56,6 +56,17 @@ def to_jsonable(obj: Any) -> Any:
     raise TypeError(f"object of type {type(obj).__name__} is not JSON-serialisable")
 
 
+def canonical_json_bytes(obj: Any) -> bytes:
+    """Deterministic JSON bytes: sorted keys, 2-space indent, trailing newline.
+
+    The single definition of the canonical serialisation shared by the
+    release store (stored documents) and the serving layer (HTTP responses):
+    both sides using this one helper is what makes a stored release
+    byte-identical across store backends and over the wire.
+    """
+    return (json.dumps(to_jsonable(obj), indent=2, sort_keys=True) + "\n").encode("utf-8")
+
+
 def to_json_file(obj: Any, path: PathLike, indent: int = 2) -> Path:
     """Write ``obj`` (after :func:`to_jsonable` conversion) to ``path``."""
     path = Path(path)

@@ -124,6 +124,26 @@ class TestErrors:
         store.delete(key)  # idempotent
 
 
+class TestBackendSurface:
+    """The backend abstraction stays invisible through the historical API."""
+
+    def test_directory_store_exposes_root_and_backend(self, store, tmp_path):
+        from repro.core.store import DirectoryBackend
+
+        assert isinstance(store.backend, DirectoryBackend)
+        assert store.root == tmp_path / "releases"
+
+    def test_index_file_appears_next_to_releases(self, store, release):
+        store.save(release, key="alpha")
+        assert (store.root / "index.json").is_file()
+        assert store.keys() == ["alpha"]
+
+    def test_in_memory_store_round_trips(self, release):
+        store = ReleaseStore.in_memory()
+        key = store.save(release)
+        assert store.load(key).to_dict() == release.to_dict()
+
+
 class TestGetOrCreate:
     def test_builds_once_then_serves_from_store(self, store, release):
         calls = []

@@ -45,6 +45,14 @@ class TestExamples:
         assert "individual_dp" in output
         assert "naive_group_dp" in output
 
+    def test_serving_quickstart(self):
+        output = run_example("serving_quickstart.py", "300")
+        assert "serving on http://" in output
+        assert "role=analyst" in output
+        assert "role=public" in output
+        assert "privilege/accuracy trade-off verified" in output
+        assert "HTTP 403" in output
+
     def test_publisher_budget_management(self):
         output = run_example("publisher_budget_management.py", "300")
         assert "Privacy ledger" in output

@@ -1,0 +1,309 @@
+"""Tests for the store-backend abstraction: the persisted key index, the
+in-memory backend, and the LRU read-through cache with integrity re-checks."""
+
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.core.config import DisclosureConfig
+from repro.core.discloser import MultiLevelDiscloser
+from repro.core.store import DirectoryBackend, MemoryBackend, ReleaseStore
+from repro.exceptions import ReleaseIntegrityError, ValidationError
+from repro.grouping.specialization import SpecializationConfig
+
+
+@pytest.fixture(scope="module")
+def release(dblp_graph):
+    config = DisclosureConfig(
+        epsilon_g=0.5, specialization=SpecializationConfig(num_levels=4)
+    )
+    return MultiLevelDiscloser(config, rng=11).disclose(dblp_graph)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ReleaseStore(tmp_path / "releases")
+
+
+def read_index(store):
+    path = store.backend.index_path
+    return json.loads(path.read_text()) if path.is_file() else None
+
+
+class TestPersistedIndex:
+    def test_index_written_on_save(self, store, release):
+        store.save(release, key="alpha")
+        store.save(release, key="beta")
+        assert read_index(store) == {"version": 1, "keys": ["alpha", "beta"]}
+
+    def test_index_updated_on_delete(self, store, release):
+        store.save(release, key="alpha")
+        store.save(release, key="beta")
+        store.delete("alpha")
+        assert read_index(store)["keys"] == ["beta"]
+        assert store.keys() == ["beta"]
+
+    def test_keys_reads_index_not_directories(self, store, release, monkeypatch):
+        """keys() is O(1): it must not iterate the store directory."""
+        store.save(release, key="alpha")
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("keys() scanned the directory despite the index")
+
+        monkeypatch.setattr(type(store.backend), "_scan_keys", forbidden)
+        assert store.keys() == ["alpha"]
+
+    def test_legacy_store_without_index_is_rebuilt(self, store, release):
+        store.save(release, key="alpha")
+        store.save(release, key="beta")
+        store.backend.index_path.unlink()
+        assert store.keys() == ["alpha", "beta"]
+        # ... and the rebuild persisted the index for the next call.
+        assert read_index(store)["keys"] == ["alpha", "beta"]
+
+    def test_corrupt_index_is_rebuilt(self, store, release):
+        store.save(release, key="alpha")
+        store.backend.index_path.write_text("{broken")
+        assert store.keys() == ["alpha"]
+        assert read_index(store)["keys"] == ["alpha"]
+
+    def test_drift_release_copied_in_behind_the_stores_back(self, store, release):
+        """A release directory copied in by hand is invisible to the index
+        until rebuild_index() — but load() still finds it and read-repairs."""
+        store.save(release, key="alpha")
+        shutil.copytree(store.path_for("alpha"), store.backend.root / "copied")
+        assert store.keys() == ["alpha"]  # index does not know yet
+
+        assert store.load("copied").to_dict() == release.to_dict()
+        assert "copied" in read_index(store)["keys"]  # read-repaired
+
+    def test_drift_rebuild_index_rescans(self, store, release):
+        store.save(release, key="alpha")
+        shutil.copytree(store.path_for("alpha"), store.backend.root / "copied")
+        assert store.backend.rebuild_index() == ["alpha", "copied"]
+        assert store.keys() == ["alpha", "copied"]
+
+    def test_drift_release_removed_behind_the_stores_back(self, store, release):
+        store.save(release, key="alpha")
+        store.save(release, key="beta")
+        shutil.rmtree(store.path_for("alpha"))
+        assert store.keys() == ["alpha", "beta"]  # stale, by design
+        with pytest.raises(ReleaseIntegrityError):
+            store.load("alpha")
+        # The failed load dropped the dangling entry.
+        assert store.keys() == ["beta"]
+
+    def test_keys_on_missing_store_creates_nothing(self, tmp_path):
+        """Listing a store that does not exist must not materialise it."""
+        store = ReleaseStore(tmp_path / "nope")
+        assert store.keys() == []
+        assert not (tmp_path / "nope").exists()
+
+    def test_dot_keys_cannot_escape_the_store_root(self, store, release, tmp_path):
+        """'.'/'..' keys are neutralised by slugification — a caller-supplied
+        key can never address artefacts outside the store directory."""
+        (tmp_path / "release.json").write_text('{"levels": {}}')  # bait outside root
+        store.save(release, key="alpha")
+        assert not store.exists("..")
+        assert not store.exists(".")
+        with pytest.raises(ReleaseIntegrityError):
+            store.load("..")
+        # Saving under a dot key lands on a safe, digest-suffixed slug.
+        slug = store.save(release, key="..")
+        assert slug.startswith("release-")
+        assert store.path_for(slug).parent == store.root
+
+    def test_backend_rejects_raw_traversal_keys(self, store):
+        for evil in ("..", ".", "", "a/b", "a\\b"):
+            with pytest.raises(ValidationError):
+                store.backend.path_for(evil)
+
+    def test_put_leaves_no_temp_files(self, store, release):
+        """Artefacts are written via temp-file + rename (no torn reads); the
+        temp files never outlive a successful put."""
+        key = store.save(release)
+        names = sorted(path.name for path in store.path_for(key).iterdir())
+        assert names == [ReleaseStore.ANSWERS_NAME, ReleaseStore.DOCUMENT_NAME]
+
+    def test_delete_sweeps_interrupted_put_leftovers(self, store, release):
+        key = store.save(release)
+        (store.path_for(key) / "release.json.tmp").write_text("half-written")
+        store.delete(key)
+        assert not store.path_for(key).exists()
+
+    def test_index_name_is_a_reserved_key(self, store, release):
+        with pytest.raises(ValidationError):
+            store.save(release, key=DirectoryBackend.INDEX_NAME)
+
+    def test_index_file_is_not_listed_as_a_release(self, store, release):
+        store.save(release, key="alpha")
+        assert store.backend.index_path.is_file()
+        assert store.keys() == ["alpha"]
+        assert store.backend.rebuild_index() == ["alpha"]
+
+
+class TestDocumentOnlyLoad:
+    def test_load_document_never_reads_answer_arrays(self, store, release, monkeypatch):
+        key = store.save(release)
+
+        def forbidden(key):
+            raise AssertionError("load_document read the answer arrays")
+
+        monkeypatch.setattr(store.backend, "get_answers", forbidden)
+        document = store.load_document(key)
+        assert set(document["levels"]) == {str(level) for level in release.levels()}
+        for level_doc in document["levels"].values():
+            for ref in level_doc["answers"].values():
+                assert set(ref) == {"labels", "npz_key"}  # still npz references
+
+    def test_load_document_missing_key_raises(self, store):
+        with pytest.raises(ReleaseIntegrityError):
+            store.load_document("nope")
+
+    def test_load_level_wraps_corrupt_document(self, store, release):
+        key = store.save_level(release.level(release.levels()[0]), key="view")
+        (store.path_for(key) / ReleaseStore.DOCUMENT_NAME).write_text("{broken")
+        with pytest.raises(ReleaseIntegrityError):
+            store.load_level(key)
+
+
+class TestMemoryBackend:
+    def test_round_trip_is_lossless(self, release):
+        store = ReleaseStore.in_memory()
+        key = store.save(release)
+        assert store.load(key).to_dict() == release.to_dict()
+
+    def test_keys_exists_delete(self, release):
+        store = ReleaseStore.in_memory()
+        store.save(release, key="beta")
+        store.save(release, key="alpha")
+        assert store.keys() == ["alpha", "beta"]
+        assert store.exists("alpha")
+        store.delete("alpha")
+        assert not store.exists("alpha")
+        assert store.keys() == ["beta"]
+
+    def test_missing_key_raises_integrity_error(self):
+        store = ReleaseStore.in_memory()
+        with pytest.raises(ReleaseIntegrityError):
+            store.load("nope")
+
+    def test_get_or_create_resumes(self, release):
+        store = ReleaseStore.in_memory()
+        first, created_first = store.get_or_create("run", lambda: release)
+        second, created_second = store.get_or_create("run", lambda: release)
+        assert (created_first, created_second) == (True, False)
+        assert second.to_dict() == first.to_dict()
+
+    def test_level_view_round_trip(self, release):
+        store = ReleaseStore.in_memory()
+        view = release.level(release.levels()[0])
+        store.save_level(view, key="owner-view")
+        assert store.load_level("owner-view").to_dict() == view.to_dict()
+
+    def test_path_for_is_rejected(self, release):
+        store = ReleaseStore.in_memory()
+        with pytest.raises(TypeError):
+            store.path_for("anything")
+
+    def test_document_bytes_identical_to_directory_backend(self, release, tmp_path):
+        """Both backends persist the canonical serialisation, so the stored
+        document bytes — and anything derived from them — are byte-equal."""
+        directory_store = ReleaseStore(tmp_path / "store")
+        memory_store = ReleaseStore.in_memory()
+        key = directory_store.save(release, key="same")
+        memory_store.save(release, key="same")
+        assert (
+            directory_store.backend.get_document(key)
+            == memory_store.backend.get_document(key)
+        )
+
+
+class TestReadThroughCache:
+    def _counted(self, store, monkeypatch):
+        calls = []
+        original = store.backend.get_document
+
+        def counting(key):
+            calls.append(key)
+            return original(key)
+
+        monkeypatch.setattr(store.backend, "get_document", counting)
+        return calls
+
+    def test_cache_disabled_by_default(self, tmp_path, release, monkeypatch):
+        store = ReleaseStore(tmp_path / "store")
+        key = store.save(release)
+        calls = self._counted(store, monkeypatch)
+        store.load(key)
+        store.load(key)
+        assert len(calls) == 2
+
+    def test_hot_release_served_from_memory(self, tmp_path, release, monkeypatch):
+        store = ReleaseStore(tmp_path / "store", cache_size=4)
+        key = store.save(release)
+        calls = self._counted(store, monkeypatch)
+        first = store.load(key)
+        second = store.load(key)
+        assert len(calls) == 1
+        assert second is first  # served from memory, not re-parsed
+        info = store.cache_info()
+        assert (info["hits"], info["misses"]) == (1, 1)
+
+    def test_integrity_recheck_detects_rewrite(self, tmp_path, release, monkeypatch):
+        """A release rewritten behind the store is re-read, never served stale."""
+        store = ReleaseStore(tmp_path / "store", cache_size=4)
+        key = store.save(release)
+        calls = self._counted(store, monkeypatch)
+        store.load(key)
+        document = store.path_for(key) / ReleaseStore.DOCUMENT_NAME
+        os.utime(document, ns=(1, 1))  # same bytes, different fingerprint
+        store.load(key)
+        assert len(calls) == 2
+
+    def test_integrity_recheck_detects_corruption(self, tmp_path, release):
+        store = ReleaseStore(tmp_path / "store", cache_size=4)
+        key = store.save(release)
+        store.load(key)
+        (store.path_for(key) / ReleaseStore.DOCUMENT_NAME).write_text("{broken")
+        with pytest.raises(ReleaseIntegrityError):
+            store.load(key)
+
+    def test_save_invalidates_cached_entry(self, tmp_path, release, monkeypatch):
+        store = ReleaseStore(tmp_path / "store", cache_size=4)
+        key = store.save(release, key="run")
+        store.load(key)
+        store.save(release, key="run")
+        calls = self._counted(store, monkeypatch)
+        store.load(key)
+        assert len(calls) == 1
+
+    def test_delete_invalidates_cached_entry(self, tmp_path, release):
+        store = ReleaseStore(tmp_path / "store", cache_size=4)
+        key = store.save(release)
+        store.load(key)
+        store.delete(key)
+        with pytest.raises(ReleaseIntegrityError):
+            store.load(key)
+
+    def test_lru_eviction(self, tmp_path, release, monkeypatch):
+        store = ReleaseStore(tmp_path / "store", cache_size=1)
+        key_a = store.save(release, key="a")
+        key_b = store.save(release, key="b")
+        calls = self._counted(store, monkeypatch)
+        store.load(key_a)
+        store.load(key_b)  # evicts a
+        store.load(key_a)  # miss again
+        assert calls == ["a", "b", "a"]
+        assert store.cache_info()["size"] == 1
+
+    def test_memory_backend_cache_invalidated_by_put(self, release):
+        store = ReleaseStore(MemoryBackend(), cache_size=4)
+        key = store.save(release, key="run")
+        first = store.load(key)
+        store.save(release, key="run")  # bumps the backend revision
+        second = store.load(key)
+        assert second is not first
+        assert second.to_dict() == first.to_dict()
