@@ -11,14 +11,23 @@ stdlib client fetching per-role views.  Two store configurations are timed:
   release is served from the LRU read-through cache (each hit re-validated
   against the backend's change fingerprint).
 
+A third **overload** section bounds the server's in-flight work
+(``max_in_flight``) and drives it with twice that many closed-loop clients,
+recording the shed rate (``503`` + ``Retry-After`` answers) and the latency
+the *served* requests pay at 2x saturation.  A small injected backend delay
+gives every request a fixed work floor, so "saturation" means the same
+thing on any host.
+
 Results — requests/sec plus p50/p99 latency per configuration — go to
 ``benchmarks/results/serving.json`` / ``serving.txt``.  The benchmark
 asserts only sanity (every response 200 and bit-stable, warm no slower than
-half of cold) because absolute numbers are hardware-bound.
+half of cold, overload sheds something and serves something) because
+absolute numbers are hardware-bound.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, List
 
@@ -30,6 +39,7 @@ from repro.core.access import AccessPolicy
 from repro.core.config import DisclosureConfig
 from repro.core.discloser import MultiLevelDiscloser
 from repro.core.store import ReleaseStore
+from repro.execution.faults import FaultInjectingBackend
 from repro.grouping.specialization import SpecializationConfig
 from repro.serving import ReleaseServer, http_get
 from repro.utils.serialization import to_json_file
@@ -42,6 +52,15 @@ NUM_REQUESTS = 400
 
 #: Unmeasured warm-up requests (connection setup, first cache fill).
 NUM_WARMUP = 25
+
+#: In-flight bound of the overloaded server; clients run at 2x this.
+OVERLOAD_MAX_IN_FLIGHT = 4
+
+#: Per-request backend floor (seconds) making saturation host-independent.
+OVERLOAD_FLOOR = 0.005
+
+#: Requests each overload client issues.
+OVERLOAD_REQUESTS_PER_CLIENT = 50
 
 
 def _measure(server: ReleaseServer, paths: List[str], num_requests: int) -> Dict:
@@ -79,6 +98,49 @@ def _measure(server: ReleaseServer, paths: List[str], num_requests: int) -> Dict
     }
 
 
+def _overload(server: ReleaseServer, paths: List[str]) -> Dict:
+    """Drive the server with 2x ``max_in_flight`` closed-loop clients."""
+    num_clients = 2 * OVERLOAD_MAX_IN_FLIGHT
+    barrier = threading.Barrier(num_clients)
+    outcomes: List[List] = [[] for _ in range(num_clients)]
+
+    def drive(worker: int) -> None:
+        barrier.wait()
+        for index in range(OVERLOAD_REQUESTS_PER_CLIENT):
+            path = paths[(worker + index) % len(paths)]
+            tick = time.perf_counter()
+            status, _ = http_get(server.url + path)
+            outcomes[worker].append((status, time.perf_counter() - tick))
+
+    threads = [
+        threading.Thread(target=drive, args=(worker,)) for worker in range(num_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    flat = [outcome for per_client in outcomes for outcome in per_client]
+    assert {status for status, _ in flat} <= {200, 503}
+    served_ms = np.asarray(
+        [seconds for status, seconds in flat if status == 200]
+    ) * 1000.0
+    shed = sum(1 for status, _ in flat if status == 503)
+    return {
+        "clients": num_clients,
+        "max_in_flight": OVERLOAD_MAX_IN_FLIGHT,
+        "backend_floor_ms": OVERLOAD_FLOOR * 1000.0,
+        "requests": len(flat),
+        "served": int(len(served_ms)),
+        "shed": shed,
+        "shed_rate": shed / len(flat),
+        "served_latency_ms": {
+            "p50": float(np.percentile(served_ms, 50)),
+            "p99": float(np.percentile(served_ms, 99)),
+        },
+    }
+
+
 @pytest.mark.slow
 def test_bench_serving_throughput_and_latency(bench_graph, results_dir, tmp_path):
     """requests/sec + latency percentiles of per-role view serving."""
@@ -107,6 +169,20 @@ def test_bench_serving_throughput_and_latency(bench_graph, results_dir, tmp_path
             record[label] = _measure(server, paths, NUM_REQUESTS)
             record[label]["cache"] = store.cache_info()
 
+    # Overload: bound in-flight work and drive the server at 2x saturation,
+    # recording how much it sheds and what the surviving requests pay.
+    inner = ReleaseStore(tmp_path / "store-overload")
+    key = inner.save(release)
+    slow_store = ReleaseStore(
+        FaultInjectingBackend(inner.backend, delay={"get_document": OVERLOAD_FLOOR})
+    )
+    paths = [f"/releases/{key}/views/{role}" for role in policy.roles()]
+    with ReleaseServer(
+        slow_store, policy, port=0, max_in_flight=OVERLOAD_MAX_IN_FLIGHT
+    ) as server:
+        record["overload"] = _overload(server, paths)
+        record["overload"]["server_stats"] = server.stats.snapshot()
+
     to_json_file(record, results_dir / "serving.json")
     lines = [f"HTTP serving of per-role views (scale={BENCH_SCALE}, "
              f"{NUM_REQUESTS} requests/config)"]
@@ -117,6 +193,12 @@ def test_bench_serving_throughput_and_latency(bench_graph, results_dir, tmp_path
             f"\tp50 {stats['latency_ms']['p50']:.2f} ms"
             f"\tp99 {stats['latency_ms']['p99']:.2f} ms"
         )
+    overload = record["overload"]
+    lines.append(
+        f"overload_2x\tshed {overload['shed_rate']:.0%} of {overload['requests']}"
+        f"\tp50 {overload['served_latency_ms']['p50']:.2f} ms"
+        f"\tp99 {overload['served_latency_ms']['p99']:.2f} ms"
+    )
     save_text(results_dir / "serving.txt", "\n".join(lines))
     print("\n" + "\n".join(lines[1:]))
 
@@ -127,3 +209,8 @@ def test_bench_serving_throughput_and_latency(bench_graph, results_dir, tmp_path
         record["warm_cache"]["requests_per_second"]
         >= 0.5 * record["cold_cache"]["requests_per_second"]
     )
+    # At 2x saturation the server must shed rather than queue — and the
+    # requests it accepts must still all complete.
+    assert record["overload"]["shed"] >= 1
+    assert record["overload"]["served"] >= 1
+    assert record["overload"]["server_stats"]["shed"] == record["overload"]["shed"]

@@ -12,19 +12,31 @@ Python:
   Monte-Carlo, parallelisable with ``--executor process``);
 * ``repro report``   — re-render Figure-1-style per-level metrics from a
   release persisted in a store, without re-disclosing;
+* ``repro sweep``    — disclose an ``epsilon-g`` × ``levels`` grid into a
+  store with checkpointed resume: ``--journal`` records each combination's
+  state so an interrupted sweep resumes instead of re-disclosing, and
+  ``--on-error`` picks fail-fast or collect-and-continue;
 * ``repro serve``    — serve the releases in a store over a read-only HTTP
   API, resolving each caller's role through an
   :class:`~repro.core.access.AccessPolicy` (no disclosure code runs while
-  serving, so no budget is ever spent).
+  serving, so no budget is ever spent; ``--max-in-flight`` and
+  ``--handler-timeout`` bound overload instead of queueing it).
 
 The module exposes :func:`main` (also installed as the ``repro`` console
-script) and :func:`build_parser` for testing.
+script) and :func:`build_parser` for testing.  :func:`main` turns expected
+operational failures (:class:`~repro.exceptions.ValidationError`,
+:class:`~repro.exceptions.ServingError`,
+:class:`~repro.exceptions.SweepInterrupted`,
+:class:`~repro.exceptions.EvaluationError` — e.g. a journal belonging to a
+different run) into a one-line stderr message and a nonzero exit — never a
+traceback.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from functools import partial
 from pathlib import Path
 from typing import List, Optional
 
@@ -32,7 +44,13 @@ from repro.core.config import DisclosureConfig
 from repro.core.discloser import MultiLevelDiscloser
 from repro.core.certificate import verify_release
 from repro.core.store import ReleaseStore
-from repro.exceptions import ReleaseIntegrityError
+from repro.exceptions import (
+    EvaluationError,
+    ReleaseIntegrityError,
+    ServingError,
+    SweepInterrupted,
+    ValidationError,
+)
 from repro.datasets.registry import available_datasets, load_dataset
 from repro.evaluation.figure1 import (
     Figure1Config,
@@ -42,10 +60,14 @@ from repro.evaluation.figure1 import (
     run_figure1_trials,
 )
 from repro.evaluation.reporting import format_table
+from repro.evaluation.sweep import ParameterSweep
 from repro.execution import EXECUTOR_NAMES
 from repro.graphs.io import read_edge_list, write_edge_list
 from repro.grouping.specialization import SpecializationConfig
 from repro.utils.serialization import to_json_file
+
+#: CLI spellings of the journal error policies.
+_ON_ERROR_CHOICES = {"fail-fast": "fail_fast", "collect": "collect_errors"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -115,6 +137,55 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--key", help="release key (omit to list the stored keys)")
     report.add_argument("--output", type=Path, help="optional JSON file for the metrics rows")
 
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="disclose an epsilon-g x levels grid into a store, with checkpointed resume",
+    )
+    sweep.add_argument(
+        "--epsilon-g",
+        type=float,
+        nargs="+",
+        default=[0.1, 0.5, 1.0],
+        dest="epsilon_g",
+        help="per-level budgets to sweep",
+    )
+    sweep.add_argument(
+        "--levels", type=int, nargs="+", default=[3, 5], help="hierarchy depths to sweep"
+    )
+    sweep.add_argument("--dataset", choices=available_datasets(), default="dblp")
+    sweep.add_argument("--scale", default="tiny")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--store", type=Path, help="release-store directory each combination's release lands in"
+    )
+    sweep.add_argument(
+        "--journal",
+        type=Path,
+        help="state-journal file; re-running with the same journal resumes the sweep "
+        "instead of re-disclosing completed combinations",
+    )
+    sweep.add_argument(
+        "--on-error",
+        choices=sorted(_ON_ERROR_CHOICES),
+        default="fail-fast",
+        dest="on_error",
+        help="stop at the first failed combination, or collect failures and continue",
+    )
+    sweep.add_argument(
+        "--executor",
+        choices=list(EXECUTOR_NAMES),
+        default="serial",
+        help="executor for the combination fan-out",
+    )
+    sweep.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        dest="task_timeout",
+        help="per-combination wall-clock bound in seconds (pool executors only)",
+    )
+    sweep.add_argument("--output", type=Path, help="optional JSON file for the result rows")
+
     serve = subparsers.add_parser(
         "serve", help="serve stored releases over a read-only HTTP API"
     )
@@ -136,6 +207,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log one line per request to stderr"
+    )
+    serve.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=None,
+        dest="max_in_flight",
+        help="bound on concurrently-handled requests; excess requests are shed "
+        "with 503 + Retry-After (default unbounded)",
+    )
+    serve.add_argument(
+        "--handler-timeout",
+        type=float,
+        default=None,
+        dest="handler_timeout",
+        help="per-request handler wall-clock bound in seconds (default none)",
     )
 
     return parser
@@ -220,6 +306,72 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_runner(
+    epsilon_g: float,
+    levels: int,
+    dataset: str = "dblp",
+    scale: str = "tiny",
+    seed: int = 0,
+    store: Optional[str] = None,
+) -> dict:
+    """Disclose one sweep combination (module-level so it pickles).
+
+    Persists the release under a parameter-derived key when a store is
+    given — the artefact a resumed sweep serves instead of re-disclosing —
+    and returns summary columns for the sweep row.
+    """
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    config = DisclosureConfig(
+        epsilon_g=epsilon_g,
+        specialization=SpecializationConfig(num_levels=levels),
+    )
+    release = MultiLevelDiscloser(config=config, rng=seed).disclose(graph)
+    key = f"sweep-{dataset}-{scale}-l{levels}-eps{epsilon_g}-seed{seed}"
+    if store is not None:
+        ReleaseStore(store).save(release, key=key)
+    rows = figure1_metrics_from_release(release)
+    expected = [row["expected_rer"] for row in rows if row.get("expected_rer") is not None]
+    return {
+        "store_key": key if store is not None else None,
+        "levels_disclosed": len(release.levels()),
+        "mean_expected_rer": sum(expected) / len(expected) if expected else None,
+    }
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    runner = partial(
+        _sweep_runner,
+        dataset=args.dataset,
+        scale=args.scale,
+        seed=args.seed,
+        store=str(args.store) if args.store is not None else None,
+    )
+    sweep = ParameterSweep(
+        runner,
+        {"epsilon_g": args.epsilon_g, "levels": args.levels},
+        name=f"cli-sweep-{args.dataset}-{args.scale}-seed{args.seed}",
+    )
+    result = sweep.run(
+        record_time=True,
+        executor=args.executor,
+        task_timeout=args.task_timeout,
+        journal=args.journal,
+        on_error=_ON_ERROR_CHOICES[args.on_error],
+    )
+    if result.rows:
+        print(format_table(result.rows))
+    print(
+        f"sweep {sweep.name!r}: {len(result.rows)} of {len(sweep.combinations())} "
+        f"combination(s) done, {len(result.errors)} failed"
+    )
+    for error in result.errors:
+        print(f"  failed {error['key']}: {error['type']}: {error['message']}", file=sys.stderr)
+    if args.output is not None:
+        to_json_file(result.to_dict(), args.output)
+        print(f"wrote {args.output}")
+    return 1 if result.errors else 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving.server import DEFAULT_CACHE_SIZE, create_server
 
@@ -238,6 +390,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             port=args.port,
             cache_size=cache_size,
             verbose=args.verbose,
+            max_in_flight=args.max_in_flight,
+            handler_timeout=args.handler_timeout,
         )
     except (OSError, KeyError, TypeError, ValueError) as error:
         print(f"serve: {error}", file=sys.stderr)
@@ -258,15 +412,27 @@ _COMMANDS = {
     "disclose": _cmd_disclose,
     "figure1": _cmd_figure1,
     "report": _cmd_report,
+    "sweep": _cmd_sweep,
     "serve": _cmd_serve,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point of the ``repro`` console script."""
+    """Entry point of the ``repro`` console script.
+
+    Expected operational failures — bad parameters
+    (:class:`~repro.exceptions.ValidationError`), serving problems
+    (:class:`~repro.exceptions.ServingError`) and a fail-fast sweep stop
+    (:class:`~repro.exceptions.SweepInterrupted`) — exit nonzero with a
+    one-line message instead of a traceback; genuine bugs still raise.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except (EvaluationError, ValidationError, ServingError, SweepInterrupted) as error:
+        print(f"repro {args.command}: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via the console script

@@ -124,6 +124,18 @@ def _restore_answers(document: dict, arrays: Dict[str, np.ndarray]) -> dict:
     return document
 
 
+def _tmp_suffix() -> str:
+    """Per-writer temp-file suffix (``.<pid>-<thread>.tmp``).
+
+    Keeping pid *and* thread id in the name means concurrent writers —
+    whether threads in one process or separate processes — never collide on
+    the temp path, so write-then-rename stays atomic under racing ``put``
+    calls on the same key.  The ``.tmp`` tail keeps the files visible to
+    :meth:`DirectoryBackend.delete`'s interrupted-write cleanup.
+    """
+    return f".{os.getpid()}-{threading.get_ident()}.tmp"
+
+
 def _document_bytes(document: dict) -> bytes:
     """Canonical serialisation of a release document — identical across
     backends (and to the serving layer's responses) by construction."""
@@ -235,7 +247,7 @@ class DirectoryBackend(StoreBackend):
         """Atomically persist the key list (temp file + rename)."""
         self.root.mkdir(parents=True, exist_ok=True)
         payload = {"version": self.INDEX_VERSION, "keys": sorted(keys)}
-        tmp_path = self.index_path.with_name(self.INDEX_NAME + ".tmp")
+        tmp_path = self.index_path.with_name(self.INDEX_NAME + _tmp_suffix())
         tmp_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
         os.replace(tmp_path, self.index_path)
 
@@ -301,8 +313,11 @@ class DirectoryBackend(StoreBackend):
         # layer republishing under a live key) never sees a torn file.  The
         # answers land before the document: the document is what readers
         # check first, so it must never reference not-yet-renamed answers.
+        # Temp names carry the writer's pid and thread id, so two writers
+        # racing on the same key never share a temp file — each rename lands
+        # a complete artefact and the last writer wins wholesale.
         for name, data in ((self.ANSWERS_NAME, answers), (self.DOCUMENT_NAME, document)):
-            tmp_path = directory / (name + ".tmp")
+            tmp_path = directory / (name + _tmp_suffix())
             tmp_path.write_bytes(data)
             os.replace(tmp_path, directory / name)
         self._index_add(key)
@@ -498,6 +513,16 @@ class ReleaseStore:
         """Whether a release is stored under ``key``."""
         return self.backend.exists(_slugify(key))
 
+    def fingerprint(self, key: str) -> Optional[str]:
+        """The backend's change token for ``key`` (``None`` when absent).
+
+        The same token the read-through cache re-validates against; exposed
+        so callers holding per-key state about stored artefacts (e.g. the
+        serving layer's corrupt-artefact quarantine) can notice when the
+        bytes behind a key changed.
+        """
+        return self.backend.fingerprint(_slugify(key))
+
     def keys(self) -> List[str]:
         """All stored release keys, sorted (O(1) on an indexed directory store)."""
         return self.backend.keys()
@@ -653,11 +678,26 @@ class ReleaseStore:
         Returns ``(release, created)`` — ``created`` is ``False`` when the
         release was served from the store, which is how the evaluation
         harnesses resume interrupted experiments without re-spending budget.
+
+        Tolerates concurrent writers racing on the same key: whoever
+        persists first wins, and a writer that loses the race (the key
+        appeared while its builder ran, or its save failed against an
+        artefact that now exists) loads and returns the winner's release
+        with ``created=False`` instead of erroring.
         """
         if self.exists(key):
             return self.load(key), False
         release = builder()
-        self.save(release, key=key)
+        if self.exists(key):
+            # A concurrent get_or_create persisted while our builder ran;
+            # serve the winner's artefact so every caller sees one release.
+            return self.load(key), False
+        try:
+            self.save(release, key=key)
+        except OSError:
+            if self.exists(key):
+                return self.load(key), False
+            raise
         return release, True
 
     # ------------------------------------------------------------------

@@ -15,7 +15,14 @@ from repro.evaluation.metrics import (
     relative_error_rate,
     release_error_report,
 )
-from repro.evaluation.sweep import ParameterSweep, SweepResult
+from repro.evaluation.journal import (
+    ERROR_POLICIES,
+    RunJournal,
+    check_error_policy,
+    checkpointed_map,
+    describe_error,
+)
+from repro.evaluation.sweep import ParameterSweep, SweepResult, combination_key
 from repro.evaluation.figure1 import (
     Figure1Config,
     Figure1Result,
@@ -36,6 +43,12 @@ __all__ = [
     "expected_rer_gaussian",
     "expected_rer_laplace",
     "release_error_report",
+    "ERROR_POLICIES",
+    "RunJournal",
+    "check_error_policy",
+    "checkpointed_map",
+    "combination_key",
+    "describe_error",
     "ParameterSweep",
     "SweepResult",
     "Figure1Config",

@@ -1,0 +1,244 @@
+"""Checkpointed run state for resumable fan-out experiments.
+
+A :class:`RunJournal` records one state entry per unit of work — ``pending``,
+``running``, ``done`` (with the result row) or ``failed`` (with error
+detail) — and persists the whole map atomically (temp file + rename) after
+every checkpoint.  An interrupted or partially-failed sweep re-opened with
+the same journal resumes from the recorded state: ``done`` rows are reused
+verbatim and only unfinished combinations run again.  Because disclosure
+spends irreversible privacy budget, "reused verbatim" is the point — a
+resumed sweep never re-discloses a completed combination.
+
+The journal is keyed by a caller-supplied *fingerprint* of the run
+configuration (grid, seeds, parameters): re-opening a journal with a
+different fingerprint is refused rather than silently mixing two
+experiments' rows.
+
+:func:`checkpointed_map` is the shared engine under
+:meth:`~repro.evaluation.sweep.ParameterSweep.run` and
+:func:`~repro.evaluation.scalability.run_scalability`: it fans pending items
+out through an executor in pool-width waves, checkpointing the journal after
+every wave, and applies the ``fail_fast`` / ``collect_errors`` error policy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import traceback
+from functools import partial
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import EvaluationError, SweepInterrupted
+from repro.execution import Executor
+
+PathLike = Union[str, Path]
+
+#: Recognised error policies for journaled runs.
+ERROR_POLICIES: Tuple[str, ...] = ("fail_fast", "collect_errors")
+
+#: Entry states a journal tracks.
+STATES: Tuple[str, ...] = ("pending", "running", "done", "failed")
+
+
+def check_error_policy(value: str) -> str:
+    """Validate an ``on_error`` policy name."""
+    if value not in ERROR_POLICIES:
+        raise EvaluationError(f"on_error must be one of {ERROR_POLICIES}, got {value!r}")
+    return value
+
+
+class RunJournal:
+    """Per-item run state persisted as one JSON file.
+
+    Parameters
+    ----------
+    path:
+        The journal file.  A missing file starts an empty journal; an
+        existing file is loaded and validated against ``fingerprint``.
+    fingerprint:
+        Identifies the run configuration.  ``None`` skips the check (only
+        sensible for ad-hoc journals).
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: PathLike, fingerprint: Optional[str] = None):
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.entries: Dict[str, Dict[str, Any]] = {}
+        if self.path.is_file():
+            self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+            version = payload["version"]
+            stored_fingerprint = payload.get("fingerprint")
+            entries = payload["entries"]
+        except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise EvaluationError(f"journal {self.path} is corrupt: {exc}") from exc
+        if version != self.VERSION:
+            raise EvaluationError(
+                f"journal {self.path} has version {version!r}, expected {self.VERSION}"
+            )
+        if (
+            self.fingerprint is not None
+            and stored_fingerprint is not None
+            and stored_fingerprint != self.fingerprint
+        ):
+            raise EvaluationError(
+                f"journal {self.path} belongs to a different run "
+                f"(fingerprint {stored_fingerprint!r} != {self.fingerprint!r}); "
+                "use a fresh journal path per run configuration"
+            )
+        self.entries = {str(key): dict(entry) for key, entry in entries.items()}
+
+    def flush(self) -> None:
+        """Atomically persist the journal (temp file + rename)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": self.VERSION,
+            "fingerprint": self.fingerprint,
+            "entries": self.entries,
+        }
+        tmp_path = self.path.with_name(self.path.name + f".{os.getpid()}.tmp")
+        tmp_path.write_text(json.dumps(payload, indent=2, default=str) + "\n", encoding="utf-8")
+        os.replace(tmp_path, self.path)
+
+    # -- state transitions -------------------------------------------------
+    def status(self, key: str) -> str:
+        entry = self.entries.get(key)
+        return entry["status"] if entry else "pending"
+
+    def row(self, key: str) -> Optional[Dict[str, Any]]:
+        """The recorded result row of a ``done`` entry (``None`` otherwise)."""
+        entry = self.entries.get(key)
+        if entry and entry["status"] == "done":
+            return entry.get("row")
+        return None
+
+    def error(self, key: str) -> Optional[Dict[str, Any]]:
+        """The recorded error detail of a ``failed`` entry."""
+        entry = self.entries.get(key)
+        if entry and entry["status"] == "failed":
+            return entry.get("error")
+        return None
+
+    def mark(
+        self,
+        key: str,
+        status: str,
+        row: Optional[Dict[str, Any]] = None,
+        error: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if status not in STATES:
+            raise EvaluationError(f"unknown journal status {status!r}")
+        self.entries[key] = {"status": status, "row": row, "error": error}
+
+    def summary(self) -> Dict[str, int]:
+        """Counts per state — what a CLI progress line prints."""
+        counts = {state: 0 for state in STATES}
+        for entry in self.entries.values():
+            counts[entry["status"]] = counts.get(entry["status"], 0) + 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RunJournal({str(self.path)!r}, {self.summary()})"
+
+
+def describe_error(error: BaseException) -> Dict[str, str]:
+    """JSON-serialisable error detail for a journal entry."""
+    return {
+        "type": type(error).__name__,
+        "message": str(error),
+        "traceback": "".join(
+            traceback.format_exception(type(error), error, error.__traceback__)
+        ),
+    }
+
+
+def _guarded(fn: Callable[[Any], Dict[str, Any]], item: Any) -> Tuple[str, Any]:
+    """Run one item, capturing any exception as data (executor task)."""
+    try:
+        return ("ok", fn(item))
+    except Exception as error:  # noqa: BLE001 - converted to journal detail
+        return ("error", describe_error(error))
+
+
+def checkpointed_map(
+    pool: Executor,
+    fn: Callable[[Any], Dict[str, Any]],
+    items: Sequence[Any],
+    keys: Sequence[str],
+    journal: Optional[RunJournal],
+    on_error: str = "fail_fast",
+    timeout: Optional[float] = None,
+    on_result: Optional[Callable[[str, Any, Dict[str, Any]], Dict[str, Any]]] = None,
+) -> Tuple[List[Optional[Dict[str, Any]]], List[Dict[str, Any]]]:
+    """Map ``fn`` over ``items`` with journal checkpoints and an error policy.
+
+    Items whose journal entry is already ``done`` are **not** re-run; their
+    recorded rows are returned in place.  Pending/failed items run in waves
+    of the pool's width, and the journal is flushed after every wave, so an
+    interruption loses at most one wave of work.
+
+    ``on_result(key, item, row)`` post-processes a fresh result before it is
+    journaled (e.g. persisting a release into a store) and returns the row
+    to record.
+
+    Returns ``(rows, errors)`` where ``rows`` is in item order (``None`` for
+    items that failed) and ``errors`` lists error details with their keys.
+    Under ``fail_fast`` the first failed wave raises
+    :class:`~repro.exceptions.SweepInterrupted` *after* journaling, so the
+    journal stays resumable.
+    """
+    check_error_policy(on_error)
+    if len(items) != len(keys):
+        raise EvaluationError("items and keys must have the same length")
+    rows: List[Optional[Dict[str, Any]]] = [None] * len(items)
+    errors: List[Dict[str, Any]] = []
+
+    pending: List[int] = []
+    for index, key in enumerate(keys):
+        recorded = journal.row(key) if journal is not None else None
+        if recorded is not None:
+            rows[index] = recorded
+        else:
+            pending.append(index)
+
+    wave_size = max(1, getattr(pool, "max_workers", 1))
+    task = partial(_guarded, fn)
+    for start in range(0, len(pending), wave_size):
+        wave = pending[start : start + wave_size]
+        if journal is not None:
+            for index in wave:
+                journal.mark(keys[index], "running")
+            journal.flush()
+        outcomes = pool.map(task, [items[index] for index in wave], timeout=timeout)
+        failed: List[Dict[str, Any]] = []
+        for index, (status, payload) in zip(wave, outcomes):
+            key = keys[index]
+            if status == "ok":
+                row = on_result(key, items[index], payload) if on_result else payload
+                rows[index] = row
+                if journal is not None:
+                    journal.mark(key, "done", row=row)
+            else:
+                detail = {"key": key, **payload}
+                failed.append(detail)
+                errors.append(detail)
+                if journal is not None:
+                    journal.mark(key, "failed", error=payload)
+        if journal is not None:
+            journal.flush()
+        if failed and on_error == "fail_fast":
+            first = failed[0]
+            raise SweepInterrupted(
+                f"combination {first['key']!r} failed with {first['type']}: "
+                f"{first['message']}"
+                + (" (journal checkpointed; re-run with the same journal to resume)"
+                   if journal is not None else "")
+            )
+    return rows, errors

@@ -8,10 +8,12 @@ association counts, so the benchmark can verify near-linear scaling.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -20,6 +22,12 @@ from repro.core.discloser import MultiLevelDiscloser
 from repro.core.release import MultiLevelRelease
 from repro.core.store import ReleaseStore
 from repro.datasets.dblp_like import generate_dblp_like
+from repro.evaluation.journal import (
+    PathLike,
+    RunJournal,
+    check_error_policy,
+    checkpointed_map,
+)
 from repro.exceptions import EvaluationError
 from repro.execution import ExecutorSpec, executor_scope
 from repro.grouping.specialization import SpecializationConfig
@@ -28,9 +36,14 @@ from repro.utils.rng import RandomState, derive_seedseq
 
 @dataclass
 class ScalabilityResult:
-    """Rows of the scalability experiment."""
+    """Rows of the scalability experiment.
+
+    ``errors`` is populated only by ``on_error="collect_errors"`` runs: one
+    error-detail entry per failed size, whose row is then absent.
+    """
 
     rows: List[Dict[str, float]] = field(default_factory=list)
+    errors: List[Dict[str, Any]] = field(default_factory=list)
 
     def sizes(self) -> List[int]:
         """Association counts of the measured graphs."""
@@ -42,7 +55,7 @@ class ScalabilityResult:
 
     def to_dict(self) -> dict:
         """JSON-serialisable representation."""
-        return {"rows": list(self.rows)}
+        return {"rows": list(self.rows), "errors": list(self.errors)}
 
     def format_table(self) -> str:
         """Aligned text table."""
@@ -103,6 +116,35 @@ def _measure_size(
     return row, release
 
 
+def scalability_key(
+    engine: str, num_levels: int, epsilon_g: float, seed: RandomState, num_authors: int
+) -> str:
+    """Store/journal key for one measured graph size."""
+    return f"scalability-{engine}-l{num_levels}-eps{epsilon_g}-seed{seed}-{int(num_authors)}"
+
+
+def scalability_fingerprint(
+    author_counts: Sequence[int],
+    num_levels: int,
+    epsilon_g: float,
+    seed: RandomState,
+    engine: str,
+) -> str:
+    """Identifies one scalability configuration for journal compatibility."""
+    payload = json.dumps(
+        {
+            "experiment": "scalability",
+            "author_counts": [int(count) for count in author_counts],
+            "num_levels": num_levels,
+            "epsilon_g": epsilon_g,
+            "seed": str(seed),
+            "engine": engine,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
 def run_scalability(
     author_counts: Sequence[int] = (500, 1_000, 2_000, 4_000),
     num_levels: int = 6,
@@ -111,6 +153,9 @@ def run_scalability(
     engine: str = "vectorized",
     executor: ExecutorSpec = None,
     store: Optional[ReleaseStore] = None,
+    task_timeout: Optional[float] = None,
+    journal: Union[None, PathLike, RunJournal] = None,
+    on_error: str = "fail_fast",
 ) -> ScalabilityResult:
     """Time the full pipeline on DBLP-like graphs of increasing size.
 
@@ -134,13 +179,26 @@ def run_scalability(
         the right choice when absolute timings matter).
     store:
         Optional :class:`~repro.core.store.ReleaseStore`; each size's
-        release is persisted under
-        ``scalability-<engine>-l<levels>-eps<epsilon>-seed<seed>-<authors>``
-        so runs with different parameters keep distinct artefacts that can
-        be inspected or served without re-running.
+        release is persisted under :func:`scalability_key` so runs with
+        different parameters keep distinct artefacts that can be inspected
+        or served without re-running.
+    task_timeout:
+        Per-size wall-clock bound (pool executors only).
+    journal:
+        Checkpoint per-size state through a
+        :class:`~repro.evaluation.journal.RunJournal` (path or open
+        journal); a re-run with the same journal resumes from the recorded
+        rows, re-measuring only unfinished sizes.  Each size's release is
+        saved to ``store`` *before* its journal entry turns ``done``, so a
+        resumed run pairs every recorded row with a persisted artefact
+        (resume with the same store).
+    on_error:
+        ``"fail_fast"`` (default) or ``"collect_errors"`` — see
+        :meth:`~repro.evaluation.sweep.ParameterSweep.run`.
     """
     if not author_counts:
         raise EvaluationError("author_counts must not be empty")
+    check_error_policy(on_error)
     # Derive per-size seed material up front (in the caller, so a Generator
     # parent is only ever advanced here): tasks must carry their own seeds,
     # never a shared generator, for serial/thread/process runs to agree.
@@ -152,18 +210,33 @@ def run_scalability(
         )
         for index, count in enumerate(author_counts)
     ]
+    keys = [
+        scalability_key(engine, num_levels, epsilon_g, seed, count) for count in author_counts
+    ]
     task = partial(_measure_size, num_levels=num_levels, epsilon_g=epsilon_g, engine=engine)
-    with executor_scope(executor) as pool:
-        measured = pool.map(task, tasks)
-    result = ScalabilityResult()
-    for (row, release), num_authors in zip(measured, author_counts):
+
+    def persist(key: str, item: Any, payload: Tuple[Dict[str, float], MultiLevelRelease]):
+        row, release = payload
         if store is not None:
-            store.save(
-                release,
-                key=(
-                    f"scalability-{engine}-l{num_levels}-eps{epsilon_g}"
-                    f"-seed{seed}-{int(num_authors)}"
-                ),
-            )
-        result.rows.append(row)
-    return result
+            store.save(release, key=key)
+        return row
+
+    if not isinstance(journal, (RunJournal, type(None))):
+        journal = RunJournal(
+            journal,
+            fingerprint=scalability_fingerprint(
+                author_counts, num_levels, epsilon_g, seed, engine
+            ),
+        )
+    with executor_scope(executor) as pool:
+        rows, errors = checkpointed_map(
+            pool,
+            task,
+            tasks,
+            keys,
+            journal,
+            on_error=on_error,
+            timeout=task_timeout,
+            on_result=persist,
+        )
+    return ScalabilityResult(rows=[row for row in rows if row is not None], errors=errors)

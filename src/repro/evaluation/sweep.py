@@ -1,15 +1,31 @@
-"""Generic parameter-sweep runner used by the benchmark harnesses."""
+"""Generic parameter-sweep runner used by the benchmark harnesses.
+
+Sweeps can be **checkpointed**: pass ``journal=`` to :meth:`ParameterSweep.run`
+and every combination's state (pending → running → done/failed, with error
+detail) is persisted through a :class:`~repro.evaluation.journal.RunJournal`;
+an interrupted or partially-failed sweep re-run with the same journal resumes
+from the recorded rows instead of restarting — completed combinations are
+never executed (and, when the runner discloses, never re-disclosed) again.
+"""
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import json
 import time
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Union
 
+from repro.evaluation.journal import PathLike, RunJournal, check_error_policy, checkpointed_map
 from repro.exceptions import EvaluationError
 from repro.execution import ExecutorSpec, executor_scope
+
+
+def combination_key(params: Mapping[str, Any]) -> str:
+    """Stable journal key for one grid combination."""
+    return json.dumps(params, sort_keys=True, default=str)
 
 
 def _run_combination(
@@ -38,10 +54,16 @@ def _run_combination(
 
 @dataclass
 class SweepResult:
-    """All rows produced by a :class:`ParameterSweep` run."""
+    """All rows produced by a :class:`ParameterSweep` run.
+
+    ``errors`` is non-empty only for ``on_error="collect_errors"`` runs: one
+    entry per failed combination (key, exception type, message, traceback),
+    with the corresponding row absent from ``rows``.
+    """
 
     name: str
     rows: List[Dict[str, Any]] = field(default_factory=list)
+    errors: List[Dict[str, Any]] = field(default_factory=list)
 
     def column(self, key: str) -> List[Any]:
         """All values of one column, in row order."""
@@ -58,7 +80,7 @@ class SweepResult:
 
     def to_dict(self) -> dict:
         """JSON-serialisable representation."""
-        return {"name": self.name, "rows": list(self.rows)}
+        return {"name": self.name, "rows": list(self.rows), "errors": list(self.errors)}
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -120,11 +142,19 @@ class ParameterSweep:
         keys = list(self.grid)
         return [dict(zip(keys, combo)) for combo in itertools.product(*(self.grid[k] for k in keys))]
 
+    def fingerprint(self) -> str:
+        """Identifies this sweep's configuration for journal compatibility."""
+        payload = json.dumps({"name": self.name, "grid": self.grid}, sort_keys=True, default=str)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
     def run(
         self,
         record_time: bool = False,
         executor: ExecutorSpec = None,
         max_workers: Optional[int] = None,
+        task_timeout: Optional[float] = None,
+        journal: Union[None, PathLike, RunJournal] = None,
+        on_error: str = "fail_fast",
     ) -> SweepResult:
         """Execute the runner for every combination and collect rows.
 
@@ -134,8 +164,44 @@ class ParameterSweep:
         in deterministic combination order; with a process executor the
         runner must be a picklable module-level callable and should derive
         any random state from its own parameters.
+
+        Fault tolerance
+        ---------------
+        ``journal`` (a path or an open
+        :class:`~repro.evaluation.journal.RunJournal`) checkpoints per-
+        combination state after every pool-width wave; a re-run with the
+        same journal resumes from the recorded rows instead of restarting.
+        ``on_error`` selects the failure policy: ``"fail_fast"`` (default)
+        stops at the first failed combination — raising the runner's own
+        exception when unjournaled, or a checkpointing
+        :class:`~repro.exceptions.SweepInterrupted` when journaled — while
+        ``"collect_errors"`` records failures (see ``SweepResult.errors``)
+        and keeps going.  ``task_timeout`` bounds each combination's
+        wall-clock seconds on the pool executors.
         """
+        check_error_policy(on_error)
         task = partial(_run_combination, runner=self.runner, record_time=record_time)
+        combinations = self.combinations()
+        if journal is None and on_error == "fail_fast":
+            # The historical path: the first failure propagates unwrapped.
+            with executor_scope(executor, max_workers=max_workers) as pool:
+                rows = pool.map(task, combinations, timeout=task_timeout)
+            return SweepResult(name=self.name, rows=rows)
+        if not isinstance(journal, (RunJournal, type(None))):
+            journal = RunJournal(journal, fingerprint=self.fingerprint())
+        keys = [combination_key(params) for params in combinations]
         with executor_scope(executor, max_workers=max_workers) as pool:
-            rows = pool.map(task, self.combinations())
-        return SweepResult(name=self.name, rows=rows)
+            rows, errors = checkpointed_map(
+                pool,
+                task,
+                combinations,
+                keys,
+                journal,
+                on_error=on_error,
+                timeout=task_timeout,
+            )
+        return SweepResult(
+            name=self.name,
+            rows=[row for row in rows if row is not None],
+            errors=errors,
+        )

@@ -106,6 +106,58 @@ class ReleaseIntegrityError(DisclosureError):
     """A release object is internally inconsistent (tampering or bug)."""
 
 
+class ExecutionError(ReproError):
+    """Base class for errors raised by the parallel execution layer."""
+
+
+class TransientError(ExecutionError):
+    """A failure the caller may safely retry (injected faults, flaky IO).
+
+    Raising this (or any exception type listed in a
+    :class:`~repro.execution.retry.RetryPolicy`'s ``retryable`` filter) marks
+    a task failure as transient: re-running the task with the same payload is
+    expected to succeed and — because tasks carry their own derived seed
+    material — to produce exactly the result the fault-free run would have.
+    """
+
+
+class TaskTimeoutError(ExecutionError):
+    """A task exceeded its per-task timeout.
+
+    Raised by the thread/process executors when a task does not finish within
+    the configured ``task_timeout``.  Retryable by default: a timeout is
+    usually a stuck worker or transient resource contention, and re-running a
+    pure seeded task cannot change its result.
+    """
+
+    def __init__(self, message, task_index=None, timeout=None):
+        self.task_index = task_index
+        self.timeout = timeout
+        super().__init__(message)
+
+
+class WorkerCrashError(ExecutionError):
+    """A worker pool broke (worker death) and could not be rebuilt.
+
+    The process executor rebuilds its pool and resubmits unfinished tasks
+    when a worker dies; this is raised only after the rebuild budget is
+    exhausted, with the indices of the tasks that never completed.
+    """
+
+    def __init__(self, message, unfinished=()):
+        self.unfinished = tuple(unfinished)
+        super().__init__(message)
+
+
+class SweepInterrupted(ExecutionError):
+    """A journaled sweep stopped early under the ``fail_fast`` error policy.
+
+    The journal records the failed combination (with error detail) and every
+    completed row, so a re-run resumes from the checkpoint instead of
+    restarting.
+    """
+
+
 class ServingError(ReproError):
     """A serving-layer request failed (connection error or non-200 response)."""
 

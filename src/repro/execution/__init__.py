@@ -6,6 +6,14 @@ rows) as pure functions mapped over task payloads; the classes here decide
 whether that map runs serially, on a thread pool, or across processes — with
 bit-identical results in all three cases (see
 :mod:`repro.execution.executors` for the determinism contract).
+
+Fault tolerance lives alongside: :mod:`repro.execution.retry` retries
+transient task failures with deterministic backoff, the pool executors
+enforce per-task timeouts and rebuild broken process pools, and
+:mod:`repro.execution.faults` injects scripted failures to prove that a
+disturbed run is bit-identical to an undisturbed one.  (``faults`` is not
+re-exported here — it imports the store layer, and the execution package
+must stay importable from the core pipeline without cycles.)
 """
 
 from repro.execution.executors import (
@@ -21,17 +29,27 @@ from repro.execution.executors import (
     executor_scope,
     make_executor,
 )
+from repro.execution.retry import (
+    DEFAULT_RETRYABLE,
+    RetryPolicy,
+    RetryingTask,
+    map_with_retries,
+)
 
 __all__ = [
     "EXECUTOR_NAMES",
+    "DEFAULT_RETRYABLE",
     "Executor",
     "ExecutorSpec",
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "RetryPolicy",
+    "RetryingTask",
     "check_executor_name",
     "default_max_workers",
     "executor_name",
     "executor_scope",
     "make_executor",
+    "map_with_retries",
 ]

@@ -1,0 +1,198 @@
+"""Deterministic retries with exponential backoff for executor tasks.
+
+A :class:`RetryPolicy` describes *when* a failed task may run again (a
+retryable-exception filter and an attempt budget) and *how long* to wait
+between attempts (exponential backoff with deterministic, seed-derived
+jitter).  :func:`map_with_retries` applies the policy around any
+:class:`~repro.execution.executors.Executor`: each task retries **inside its
+own worker invocation**, so transient faults never change which worker runs
+which task or the order results come back in.
+
+Determinism contract
+--------------------
+Retries must never be able to change a released artefact.  Two properties
+guarantee that:
+
+* a task function carries its own derived seed material (see the executor
+  contract), so re-invoking it with the same payload reproduces the same
+  result bit for bit;
+* the backoff jitter is **derived, not drawn** — a pure hash of
+  ``(policy seed, task key, attempt)`` — so the retry schedule itself is
+  reproducible and consumes no shared random state.
+
+The module is deliberately stdlib-only (no numpy, no disclosure imports), so
+the read-only serving client can reuse :class:`RetryPolicy` without pulling
+anything budget-spending onto the request path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, List, Optional, Tuple, Type
+
+from repro.exceptions import TaskTimeoutError, TransientError, ValidationError
+
+#: Exception types retried by default: injected/transient faults, task
+#: timeouts, and OS-level IO errors (which include ``ConnectionError`` and
+#: the builtin ``TimeoutError``).
+DEFAULT_RETRYABLE: Tuple[Type[BaseException], ...] = (
+    TransientError,
+    TaskTimeoutError,
+    OSError,
+)
+
+
+def _fraction(seed: int, key: str, attempt: int) -> float:
+    """A deterministic uniform-in-[0, 1) fraction for jitter.
+
+    Pure function of ``(seed, key, attempt)`` — no shared generator is
+    advanced, so the jitter schedule cannot interact with any other
+    randomness in the system.
+    """
+    digest = hashlib.sha256(f"{seed}|{key}|{attempt}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When and how to retry a failed task.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total invocations allowed per task (1 disables retries).
+    backoff_base:
+        Delay before the first retry, in seconds.
+    backoff_factor:
+        Multiplier applied per further attempt (exponential backoff).
+    max_backoff:
+        Upper bound on any single delay, in seconds.
+    jitter:
+        Fraction of the delay added as deterministic jitter: the actual
+        delay is ``delay * (1 + jitter * u)`` with ``u`` derived from
+        ``(seed, task key, attempt)``.
+    retryable:
+        Exception types that may be retried; anything else propagates
+        immediately.
+    seed:
+        Seed for the derived jitter stream.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff: float = 5.0
+    jitter: float = 0.1
+    retryable: Tuple[Type[BaseException], ...] = DEFAULT_RETRYABLE
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValidationError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base < 0 or self.max_backoff < 0:
+            raise ValidationError("backoff_base and max_backoff must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValidationError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValidationError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def is_retryable(self, error: BaseException) -> bool:
+        """Whether the policy allows retrying after ``error``."""
+        return isinstance(error, self.retryable)
+
+    def delay_for(self, attempt: int, key: str = "") -> float:
+        """Seconds to wait before ``attempt`` (the second attempt is 2).
+
+        Deterministic: the same policy, key and attempt always produce the
+        same delay.
+        """
+        if attempt <= 1:
+            return 0.0
+        delay = min(self.max_backoff, self.backoff_base * self.backoff_factor ** (attempt - 2))
+        return delay * (1.0 + self.jitter * _fraction(self.seed, key, attempt))
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        key: str = "",
+        sleep: Callable[[float], None] = time.sleep,
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    ) -> Any:
+        """Invoke ``fn`` under the policy, re-raising the last failure.
+
+        ``sleep`` is injectable for tests; ``on_retry(attempt, error)`` is
+        called before each re-attempt.
+        """
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except BaseException as error:  # noqa: BLE001 - filtered just below
+                if attempt >= self.max_attempts or not self.is_retryable(error):
+                    raise
+                delay = self.delay_for(attempt + 1, key=key)
+                if on_retry is not None:
+                    on_retry(attempt, error)
+                if delay > 0:
+                    sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable provenance record."""
+        return {
+            "max_attempts": self.max_attempts,
+            "backoff_base": self.backoff_base,
+            "backoff_factor": self.backoff_factor,
+            "max_backoff": self.max_backoff,
+            "jitter": self.jitter,
+            "seed": self.seed,
+            "retryable": [cls.__name__ for cls in self.retryable],
+        }
+
+
+@dataclass
+class RetryingTask:
+    """A picklable task wrapper that retries ``fn`` inside the worker.
+
+    Because the retry loop runs where the task runs, transient faults are
+    absorbed without any round-trip through the parent process — the executor
+    still sees one submission per task and returns results in order, and a
+    process-parallel retried run stays bit-identical to a fault-free one.
+    """
+
+    fn: Callable[[Any], Any]
+    policy: RetryPolicy
+    attempts: List[int] = field(default_factory=list)
+
+    def __call__(self, task: Any) -> Any:
+        counter = {"n": 0}
+
+        def attempt_once():
+            counter["n"] += 1
+            return self.fn(task)
+
+        try:
+            return self.policy.call(attempt_once, key=repr(task))
+        finally:
+            self.attempts.append(counter["n"])
+
+
+def map_with_retries(
+    executor,
+    fn: Callable[[Any], Any],
+    tasks: Iterable[Any],
+    policy: Optional[RetryPolicy] = None,
+    timeout: Optional[float] = None,
+) -> List[Any]:
+    """``executor.map`` with per-task in-worker retries under ``policy``.
+
+    Transient task failures (as classified by ``policy.retryable``) are
+    retried inside the worker; worker *death* is handled one layer down by
+    the process executor's pool-rebuild recovery, so the two mechanisms
+    compose: exceptions retry in place, crashes resubmit unfinished tasks,
+    and both leave the results bit-identical to an undisturbed run.
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    wrapped = RetryingTask(fn, policy)
+    return executor.map(wrapped, tasks, timeout=timeout)

@@ -26,10 +26,16 @@ or from the command line with ``repro serve --store DIR --policy FILE``.
 
 from repro.exceptions import ServingError
 from repro.serving.client import fetch_json, http_get
-from repro.serving.server import DEFAULT_CACHE_SIZE, ReleaseServer, create_server
+from repro.serving.server import (
+    DEFAULT_CACHE_SIZE,
+    ReleaseServer,
+    ServingStats,
+    create_server,
+)
 
 __all__ = [
     "ReleaseServer",
+    "ServingStats",
     "create_server",
     "DEFAULT_CACHE_SIZE",
     "http_get",

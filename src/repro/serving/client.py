@@ -1,26 +1,31 @@
 """Minimal stdlib client for the serving API (tests, examples, benchmarks).
 
 Deliberately tiny — two functions over :mod:`urllib.request` — so consumers
-of a served release need nothing beyond the standard library either.
+of a served release need nothing beyond the standard library either (the
+optional retry support reuses :class:`~repro.execution.retry.RetryPolicy`,
+which is itself stdlib-only).
+
+Pass ``retry=RetryPolicy(...)`` to either function and the request rides
+out transient failures: transport errors (connection refused mid-restart,
+timeouts) and ``503`` load-shedding responses are retried with the policy's
+deterministic backoff, so a client survives a server that is briefly
+overloaded or restarting.  Definitive statuses (404, 403, 500 …) are never
+retried.
 """
 
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.exceptions import ServingError
+from repro.execution.retry import RetryPolicy
 
 
-def http_get(url: str, timeout: float = 10.0) -> Tuple[int, bytes]:
-    """``GET url`` and return ``(status, body bytes)``.
-
-    Non-2xx statuses are returned, not raised, so callers can assert on the
-    API's error mapping; only transport failures (connection refused, DNS,
-    timeout) raise :class:`ServingError`.
-    """
+def _http_get_once(url: str, timeout: float) -> Tuple[int, bytes]:
     try:
         with urllib.request.urlopen(url, timeout=timeout) as response:
             return response.status, response.read()
@@ -30,10 +35,47 @@ def http_get(url: str, timeout: float = 10.0) -> Tuple[int, bytes]:
         raise ServingError(f"GET {url} failed: {error.reason}") from error
 
 
-def fetch_json(base_url: str, path: str = "", timeout: float = 10.0) -> dict:
+def http_get(
+    url: str, timeout: float = 10.0, retry: Optional[RetryPolicy] = None
+) -> Tuple[int, bytes]:
+    """``GET url`` and return ``(status, body bytes)``.
+
+    Non-2xx statuses are returned, not raised, so callers can assert on the
+    API's error mapping; only transport failures (connection refused, DNS,
+    timeout) raise :class:`ServingError`.
+
+    With ``retry``, transport failures and ``503`` responses (the server's
+    load-shedding and handler-timeout answers) are retried up to the
+    policy's attempt budget with its deterministic backoff; the final
+    attempt's outcome is returned (or raised) unchanged.
+    """
+    if retry is None:
+        return _http_get_once(url, timeout)
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            status, body = _http_get_once(url, timeout)
+        except ServingError:
+            if attempt >= retry.max_attempts:
+                raise
+            time.sleep(retry.delay_for(attempt + 1, key=url))
+            continue
+        if status == 503 and attempt < retry.max_attempts:
+            time.sleep(retry.delay_for(attempt + 1, key=url))
+            continue
+        return status, body
+
+
+def fetch_json(
+    base_url: str,
+    path: str = "",
+    timeout: float = 10.0,
+    retry: Optional[RetryPolicy] = None,
+) -> dict:
     """``GET base_url + path``, require a 200, and parse the JSON body."""
     url = base_url.rstrip("/") + path
-    status, body = http_get(url, timeout=timeout)
+    status, body = http_get(url, timeout=timeout, retry=retry)
     if status != 200:
         raise ServingError(
             f"GET {url} returned {status}: {body.decode('utf-8', 'replace').strip()}",

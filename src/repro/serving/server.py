@@ -22,6 +22,21 @@ stored-but-corrupt artefact is ``500``.  Responses are canonical JSON
 release serialises byte-identically regardless of the store backend behind
 the server.
 
+Fault tolerance: the server degrades instead of collapsing.
+
+* ``max_in_flight`` bounds concurrently-handled requests; excess requests
+  are *shed* with ``503`` + ``Retry-After`` instead of queueing without
+  bound (``/healthz`` is exempt, so probes see through the overload).
+* ``handler_timeout`` bounds one request's handler work; a stuck store read
+  answers ``503`` instead of hanging the connection.
+* A stored-but-corrupt artefact answers ``500`` once, then the key is
+  *quarantined*: subsequent requests get a fast ``404`` with the corruption
+  reason instead of re-reading (and re-failing on) the artefact.  The
+  quarantine entry is pinned to the store's change fingerprint, so
+  republishing the key clears it automatically.
+* ``/healthz`` reports ``"degraded"`` (plus shed/timeout/backend-error
+  counters and the quarantined keys) whenever releases are quarantined.
+
 The server is a stdlib :class:`~http.server.ThreadingHTTPServer` — one
 thread per connection, no framework — and the request path only ever reads
 from the store and applies the access policy.  Nothing here can spend
@@ -33,13 +48,12 @@ from __future__ import annotations
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 from urllib.parse import unquote, urlsplit
 
 from repro.core.access import AccessPolicy
-from repro.core.release import MultiLevelRelease
 from repro.core.store import ReleaseStore
-from repro.exceptions import AccessLevelError, ReleaseIntegrityError
+from repro.exceptions import AccessLevelError, ReleaseIntegrityError, ValidationError
 from repro.utils.serialization import canonical_json_bytes as canonical_json
 from repro.utils.serialization import from_json_file
 
@@ -47,6 +61,69 @@ PathLike = Union[str, Path]
 
 #: Parsed releases kept hot in the store's read-through cache by default.
 DEFAULT_CACHE_SIZE = 32
+
+#: ``Retry-After`` seconds sent with load-shedding 503 responses.
+RETRY_AFTER_SECONDS = 1
+
+#: A handler's response before it is written: (status, payload, headers).
+Response = Tuple[int, dict, Tuple[Tuple[str, str], ...]]
+
+
+class ServingStats:
+    """Thread-safe degradation counters plus the corrupt-artefact quarantine.
+
+    One instance lives on the HTTP server; handler threads record sheds,
+    handler timeouts and backend errors through it, and ``/healthz`` renders
+    its snapshot so operators see *how* the server is degraded, not just
+    that it is.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.shed = 0
+        self.handler_timeouts = 0
+        self.backend_errors = 0
+        self._quarantine: Dict[str, Dict[str, Optional[str]]] = {}
+
+    def record_shed(self) -> None:
+        with self._lock:
+            self.shed += 1
+
+    def record_handler_timeout(self) -> None:
+        with self._lock:
+            self.handler_timeouts += 1
+
+    def quarantine(self, key: str, fingerprint: Optional[str], reason: str) -> None:
+        """Mark ``key``'s stored artefact corrupt at ``fingerprint``."""
+        with self._lock:
+            self.backend_errors += 1
+            self._quarantine[key] = {"fingerprint": fingerprint, "reason": reason}
+
+    def quarantine_reason(self, key: str, fingerprint: Optional[str]) -> Optional[str]:
+        """The recorded corruption reason, or ``None`` when not quarantined.
+
+        An entry whose recorded fingerprint no longer matches the store's is
+        dropped — the artefact changed (e.g. was republished), so the next
+        read gets a fresh chance.
+        """
+        with self._lock:
+            entry = self._quarantine.get(key)
+            if entry is None:
+                return None
+            if entry["fingerprint"] != fingerprint:
+                del self._quarantine[key]
+                return None
+            return entry["reason"]
+
+    def snapshot(self) -> dict:
+        """JSON-ready counters for ``/healthz``."""
+        with self._lock:
+            return {
+                "shed": self.shed,
+                "handler_timeouts": self.handler_timeouts,
+                "backend_errors": self.backend_errors,
+                "quarantined": sorted(self._quarantine),
+            }
 
 
 def _release_metadata(key: str, document: dict) -> dict:
@@ -81,10 +158,24 @@ class _ReleaseHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address, handler, store: ReleaseStore, policy: AccessPolicy, verbose: bool):
+    def __init__(
+        self,
+        address,
+        handler,
+        store: ReleaseStore,
+        policy: AccessPolicy,
+        verbose: bool,
+        max_in_flight: Optional[int] = None,
+        handler_timeout: Optional[float] = None,
+    ):
         self.store = store
         self.policy = policy
         self.verbose = verbose
+        self.stats = ServingStats()
+        self.limiter = (
+            threading.Semaphore(max_in_flight) if max_in_flight is not None else None
+        )
+        self.handler_timeout = handler_timeout
         super().__init__(address, handler)
 
 
@@ -162,7 +253,8 @@ class ReleaseRequestHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:
         segments = [unquote(part) for part in urlsplit(self.path).path.split("/") if part]
         try:
-            self._route(segments)
+            status, payload, headers = self._respond(segments)
+            self._send_json(status, payload, extra_headers=headers)
         except BrokenPipeError:  # pragma: no cover - client hung up
             pass
         except Exception as exc:  # noqa: BLE001 - a bug must not drop the connection
@@ -171,13 +263,72 @@ class ReleaseRequestHandler(BaseHTTPRequestHandler):
             except Exception:  # pragma: no cover - response already in flight
                 pass
 
-    def _route(self, segments: List[str]) -> None:
-        if not segments:
-            return self._handle_index()
+    def _respond(self, segments: List[str]) -> Response:
+        """Apply load shedding and the handler timeout around the route.
+
+        ``/healthz`` bypasses both: a probe must see through an overload
+        (and report it) rather than be shed by it.
+        """
         if segments == ["healthz"]:
             return self._handle_health()
+        limiter = self.server.limiter
+        if limiter is not None and not limiter.acquire(blocking=False):
+            self.server.stats.record_shed()
+            return (
+                503,
+                {
+                    "status": 503,
+                    "error": "server is at its in-flight request limit; retry shortly",
+                },
+                (("Retry-After", str(RETRY_AFTER_SECONDS)),),
+            )
+        try:
+            return self._route_with_timeout(segments)
+        finally:
+            if limiter is not None:
+                limiter.release()
+
+    def _route_with_timeout(self, segments: List[str]) -> Response:
+        """Run the route, bounding its wall clock by ``handler_timeout``.
+
+        The route only *computes* a response (handlers never touch the
+        socket), so on timeout the worker thread is abandoned mid-read and
+        the connection thread answers 503 — the stuck read cannot write a
+        late, interleaved response.
+        """
+        timeout = self.server.handler_timeout
+        if timeout is None:
+            return self._route(segments)
+        outcome: Dict[str, object] = {}
+
+        def run() -> None:
+            try:
+                outcome["response"] = self._route(segments)
+            except Exception as exc:  # noqa: BLE001 - re-raised on the connection thread
+                outcome["error"] = exc
+
+        worker = threading.Thread(target=run, name="repro-serving-handler", daemon=True)
+        worker.start()
+        worker.join(timeout)
+        if worker.is_alive():
+            self.server.stats.record_handler_timeout()
+            return (
+                503,
+                {
+                    "status": 503,
+                    "error": f"handler exceeded its {timeout:g}s timeout; retry shortly",
+                },
+                (("Retry-After", str(RETRY_AFTER_SECONDS)),),
+            )
+        if "error" in outcome:
+            raise outcome["error"]  # type: ignore[misc]
+        return outcome["response"]  # type: ignore[return-value]
+
+    def _route(self, segments: List[str]) -> Response:
+        if not segments:
+            return self._handle_index()
         if segments[0] != "releases":
-            return self._send_error_json(404, f"unknown endpoint /{'/'.join(segments)}")
+            return self._error(404, f"unknown endpoint /{'/'.join(segments)}")
         if len(segments) == 1:
             return self._handle_list()
         key = segments[1]
@@ -187,12 +338,19 @@ class ReleaseRequestHandler(BaseHTTPRequestHandler):
             return self._handle_roles(key)
         if len(segments) == 4 and segments[2] == "views":
             return self._handle_view(key, segments[3])
-        return self._send_error_json(404, f"unknown endpoint /{'/'.join(segments)}")
+        return self._error(404, f"unknown endpoint /{'/'.join(segments)}")
 
     # -- endpoint handlers -------------------------------------------------
-    def _handle_index(self) -> None:
-        self._send_json(
-            200,
+    @staticmethod
+    def _ok(payload: dict) -> Response:
+        return (200, payload, ())
+
+    @staticmethod
+    def _error(status: int, message: str) -> Response:
+        return (status, {"status": status, "error": message}, ())
+
+    def _handle_index(self) -> Response:
+        return self._ok(
             {
                 "service": "repro release serving",
                 "endpoints": [
@@ -202,57 +360,70 @@ class ReleaseRequestHandler(BaseHTTPRequestHandler):
                     "/releases/<key>/roles",
                     "/releases/<key>/views/<role>",
                 ],
-            },
+            }
         )
 
-    def _handle_health(self) -> None:
+    def _handle_health(self) -> Response:
         store: ReleaseStore = self.server.store
         policy: AccessPolicy = self.server.policy
-        self._send_json(
-            200,
+        fault_tolerance = self.server.stats.snapshot()
+        return self._ok(
             {
-                "status": "ok",
+                "status": "degraded" if fault_tolerance["quarantined"] else "ok",
                 "releases": len(store.keys()),
                 "roles": policy.roles(),
                 "cache": store.cache_info(),
-            },
+                "fault_tolerance": fault_tolerance,
+            }
         )
 
-    def _handle_list(self) -> None:
-        self._send_json(200, {"releases": self.server.store.keys()})
+    def _handle_list(self) -> Response:
+        return self._ok({"releases": self.server.store.keys()})
 
-    def _load_release(self, key: str) -> Optional[MultiLevelRelease]:
-        """Load a release or answer the request with 404/500; None on failure."""
+    def _integrity_failure(self, key: str, error: ReleaseIntegrityError) -> Response:
+        """Map a failed read: 404 when absent, else quarantine + 500.
+
+        The first corrupt read answers 500 (the honest status for a broken
+        stored artefact) and quarantines the key at its current store
+        fingerprint; :meth:`_check_quarantine` turns every later request
+        into a fast 404-with-reason until the artefact changes.
+        """
         store: ReleaseStore = self.server.store
-        try:
-            return store.load(key)
-        except ReleaseIntegrityError as error:
-            if not store.exists(key):
-                self._send_error_json(404, f"no release stored under key {key!r}")
-            else:
-                self._send_error_json(500, f"stored release {key!r} cannot be served: {error}")
-            return None
+        if not store.exists(key):
+            return self._error(404, f"no release stored under key {key!r}")
+        message = f"stored release {key!r} cannot be served: {error}"
+        self.server.stats.quarantine(key, store.fingerprint(key), message)
+        return self._error(500, message)
 
-    def _handle_metadata(self, key: str) -> None:
+    def _check_quarantine(self, key: str) -> Optional[Response]:
+        """A fast 404 for a key quarantined at the store's current bytes."""
+        reason = self.server.stats.quarantine_reason(
+            key, self.server.store.fingerprint(key)
+        )
+        if reason is None:
+            return None
+        return self._error(
+            404, f"release {key!r} is quarantined as corrupt ({reason})"
+        )
+
+    def _handle_metadata(self, key: str) -> Response:
+        quarantined = self._check_quarantine(key)
+        if quarantined is not None:
+            return quarantined
         store: ReleaseStore = self.server.store
         try:
             document = store.load_document(key)
         except ReleaseIntegrityError as error:
-            if not store.exists(key):
-                self._send_error_json(404, f"no release stored under key {key!r}")
-            else:
-                self._send_error_json(500, f"stored release {key!r} cannot be served: {error}")
-            return
+            return self._integrity_failure(key, error)
         if document.get("level_view"):
-            self._send_error_json(
+            return self._error(
                 500, f"stored key {key!r} holds a single level view, not a release"
             )
-            return
-        self._send_json(200, _release_metadata(key, document))
+        return self._ok(_release_metadata(key, document))
 
-    def _handle_roles(self, key: str) -> None:
+    def _handle_roles(self, key: str) -> Response:
         if not self.server.store.exists(key):
-            return self._send_error_json(404, f"no release stored under key {key!r}")
+            return self._error(404, f"no release stored under key {key!r}")
         policy: AccessPolicy = self.server.policy
         roles = {
             role: {
@@ -261,26 +432,30 @@ class ReleaseRequestHandler(BaseHTTPRequestHandler):
             }
             for role in policy.roles()
         }
-        self._send_json(200, {"key": key, "roles": roles})
+        return self._ok({"key": key, "roles": roles})
 
-    def _handle_view(self, key: str, role: str) -> None:
-        release = self._load_release(key)
-        if release is None:
-            return
+    def _handle_view(self, key: str, role: str) -> Response:
+        quarantined = self._check_quarantine(key)
+        if quarantined is not None:
+            return quarantined
+        store: ReleaseStore = self.server.store
+        try:
+            release = store.load(key)
+        except ReleaseIntegrityError as error:
+            return self._integrity_failure(key, error)
         policy: AccessPolicy = self.server.policy
         try:
             view = policy.view_for(role, release)
         except AccessLevelError as error:
-            return self._send_error_json(403, f"role {role!r} cannot be served: {error}")
-        self._send_json(
-            200,
+            return self._error(403, f"role {role!r} cannot be served: {error}")
+        return self._ok(
             {
                 "key": key,
                 "role": role,
                 "information_level": policy.information_level(role).name,
                 "dataset": release.dataset_name,
                 "release": view.to_dict(),
-            },
+            }
         )
 
 
@@ -299,6 +474,13 @@ class ReleaseServer:
         :attr:`port` / :attr:`url`).
     verbose:
         Log one line per request to stderr (default quiet).
+    max_in_flight:
+        Bound on concurrently-handled requests; requests beyond it are shed
+        with ``503`` + ``Retry-After`` instead of queueing without bound
+        (``/healthz`` is exempt).  ``None`` (default) disables shedding.
+    handler_timeout:
+        Wall-clock seconds one request's handler work may take before the
+        request answers ``503`` (``None`` disables — the default).
 
     Examples
     --------
@@ -315,11 +497,30 @@ class ReleaseServer:
         host: str = "127.0.0.1",
         port: int = 0,
         verbose: bool = False,
+        max_in_flight: Optional[int] = None,
+        handler_timeout: Optional[float] = None,
     ):
+        if max_in_flight is not None and int(max_in_flight) < 1:
+            raise ValidationError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        if handler_timeout is not None and float(handler_timeout) <= 0:
+            raise ValidationError(f"handler_timeout must be > 0, got {handler_timeout}")
         self.store = store
         self.policy = policy
-        self._http = _ReleaseHTTPServer((host, port), ReleaseRequestHandler, store, policy, verbose)
+        self._http = _ReleaseHTTPServer(
+            (host, port),
+            ReleaseRequestHandler,
+            store,
+            policy,
+            verbose,
+            max_in_flight=int(max_in_flight) if max_in_flight is not None else None,
+            handler_timeout=float(handler_timeout) if handler_timeout is not None else None,
+        )
         self._thread: Optional[threading.Thread] = None
+
+    @property
+    def stats(self) -> ServingStats:
+        """Live degradation counters (sheds, timeouts, quarantine)."""
+        return self._http.stats
 
     # -- address -----------------------------------------------------------
     @property
@@ -376,16 +577,27 @@ def create_server(
     port: int = 0,
     cache_size: int = DEFAULT_CACHE_SIZE,
     verbose: bool = False,
+    max_in_flight: Optional[int] = None,
+    handler_timeout: Optional[float] = None,
 ) -> ReleaseServer:
     """Build a :class:`ReleaseServer` from objects or from on-disk paths.
 
     ``store`` may be a store directory (opened with a read-through cache of
     ``cache_size`` releases) and ``policy`` a JSON file in the
     :meth:`AccessPolicy.to_dict` format — exactly what ``repro serve`` passes
-    through from its command line.
+    through from its command line (including the ``max_in_flight`` /
+    ``handler_timeout`` degradation knobs).
     """
     if not isinstance(store, ReleaseStore):
         store = ReleaseStore(store, cache_size=cache_size)
     if not isinstance(policy, AccessPolicy):
         policy = AccessPolicy.from_dict(from_json_file(policy))
-    return ReleaseServer(store, policy, host=host, port=port, verbose=verbose)
+    return ReleaseServer(
+        store,
+        policy,
+        host=host,
+        port=port,
+        verbose=verbose,
+        max_in_flight=max_in_flight,
+        handler_timeout=handler_timeout,
+    )

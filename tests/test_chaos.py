@@ -1,0 +1,316 @@
+"""Chaos suite: the fault-tolerance contract under injected failures.
+
+Two properties anchor everything here (the PR's acceptance criteria):
+
+* an interrupted, journaled sweep **resumes** — completed combinations are
+  never re-run (and never re-disclosed);
+* a run disturbed by injected worker crashes, transient task failures or
+  transient store IO errors produces a release **bit-identical** to the
+  undisturbed run under the same seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DisclosureConfig
+from repro.core.discloser import MultiLevelDiscloser
+from repro.core.store import MemoryBackend, ReleaseStore
+from repro.datasets.dblp_like import generate_dblp_like
+from repro.evaluation.journal import RunJournal
+from repro.evaluation.scalability import run_scalability, scalability_key
+from repro.evaluation.sweep import ParameterSweep, combination_key
+from repro.exceptions import (
+    EvaluationError,
+    SweepInterrupted,
+    TaskTimeoutError,
+    TransientError,
+    WorkerCrashError,
+)
+from repro.execution import (
+    ProcessExecutor,
+    RetryPolicy,
+    SerialExecutor,
+    ThreadExecutor,
+)
+from repro.execution.faults import (
+    AttemptLedger,
+    DelayFault,
+    FaultInjectingBackend,
+    FaultInjectingExecutor,
+    FaultPlan,
+    KillWorkerFault,
+    RaiseFault,
+)
+from repro.grouping.specialization import SpecializationConfig
+from repro.utils.serialization import canonical_json_bytes
+
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_base=0.0, jitter=0.0)
+
+
+def _release_bytes(release) -> bytes:
+    """Canonical bytes of a release minus execution provenance.
+
+    ``config`` records *which executor* produced the artefact (that is the
+    point of provenance — a chaos-wrapped executor names itself); everything
+    else — answers, guarantees, noise scales, statistics — must be
+    bit-identical between disturbed and undisturbed runs.
+    """
+    document = release.to_dict()
+    config = dict(document.get("config", {}))
+    config.pop("executor", None)
+    config.pop("max_workers", None)
+    document["config"] = config
+    return canonical_json_bytes(document)
+
+
+def _disclose(graph, executor=None, seed=11):
+    config = DisclosureConfig(
+        epsilon_g=0.5, specialization=SpecializationConfig(num_levels=4)
+    )
+    return MultiLevelDiscloser(config=config, rng=seed).disclose(graph, executor=executor)
+
+
+def _square(task):
+    return task * task
+
+
+class TestFaultPlan:
+    def test_raise_fault_triggers_on_listed_attempts_only(self):
+        fault = RaiseFault(attempts=(1, 3))
+        with pytest.raises(TransientError):
+            fault.trigger(0, 1)
+        fault.trigger(0, 2)  # attempt 2: clean
+        with pytest.raises(TransientError):
+            fault.trigger(0, 3)
+
+    def test_plan_is_per_task(self):
+        plan = FaultPlan.transient([0, 2])
+        assert len(plan.for_task(0)) == 1
+        assert plan.for_task(1) == ()
+
+    def test_ledger_counts_attempts_per_scope(self, tmp_path):
+        ledger = AttemptLedger(tmp_path)
+        assert ledger.record("map-1", 0) == 1
+        assert ledger.record("map-1", 0) == 2
+        assert ledger.record("map-2", 0) == 1
+        assert ledger.attempts("map-1", 0) == 2
+        assert ledger.attempts("map-9", 5) == 0
+
+
+class TestInjectedTransientFaults:
+    def test_retry_absorbs_transient_faults(self, tmp_path):
+        chaos = FaultInjectingExecutor(
+            SerialExecutor(),
+            FaultPlan.transient([0, 2]),
+            tmp_path,
+            retry_policy=FAST_RETRY,
+        )
+        assert chaos.map(_square, [1, 2, 3]) == [1, 4, 9]
+        # Faulted tasks ran twice, the clean one once.
+        assert chaos.ledger.attempts("map-1", 0) == 2
+        assert chaos.ledger.attempts("map-1", 1) == 1
+        assert chaos.ledger.attempts("map-1", 2) == 2
+
+    def test_without_retry_the_fault_escapes(self, tmp_path):
+        chaos = FaultInjectingExecutor(SerialExecutor(), FaultPlan.transient([0]), tmp_path)
+        with pytest.raises(TransientError):
+            chaos.map(_square, [1, 2])
+
+    def test_disclosure_bit_identical_under_transient_faults(self, tmp_path):
+        """Acceptance: injected transient failures + retries leave the
+        released artefact bit-for-bit identical to the undisturbed run."""
+        graph = generate_dblp_like(num_authors=60, seed=0)
+        baseline = _disclose(graph)
+        inner = ThreadExecutor(max_workers=2)
+        chaos = FaultInjectingExecutor(
+            inner, FaultPlan.transient([0, 1]), tmp_path, retry_policy=FAST_RETRY
+        )
+        try:
+            disturbed = _disclose(graph, executor=chaos)
+        finally:
+            chaos.close()
+        assert _release_bytes(disturbed) == _release_bytes(baseline)
+
+
+class TestWorkerDeath:
+    def test_pool_rebuild_recovers_killed_worker(self, tmp_path):
+        plan = FaultPlan({1: (KillWorkerFault(attempts=(1,)),)})
+        inner = ProcessExecutor(max_workers=2)
+        chaos = FaultInjectingExecutor(inner, plan, tmp_path)
+        try:
+            assert chaos.map(_square, [3, 4, 5, 6]) == [9, 16, 25, 36]
+        finally:
+            chaos.close()
+        # The victim ran twice (killed, then resubmitted on the fresh pool).
+        assert chaos.ledger.attempts("map-1", 1) == 2
+
+    def test_repeated_deaths_exhaust_rebuild_budget(self, tmp_path):
+        plan = FaultPlan({0: (KillWorkerFault(attempts=(1, 2, 3, 4)),)})
+        inner = ProcessExecutor(max_workers=2, max_pool_rebuilds=2)
+        chaos = FaultInjectingExecutor(inner, plan, tmp_path)
+        try:
+            with pytest.raises(WorkerCrashError) as excinfo:
+                chaos.map(_square, [1, 2])
+            assert 0 in excinfo.value.unfinished
+        finally:
+            chaos.close()
+
+    def test_disclosure_bit_identical_after_worker_crash(self, tmp_path):
+        """Acceptance: a worker killed mid-disclosure is recovered by the
+        pool rebuild and the release still matches the fault-free run."""
+        graph = generate_dblp_like(num_authors=60, seed=0)
+        baseline = _disclose(graph)
+        plan = FaultPlan({0: (KillWorkerFault(attempts=(1,)),)})
+        inner = ProcessExecutor(max_workers=2)
+        chaos = FaultInjectingExecutor(inner, plan, tmp_path)
+        try:
+            disturbed = _disclose(graph, executor=chaos)
+        finally:
+            chaos.close()
+        assert _release_bytes(disturbed) == _release_bytes(baseline)
+
+
+class TestInjectedDelays:
+    def test_delay_fault_trips_task_timeout(self, tmp_path):
+        plan = FaultPlan({0: (DelayFault(seconds=5.0),)})
+        inner = ThreadExecutor(max_workers=2)
+        chaos = FaultInjectingExecutor(inner, plan, tmp_path)
+        try:
+            with pytest.raises(TaskTimeoutError):
+                chaos.map(_square, [1, 2], timeout=0.2)
+        finally:
+            chaos.close()
+
+
+class TestFaultInjectingBackend:
+    def test_scripted_call_fails_then_recovers(self):
+        backend = FaultInjectingBackend(MemoryBackend(), fail={"put": (1,)})
+        store = ReleaseStore(backend)
+        graph = generate_dblp_like(num_authors=40, seed=2)
+        release = _disclose(graph)
+        with pytest.raises(TransientError):
+            store.save(release, key="r")
+        # A retried save (same already-disclosed artefact, no budget
+        # re-spend) lands and round-trips bit-identically.
+        FAST_RETRY.call(lambda: store.save(release, key="r"), key="save-r", sleep=lambda _: None)
+        assert _release_bytes(store.load("r")) == _release_bytes(release)
+
+    def test_transient_store_io_preserves_release_bytes(self):
+        """Acceptance: transient IO faults on the store path never alter
+        the persisted artefact — only delay it."""
+        graph = generate_dblp_like(num_authors=40, seed=2)
+        release = _disclose(graph)
+        clean_store = ReleaseStore(MemoryBackend())
+        clean_store.save(release, key="r")
+
+        flaky = ReleaseStore(FaultInjectingBackend(MemoryBackend(), fail={"put": (1,)}))
+        FAST_RETRY.call(lambda: flaky.save(release, key="r"), key="r", sleep=lambda _: None)
+        assert flaky.backend.inner.get_document("r") == clean_store.backend.get_document("r")
+
+    def test_delay_is_applied_without_failing(self):
+        backend = FaultInjectingBackend(MemoryBackend(), delay={"exists": 0.01})
+        assert backend.exists("nope") is False
+        assert backend.calls["exists"] == 1
+
+
+class _CountingRunner:
+    """Sweep runner that discloses, counts its invocations on disk, and
+    fails one scripted combination until a flag file disappears."""
+
+    def __init__(self, state_dir, fail_levels=None):
+        self.state_dir = state_dir
+        self.fail_levels = fail_levels
+
+    def __call__(self, epsilon_g, levels):
+        marker = self.state_dir / f"run-eps{epsilon_g}-l{levels}"
+        count = int(marker.read_text()) if marker.is_file() else 0
+        marker.write_text(str(count + 1))
+        if self.fail_levels == levels and (self.state_dir / "failures-armed").is_file():
+            raise EvaluationError(f"scripted failure at levels={levels}")
+        graph = generate_dblp_like(num_authors=40, seed=7)
+        config = DisclosureConfig(
+            epsilon_g=epsilon_g, specialization=SpecializationConfig(num_levels=levels)
+        )
+        release = MultiLevelDiscloser(config=config, rng=7).disclose(graph)
+        return {"digest": canonical_json_bytes(release.to_dict()).hex()[:32]}
+
+    def invocations(self, epsilon_g, levels):
+        marker = self.state_dir / f"run-eps{epsilon_g}-l{levels}"
+        return int(marker.read_text()) if marker.is_file() else 0
+
+
+class TestSweepResume:
+    GRID = {"epsilon_g": [0.5], "levels": [3, 4, 5]}
+
+    def test_interrupted_sweep_resumes_without_redisclosing(self, tmp_path):
+        """Acceptance: resume re-runs only unfinished combinations; done
+        rows come back verbatim from the journal."""
+        runner = _CountingRunner(tmp_path, fail_levels=5)
+        (tmp_path / "failures-armed").write_text("")
+        sweep = ParameterSweep(runner, self.GRID, name="chaos")
+        journal_path = tmp_path / "journal.json"
+
+        with pytest.raises(SweepInterrupted):
+            sweep.run(journal=journal_path, on_error="fail_fast")
+        journal = RunJournal(journal_path)
+        done = [k for k in journal.entries if journal.status(k) == "done"]
+        assert len(done) == 2  # levels 3 and 4 completed before the stop
+        first_digests = {key: journal.row(key)["digest"] for key in done}
+
+        # Clear the fault and resume with the same journal.
+        (tmp_path / "failures-armed").unlink()
+        result = sweep.run(journal=journal_path, on_error="fail_fast")
+        assert len(result.rows) == 3
+        for levels in (3, 4):
+            assert runner.invocations(0.5, levels) == 1  # never re-disclosed
+        assert runner.invocations(0.5, 5) == 2  # the failed one re-ran
+        for key, digest in first_digests.items():
+            resumed = RunJournal(journal_path).row(key)
+            assert resumed["digest"] == digest  # rows reused verbatim
+
+    def test_collect_errors_keeps_going_and_reports(self, tmp_path):
+        runner = _CountingRunner(tmp_path, fail_levels=4)
+        (tmp_path / "failures-armed").write_text("")
+        sweep = ParameterSweep(runner, self.GRID, name="chaos")
+        result = sweep.run(journal=tmp_path / "journal.json", on_error="collect_errors")
+        assert len(result.rows) == 2
+        assert len(result.errors) == 1
+        assert result.errors[0]["type"] == "EvaluationError"
+        key = combination_key({"epsilon_g": 0.5, "levels": 4})
+        assert result.errors[0]["key"] == key
+
+    def test_journal_refuses_a_different_sweep(self, tmp_path):
+        runner = _CountingRunner(tmp_path)
+        journal_path = tmp_path / "journal.json"
+        ParameterSweep(runner, {"epsilon_g": [0.5], "levels": [3]}, name="a").run(
+            journal=journal_path
+        )
+        other = ParameterSweep(runner, {"epsilon_g": [0.9], "levels": [3]}, name="a")
+        with pytest.raises(EvaluationError, match="different run"):
+            other.run(journal=journal_path)
+
+
+class TestScalabilityResume:
+    def test_resumed_run_reuses_rows_and_stored_releases(self, tmp_path):
+        store = ReleaseStore(tmp_path / "store")
+        journal_path = tmp_path / "journal.json"
+        kwargs = dict(
+            author_counts=(60, 90),
+            num_levels=3,
+            epsilon_g=0.5,
+            seed=5,
+            store=store,
+            journal=journal_path,
+        )
+        first = run_scalability(**kwargs)
+        assert len(first.rows) == 2
+        key = scalability_key("vectorized", 3, 0.5, 5, 60)
+        fingerprint = store.fingerprint(key)
+        assert fingerprint is not None
+
+        resumed = run_scalability(**kwargs)
+        # Rows come back from the journal (identical, including timings)
+        # and the stored artefacts were not rewritten.
+        assert resumed.rows == first.rows
+        assert store.fingerprint(key) == fingerprint

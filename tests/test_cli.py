@@ -173,3 +173,49 @@ class TestCommands:
         code = main(["report", "--store", str(tmp_path / "empty"), "--key", "typo"])
         assert code == 2
         assert "no release stored under key 'typo'" in capsys.readouterr().err
+
+class TestSweepCommand:
+    def _run(self, tmp_path, extra=()):
+        return main(
+            [
+                "sweep", "--dataset", "dblp", "--scale", "tiny",
+                "--epsilon-g", "0.5", "--levels", "3", "--seed", "7",
+                "--store", str(tmp_path / "store"),
+                "--journal", str(tmp_path / "state.json"),
+                *extra,
+            ]
+        )
+
+    def test_sweep_discloses_grid_into_store(self, tmp_path, capsys):
+        assert self._run(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "sweep-dblp-tiny-l3-eps0.5-seed7" in out
+        assert "1 of 1 combination(s) done" in out
+
+    def test_rerun_resumes_from_journal(self, tmp_path, capsys):
+        assert self._run(tmp_path) == 0
+        first = capsys.readouterr().out
+        assert self._run(tmp_path) == 0
+        resumed = capsys.readouterr().out
+        # The resumed run reuses the journaled row verbatim — identical
+        # store key, metrics and even the recorded elapsed time.
+        assert resumed == first
+
+    def test_foreign_journal_is_a_one_line_error(self, tmp_path, capsys):
+        assert self._run(tmp_path) == 0
+        capsys.readouterr()
+        # Same journal path, different grid -> fingerprint mismatch must be
+        # a one-line `repro sweep:` message on stderr, never a traceback.
+        code = main(
+            [
+                "sweep", "--dataset", "dblp", "--scale", "tiny",
+                "--epsilon-g", "0.7", "--levels", "3", "--seed", "7",
+                "--store", str(tmp_path / "store"),
+                "--journal", str(tmp_path / "state.json"),
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro sweep:")
+        assert "different run" in err
+        assert "Traceback" not in err

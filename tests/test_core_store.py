@@ -157,3 +157,48 @@ class TestGetOrCreate:
         assert (created_first, created_second) == (True, False)
         assert len(calls) == 1
         assert second.to_dict() == first.to_dict()
+
+    def test_loser_of_a_builder_race_loads_the_winner(self, store, release):
+        """S2: a key that appears while our builder runs is served, not
+        clobbered — the loser returns the winner's artefact, created=False."""
+
+        def racing_builder():
+            # Simulate a concurrent writer finishing first.
+            store.save(release, key="raced")
+            return release
+
+        loaded, created = store.get_or_create("raced", racing_builder)
+        assert created is False
+        assert loaded.to_dict() == release.to_dict()
+
+    def test_concurrent_writers_on_one_key_never_error(self, store, release):
+        """Racing get_or_create calls (unique temp names per writer) all
+        succeed and agree on the stored artefact."""
+        import threading
+
+        results, failures = [], []
+
+        def writer():
+            try:
+                results.append(store.get_or_create("hot-key", lambda: release))
+            except Exception as error:  # pragma: no cover - the regression
+                failures.append(error)
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        assert len(results) == 8
+        assert store.keys().count("hot-key") == 1
+        for loaded, _created in results:
+            assert loaded.to_dict() == release.to_dict()
+
+    def test_fingerprint_tracks_rewrites(self, store, release):
+        assert store.fingerprint("absent") is None
+        key = store.save(release, key="fp")
+        first = store.fingerprint(key)
+        assert first is not None
+        (store.path_for(key) / ReleaseStore.DOCUMENT_NAME).write_text("{broken")
+        assert store.fingerprint(key) != first

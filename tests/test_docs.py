@@ -60,3 +60,13 @@ class TestArchitecture:
         text = ARCHITECTURE.read_text(encoding="utf-8")
         for term in ("StoreBackend", "ReleaseServer", "Executor", "vectorized"):
             assert term in text, f"ARCHITECTURE.md does not mention {term!r}"
+
+    def test_architecture_covers_the_fault_tolerance_layer(self):
+        text = ARCHITECTURE.read_text(encoding="utf-8")
+        for term in ("RetryPolicy", "RunJournal", "max_in_flight", "quarantin"):
+            assert term in text, f"ARCHITECTURE.md does not mention {term!r}"
+
+    def test_readme_covers_the_fault_tolerance_knobs(self):
+        text = README.read_text(encoding="utf-8")
+        for switch in ("RetryPolicy", "task_timeout", "journal", "max_in_flight"):
+            assert switch in text, f"README.md does not mention {switch!r}"

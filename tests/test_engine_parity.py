@@ -456,3 +456,82 @@ def test_figure1_executor_parity():
     serial = run_figure1(config=config, executor="serial").to_dict()
     process = run_figure1(config=config, executor="process").to_dict()
     assert process["series"] == serial["series"]
+
+
+# ----------------------------------------------------------------------
+# Fault-tolerance parity: a disturbed run equals the undisturbed run.
+# ----------------------------------------------------------------------
+def _chaos_release(executor, plan, state_dir, retry_policy=None, mechanism="gaussian"):
+    from repro.execution.faults import FaultInjectingExecutor
+
+    graph = generate_dblp_like(num_authors=150, seed=4)
+    config = DisclosureConfig(
+        epsilon_g=0.6,
+        mechanism=mechanism,
+        specialization=SpecializationConfig(num_levels=5),
+    )
+    chaos = FaultInjectingExecutor(executor, plan, state_dir, retry_policy=retry_policy)
+    try:
+        return MultiLevelDiscloser(config=config, rng=23).disclose(graph, executor=chaos)
+    finally:
+        chaos.close()
+
+
+@pytest.mark.parametrize("mechanism", ["gaussian", "laplace", "geometric"])
+def test_disclosure_parity_under_in_worker_retries(tmp_path, mechanism):
+    """Transient per-task failures absorbed by the retry layer cannot change
+    the released bytes: retries re-run the *pure* task with the same derived
+    seed, and the deterministic backoff never touches the noise streams."""
+    from repro.execution import RetryPolicy, ThreadExecutor
+    from repro.execution.faults import FaultPlan
+
+    undisturbed = _comparable(_executor_release("serial", mechanism))
+    disturbed = _comparable(
+        _chaos_release(
+            ThreadExecutor(max_workers=2),
+            FaultPlan.transient([0, 2], attempts=(1,)),
+            tmp_path,
+            retry_policy=RetryPolicy(max_attempts=3, backoff_base=0.0, jitter=0.0),
+            mechanism=mechanism,
+        )
+    )
+    assert disturbed == undisturbed
+
+
+def test_disclosure_parity_under_worker_crash_recovery(tmp_path):
+    """A worker death mid-map breaks the process pool; the executor rebuilds
+    it and resubmits only the unfinished tasks — and because tasks are pure
+    and carry their own seeds, the recovered release is bit-identical."""
+    from repro.execution import ProcessExecutor
+    from repro.execution.faults import FaultPlan, KillWorkerFault
+
+    undisturbed = _comparable(_executor_release("serial"))
+    disturbed = _comparable(
+        _chaos_release(
+            ProcessExecutor(max_workers=2),
+            FaultPlan({1: (KillWorkerFault(attempts=(1,)),)}),
+            tmp_path,
+        )
+    )
+    assert disturbed == undisturbed
+
+
+def test_retried_map_parity_across_executors(tmp_path):
+    """map_with_retries over faulted tasks returns the same rows as the
+    plain serial map of the same pure function, on every executor."""
+    from repro.execution import RetryPolicy, SerialExecutor, ThreadExecutor, map_with_retries
+    from repro.execution.faults import FaultInjectingExecutor, FaultPlan
+
+    def cube(task):
+        return task ** 3
+
+    expected = [cube(task) for task in range(8)]
+    policy = RetryPolicy(max_attempts=3, backoff_base=0.0, jitter=0.0)
+    for index, inner in enumerate((SerialExecutor(), ThreadExecutor(max_workers=3))):
+        chaos = FaultInjectingExecutor(
+            inner, FaultPlan.transient([1, 4, 6]), tmp_path / str(index), retry_policy=policy
+        )
+        try:
+            assert chaos.map(cube, list(range(8))) == expected
+        finally:
+            chaos.close()

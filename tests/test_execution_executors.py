@@ -148,3 +148,13 @@ class TestExecutorScope:
     def test_scope_defaults_to_serial(self):
         with executor_scope(None) as executor:
             assert isinstance(executor, SerialExecutor)
+
+
+def test_scope_closes_pool_on_exception_exit():
+    """A failure inside the scope still closes the pool it created."""
+    with pytest.raises(RuntimeError, match="boom"):
+        with executor_scope("thread", max_workers=2) as executor:
+            executor.map(_square, [1, 2])
+            assert executor._pool is not None
+            raise RuntimeError("boom")
+    assert executor._pool is None

@@ -1,0 +1,204 @@
+"""Tests for the deterministic retry layer (repro.execution.retry)."""
+
+import time
+
+import pytest
+
+from repro.exceptions import TaskTimeoutError, TransientError, ValidationError
+from repro.execution import (
+    DEFAULT_RETRYABLE,
+    RetryPolicy,
+    RetryingTask,
+    SerialExecutor,
+    ThreadExecutor,
+    map_with_retries,
+)
+
+
+class TestPolicyValidation:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.retryable == DEFAULT_RETRYABLE
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"backoff_base": -1.0},
+            {"backoff_factor": 0.5},
+            {"max_backoff": -0.1},
+            {"jitter": -0.5},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            RetryPolicy(**kwargs)
+
+    def test_to_dict_round_trips_scalars(self):
+        policy = RetryPolicy(max_attempts=5, backoff_base=0.2, seed=7)
+        payload = policy.to_dict()
+        assert payload["max_attempts"] == 5
+        assert payload["backoff_base"] == 0.2
+        assert payload["seed"] == 7
+
+
+class TestDeterministicBackoff:
+    def test_first_attempt_has_no_delay(self):
+        assert RetryPolicy().delay_for(1, key="k") == 0.0
+
+    def test_delays_are_deterministic_per_seed_key_attempt(self):
+        policy = RetryPolicy(seed=3)
+        assert policy.delay_for(2, key="a") == policy.delay_for(2, key="a")
+        # Different keys (and different seeds) jitter differently.
+        assert policy.delay_for(2, key="a") != RetryPolicy(seed=4).delay_for(2, key="a")
+
+    def test_backoff_grows_then_caps(self):
+        policy = RetryPolicy(
+            backoff_base=0.1, backoff_factor=2.0, max_backoff=0.3, jitter=0.0
+        )
+        assert policy.delay_for(2, key="k") == pytest.approx(0.1)
+        assert policy.delay_for(3, key="k") == pytest.approx(0.2)
+        assert policy.delay_for(5, key="k") == pytest.approx(0.3)  # capped
+
+    def test_jitter_stays_within_fraction(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=1.0, jitter=0.25)
+        for key in ("a", "b", "c", "d"):
+            delay = policy.delay_for(2, key=key)
+            assert 1.0 <= delay < 1.25
+
+
+class TestCall:
+    def test_retries_transient_then_succeeds(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransientError("try again")
+            return "done"
+
+        slept = []
+        result = RetryPolicy(max_attempts=3).call(flaky, key="k", sleep=slept.append)
+        assert result == "done"
+        assert len(attempts) == 3
+        assert len(slept) == 2
+
+    def test_exhausted_attempts_reraise_last_failure(self):
+        def always_fails():
+            raise TransientError("nope")
+
+        with pytest.raises(TransientError, match="nope"):
+            RetryPolicy(max_attempts=2).call(always_fails, key="k", sleep=lambda _: None)
+
+    def test_non_retryable_raises_immediately(self):
+        attempts = []
+
+        def fails():
+            attempts.append(1)
+            raise ValueError("fatal")
+
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=5).call(fails, key="k", sleep=lambda _: None)
+        assert len(attempts) == 1
+
+    def test_on_retry_hook_observes_failures(self):
+        seen = []
+
+        def flaky():
+            if not seen:
+                raise TransientError("first")
+            return 42
+
+        policy = RetryPolicy(max_attempts=2)
+        result = policy.call(
+            flaky, key="k", sleep=lambda _: None, on_retry=lambda a, e: seen.append((a, e))
+        )
+        assert result == 42
+        assert seen[0][0] == 1
+        assert isinstance(seen[0][1], TransientError)
+
+
+class _FlakyByTask:
+    """Picklable task fn failing the first attempt of selected payloads."""
+
+    def __init__(self):
+        self.attempts = {}
+
+    def __call__(self, task):
+        # Thread executor: shared state is fine. (Process chaos tests use
+        # the file-backed ledger in repro.execution.faults instead.)
+        count = self.attempts.get(task, 0) + 1
+        self.attempts[task] = count
+        if task % 2 == 0 and count == 1:
+            raise TransientError(f"task {task} first attempt")
+        return task * 10
+
+
+class TestMapWithRetries:
+    @pytest.mark.parametrize("executor", [SerialExecutor(), ThreadExecutor(max_workers=2)])
+    def test_transient_failures_are_absorbed(self, executor):
+        fn = _FlakyByTask()
+        policy = RetryPolicy(max_attempts=2, backoff_base=0.0, jitter=0.0)
+        try:
+            assert map_with_retries(executor, fn, [0, 1, 2, 3], policy) == [0, 10, 20, 30]
+        finally:
+            executor.close()
+
+    def test_default_policy_used_when_none(self):
+        executor = SerialExecutor()
+        calls = []
+
+        def once_flaky(task):
+            calls.append(task)
+            if calls.count(task) == 1 and task == 0:
+                raise TransientError("flake")
+            return task
+
+        # Default RetryPolicy has nonzero backoff; keep the flake count low.
+        assert map_with_retries(executor, once_flaky, [0, 1]) == [0, 1]
+
+    def test_retrying_task_records_attempts(self):
+        fn = _FlakyByTask()
+        wrapper = RetryingTask(
+            fn=fn, policy=RetryPolicy(max_attempts=2, backoff_base=0.0, jitter=0.0)
+        )
+        assert wrapper(2) == 20
+        assert wrapper.attempts == [2]  # two attempts for the flaky even task
+
+    def test_exhausted_retries_propagate_through_map(self):
+        executor = SerialExecutor()
+
+        def always_fails(task):
+            raise TransientError("never works")
+
+        with pytest.raises(TransientError):
+            map_with_retries(
+                executor,
+                always_fails,
+                [1],
+                RetryPolicy(max_attempts=2, backoff_base=0.0, jitter=0.0),
+            )
+
+
+class TestTaskTimeouts:
+    def test_thread_timeout_raises_task_timeout_error(self):
+        executor = ThreadExecutor(max_workers=2)
+        try:
+            with pytest.raises(TaskTimeoutError) as excinfo:
+                executor.map(time.sleep, [0.0, 5.0], timeout=0.2)
+            assert excinfo.value.timeout == 0.2
+        finally:
+            executor.close()
+
+    def test_timeout_is_retryable_by_default(self):
+        assert RetryPolicy().is_retryable(TaskTimeoutError("slow", task_index=0, timeout=1.0))
+
+    def test_executor_level_timeout_applies_to_whole_map(self):
+        executor = ThreadExecutor(max_workers=1, task_timeout=0.2)
+        try:
+            with pytest.raises(TaskTimeoutError):
+                executor.map(time.sleep, [5.0])
+        finally:
+            executor.close()

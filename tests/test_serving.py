@@ -291,6 +291,9 @@ class TestServingImportsNoDisclosureCode:
         "repro.core.release",
         "repro.core.store",
         "repro.exceptions",
+        # The client's retry support: deterministic backoff only, stdlib-only
+        # by design — it cannot pull pipeline code into the request path.
+        "repro.execution.retry",
         "repro.serving",
         "repro.utils.serialization",
     )
@@ -420,3 +423,203 @@ class TestCliServe:
             build_parser().parse_args(["serve", "--policy", "p.json"])
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--store", "s"])
+
+
+class TestLoadShedding:
+    """S3: bounded in-flight requests shed cleanly and recover."""
+
+    def _slow_served(self, release, policy, delay, **server_kwargs):
+        from repro.core.store import MemoryBackend
+        from repro.execution.faults import FaultInjectingBackend
+
+        backend = FaultInjectingBackend(MemoryBackend(), delay={"get_document": delay})
+        store = ReleaseStore(backend)
+        key = store.save(release)
+        server = ReleaseServer(store, policy, port=0, **server_kwargs)
+        return server, key
+
+    def test_overload_sheds_with_retry_after_and_socket_stays_aligned(
+        self, release, policy
+    ):
+        import http.client
+        import time
+
+        server, key = self._slow_served(release, policy, delay=1.0, max_in_flight=1)
+        with server:
+            slow = threading.Thread(
+                target=http_get, args=(f"{server.url}/releases/{key}",), daemon=True
+            )
+            slow.start()
+            time.sleep(0.3)  # let the slow request occupy the only slot
+
+            connection = http.client.HTTPConnection(server.host, server.port)
+            try:
+                # Keep-alive client during overload: clean 503 + Retry-After.
+                connection.request("GET", "/releases")
+                response = connection.getresponse()
+                assert response.status == 503
+                assert response.getheader("Retry-After") is not None
+                payload = json.loads(response.read())
+                assert "in-flight" in payload["error"]
+
+                # /healthz is exempt: the probe sees through the overload
+                # and reports the shed on the same, still-aligned socket.
+                connection.request("GET", "/healthz")
+                response = connection.getresponse()
+                assert response.status == 200
+                health = json.loads(response.read())
+                assert health["fault_tolerance"]["shed"] >= 1
+
+                # Once the load drops the same socket serves 200s again.
+                slow.join(timeout=10)
+                connection.request("GET", "/releases")
+                response = connection.getresponse()
+                assert response.status == 200
+                assert json.loads(response.read())["releases"] == [key]
+            finally:
+                connection.close()
+
+    def test_handler_timeout_answers_503(self, release, policy):
+        server, key = self._slow_served(
+            release, policy, delay=5.0, handler_timeout=0.2
+        )
+        with server:
+            status, body = http_get(f"{server.url}/releases/{key}")
+            assert status == 503
+            assert "timeout" in json.loads(body)["error"]
+            assert server.stats.handler_timeouts == 1
+            # No quarantine involved: the server is slow, not corrupt.
+            assert fetch_json(server.url, "/healthz")["status"] == "ok"
+
+    def test_unbounded_server_never_sheds(self, served):
+        payload = fetch_json(served.server.url, "/healthz")
+        assert payload["fault_tolerance"]["shed"] == 0
+
+    def test_bad_limits_rejected(self, release, policy):
+        from repro.exceptions import ValidationError
+
+        store = ReleaseStore.in_memory()
+        with pytest.raises(ValidationError):
+            ReleaseServer(store, policy, port=0, max_in_flight=0)
+        with pytest.raises(ValidationError):
+            ReleaseServer(store, policy, port=0, handler_timeout=-1.0)
+
+
+class TestQuarantine:
+    """A corrupt stored artefact answers 500 once, then fast 404s."""
+
+    def test_corrupt_release_is_quarantined_then_recovers(
+        self, release, policy, tmp_path
+    ):
+        store = ReleaseStore(tmp_path / "store")
+        key = store.save(release)
+        (store.path_for(key) / ReleaseStore.DOCUMENT_NAME).write_text("{broken")
+        with ReleaseServer(store, policy, port=0) as server:
+            # First read: the honest 500 — and the key is quarantined.
+            status, body = http_get(f"{server.url}/releases/{key}/views/public")
+            assert status == 500
+            assert "cannot be served" in json.loads(body)["error"]
+
+            # Later requests: fast 404 with the corruption reason, instead
+            # of re-reading (and re-failing on) the artefact.
+            for path in (f"/releases/{key}/views/public", f"/releases/{key}"):
+                status, body = http_get(server.url + path)
+                assert status == 404
+                assert "quarantined" in json.loads(body)["error"]
+
+            # Health reports the degradation while it lasts.
+            health = fetch_json(server.url, "/healthz")
+            assert health["status"] == "degraded"
+            assert key in health["fault_tolerance"]["quarantined"]
+            assert health["fault_tolerance"]["backend_errors"] >= 1
+
+            # Republishing the key changes the store fingerprint, which
+            # clears the quarantine: the next read serves the fresh bytes.
+            store.save(release, key=key)
+            payload = fetch_json(server.url, f"/releases/{key}/views/public")
+            assert payload["role"] == "public"
+            assert fetch_json(server.url, "/healthz")["status"] == "ok"
+
+
+class TestClientRetry:
+    def test_retries_503_until_success(self, tmp_path):
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        from repro.execution.retry import RetryPolicy
+
+        counts = {"requests": 0}
+
+        class Flaky(BaseHTTPRequestHandler):
+            def log_message(self, *args):
+                pass
+
+            def do_GET(self):
+                counts["requests"] += 1
+                if counts["requests"] < 3:
+                    body = b'{"error": "overloaded"}'
+                    self.send_response(503)
+                    self.send_header("Retry-After", "1")
+                else:
+                    body = b'{"ok": true}'
+                    self.send_response(200)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+        httpd = ThreadingHTTPServer(("127.0.0.1", 0), Flaky)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        url = f"http://127.0.0.1:{httpd.server_address[1]}"
+        try:
+            policy = RetryPolicy(max_attempts=4, backoff_base=0.01, jitter=0.0)
+            payload = fetch_json(url, "/anything", retry=policy)
+            assert payload == {"ok": True}
+            assert counts["requests"] == 3
+        finally:
+            httpd.shutdown()
+            thread.join()
+            httpd.server_close()
+
+    def test_503s_exhaust_the_attempt_budget(self, tmp_path):
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        from repro.execution.retry import RetryPolicy
+
+        class AlwaysShedding(BaseHTTPRequestHandler):
+            def log_message(self, *args):
+                pass
+
+            def do_GET(self):
+                body = b'{"error": "overloaded"}'
+                self.send_response(503)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+        httpd = ThreadingHTTPServer(("127.0.0.1", 0), AlwaysShedding)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        url = f"http://127.0.0.1:{httpd.server_address[1]}"
+        try:
+            policy = RetryPolicy(max_attempts=2, backoff_base=0.01, jitter=0.0)
+            status, _ = http_get(f"{url}/x", retry=policy)
+            assert status == 503  # final attempt's outcome, returned not raised
+        finally:
+            httpd.shutdown()
+            thread.join()
+            httpd.server_close()
+
+    def test_transport_failures_retry_then_raise(self):
+        import socket
+
+        from repro.execution.retry import RetryPolicy
+
+        # Reserve a port and close it: connections are refused.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        policy = RetryPolicy(max_attempts=2, backoff_base=0.01, jitter=0.0)
+        with pytest.raises(ServingError):
+            http_get(f"http://127.0.0.1:{port}/healthz", timeout=0.5, retry=policy)
