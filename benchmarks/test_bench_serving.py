@@ -18,15 +18,31 @@ the *served* requests pay at 2x saturation.  A small injected backend delay
 gives every request a fixed work floor, so "saturation" means the same
 thing on any host.
 
+Those three sections run with the response byte cache *off*
+(``response_cache_size=0``) so they stay comparable with the historical
+baseline.  Two further sections measure the scaling work:
+
+* **response_cache** — the same warm store with the fingerprint-keyed
+  response cache on: cached GETs (zero serialisation, zero store reads) and
+  ``If-None-Match`` → ``304`` revalidations, asserted to beat the
+  single-process warm baseline;
+* **grid** — a processes × client-threads sweep over a
+  :class:`~repro.serving.ServerFleet` (``SO_REUSEPORT``), with client-side
+  200/304 counting; the ≥ 2x multi-process speedup assertion is gated on
+  the host actually having ≥ 4 cores (mirroring
+  ``test_bench_parallel.py``), so single-core CI still records honest
+  numbers without asserting the impossible.
+
 Results — requests/sec plus p50/p99 latency per configuration — go to
 ``benchmarks/results/serving.json`` / ``serving.txt``.  The benchmark
 asserts only sanity (every response 200 and bit-stable, warm no slower than
-half of cold, overload sheds something and serves something) because
-absolute numbers are hardware-bound.
+half of cold, cached no slower than warm, overload sheds something and
+serves something) because absolute numbers are hardware-bound.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from typing import Dict, List
@@ -41,7 +57,13 @@ from repro.core.discloser import MultiLevelDiscloser
 from repro.core.store import ReleaseStore
 from repro.execution.faults import FaultInjectingBackend
 from repro.grouping.specialization import SpecializationConfig
-from repro.serving import ReleaseServer, http_get
+from repro.serving import (
+    ReleaseServer,
+    ServerFleet,
+    http_get,
+    http_get_response,
+    reuseport_available,
+)
 from repro.utils.serialization import to_json_file
 
 #: Hierarchy depth of the benchmark release.
@@ -61,6 +83,22 @@ OVERLOAD_FLOOR = 0.005
 
 #: Requests each overload client issues.
 OVERLOAD_REQUESTS_PER_CLIENT = 50
+
+#: Cores below which the >= 2x fleet speedup assertion is skipped.
+MIN_CORES_FOR_FLEET_SPEEDUP = 4
+
+#: Fleet sizes swept by the grid section: up to 4 processes where the host
+#: has the cores to drive them, else just the 1-vs-2 comparison (recorded,
+#: never asserted, on small hosts).
+GRID_PROCESSES = (
+    (1, 2, 4) if (os.cpu_count() or 1) >= MIN_CORES_FOR_FLEET_SPEEDUP else (1, 2)
+)
+
+#: Closed-loop client threads swept by the grid section.
+GRID_CLIENT_THREADS = (1, 4)
+
+#: Requests each grid client thread issues (half of them revalidations).
+GRID_REQUESTS_PER_CLIENT = 100
 
 
 def _measure(server: ReleaseServer, paths: List[str], num_requests: int) -> Dict:
@@ -141,6 +179,84 @@ def _overload(server: ReleaseServer, paths: List[str]) -> Dict:
     }
 
 
+def _measure_revalidation(server_url: str, paths: List[str], num_requests: int) -> Dict:
+    """Closed-loop ``If-None-Match`` revalidations — every answer a 304."""
+    etags = {path: http_get_response(server_url + path).etag for path in paths}
+    latencies = []
+    start = time.perf_counter()
+    for index in range(num_requests):
+        path = paths[index % len(paths)]
+        tick = time.perf_counter()
+        response = http_get_response(server_url + path, etag=etags[path])
+        latencies.append(time.perf_counter() - tick)
+        assert response.status == 304
+        assert response.body == b""
+    elapsed = time.perf_counter() - start
+    latencies_ms = np.asarray(latencies) * 1000.0
+    return {
+        "requests": num_requests,
+        "seconds": elapsed,
+        "requests_per_second": num_requests / elapsed,
+        "latency_ms": {
+            "p50": float(np.percentile(latencies_ms, 50)),
+            "p99": float(np.percentile(latencies_ms, 99)),
+        },
+    }
+
+
+def _drive_grid_cell(url: str, paths: List[str], num_threads: int) -> Dict:
+    """``num_threads`` closed-loop clients over one (fleet) endpoint.
+
+    Every client alternates plain GETs with ``If-None-Match`` revalidations,
+    so each cell reports both throughput and the 304 hit rate.  Statuses are
+    counted client-side: a fleet's ``/healthz`` counters are per worker
+    process, so only the client sees the whole fleet's traffic.  Clients ask
+    for identity bodies — decompressing gzip in the (GIL-bound) measuring
+    process would bottleneck the client before the fleet.
+    """
+    etags = {path: http_get_response(url + path).etag for path in paths}
+    outcomes: List[List] = [[] for _ in range(num_threads)]
+    barrier = threading.Barrier(num_threads)
+
+    def drive(worker: int) -> None:
+        barrier.wait()
+        for index in range(GRID_REQUESTS_PER_CLIENT):
+            path = paths[(worker + index) % len(paths)]
+            etag = etags[path] if index % 2 else None
+            tick = time.perf_counter()
+            response = http_get_response(url + path, etag=etag, accept_gzip=False)
+            outcomes[worker].append((response.status, time.perf_counter() - tick))
+
+    threads = [
+        threading.Thread(target=drive, args=(worker,)) for worker in range(num_threads)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+
+    flat = [outcome for per_client in outcomes for outcome in per_client]
+    statuses = {status for status, _ in flat}
+    assert statuses <= {200, 304}, statuses
+    revalidations = sum(1 for status, _ in flat if status == 304)
+    latencies_ms = np.asarray([seconds for _, seconds in flat]) * 1000.0
+    return {
+        "client_threads": num_threads,
+        "requests": len(flat),
+        "seconds": elapsed,
+        "requests_per_second": len(flat) / elapsed,
+        "responses_200": len(flat) - revalidations,
+        "responses_304": revalidations,
+        "etag_hit_rate": revalidations / len(flat),
+        "latency_ms": {
+            "p50": float(np.percentile(latencies_ms, 50)),
+            "p99": float(np.percentile(latencies_ms, 99)),
+        },
+    }
+
+
 @pytest.mark.slow
 def test_bench_serving_throughput_and_latency(bench_graph, results_dir, tmp_path):
     """requests/sec + latency percentiles of per-role view serving."""
@@ -165,9 +281,33 @@ def test_bench_serving_throughput_and_latency(bench_graph, results_dir, tmp_path
         store = ReleaseStore(tmp_path / f"store-{label}", cache_size=cache_size)
         key = store.save(release)
         paths = [f"/releases/{key}/views/{role}" for role in policy.roles()]
-        with ReleaseServer(store, policy, port=0) as server:
+        # response_cache_size=0 keeps these sections the historical baseline:
+        # every request serialises, exactly as pre-response-cache serving did.
+        with ReleaseServer(store, policy, port=0, response_cache_size=0) as server:
             record[label] = _measure(server, paths, NUM_REQUESTS)
             record[label]["cache"] = store.cache_info()
+
+    # Response byte cache on: a warm GET replays precomputed bytes (zero
+    # serialisation, zero store reads), and revalidations answer empty 304s.
+    store = ReleaseStore(tmp_path / "store-respcache", cache_size=32)
+    key = store.save(release)
+    paths = [f"/releases/{key}/views/{role}" for role in policy.roles()]
+    with ReleaseServer(store, policy, port=0) as server:
+        record["response_cache"] = _measure(server, paths, NUM_REQUESTS)
+        record["response_cache"]["revalidation_304"] = _measure_revalidation(
+            server.url, paths, NUM_REQUESTS
+        )
+        stats = server.stats.snapshot()
+        cache_stats = server.response_cache.stats()
+        total_hits = cache_stats["hits"]
+        record["response_cache"]["server_stats"] = {
+            "etag_hits": stats["etag_hits"],
+            "gzip_responses": stats["gzip_responses"],
+            "cache_invalidations": stats["cache_invalidations"],
+            "cache": cache_stats,
+            "etag_hit_rate": stats["etag_hits"] / max(1, total_hits),
+            "gzip_hit_rate": stats["gzip_responses"] / max(1, total_hits),
+        }
 
     # Overload: bound in-flight work and drive the server at 2x saturation,
     # recording how much it sheds and what the surviving requests pay.
@@ -178,27 +318,68 @@ def test_bench_serving_throughput_and_latency(bench_graph, results_dir, tmp_path
     )
     paths = [f"/releases/{key}/views/{role}" for role in policy.roles()]
     with ReleaseServer(
-        slow_store, policy, port=0, max_in_flight=OVERLOAD_MAX_IN_FLIGHT
+        slow_store,
+        policy,
+        port=0,
+        max_in_flight=OVERLOAD_MAX_IN_FLIGHT,
+        response_cache_size=0,  # cached hits bypass shedding by design
     ) as server:
         record["overload"] = _overload(server, paths)
         record["overload"]["server_stats"] = server.stats.snapshot()
 
+    # Grid: fleet size x client threads, all requests served from the
+    # response cache (the scaling configuration the tentpole targets).
+    store_dir = tmp_path / "store-grid"
+    key = ReleaseStore(store_dir).save(release)
+    paths = [f"/releases/{key}/views/{role}" for role in policy.roles()]
+    record["grid"] = {
+        "cpu_count": os.cpu_count(),
+        "reuseport": reuseport_available(),
+        "requests_per_client": GRID_REQUESTS_PER_CLIENT,
+        "cells": {},
+    }
+    for processes in GRID_PROCESSES:
+        with ServerFleet(store_dir, policy, processes=processes) as fleet:
+            for num_threads in GRID_CLIENT_THREADS:
+                cell = _drive_grid_cell(fleet.url, paths, num_threads)
+                cell["processes"] = fleet.processes
+                cell["fallback_reason"] = fleet.fallback_reason
+                record["grid"]["cells"][f"p{processes}_c{num_threads}"] = cell
+
+    busiest = max(GRID_CLIENT_THREADS)
+    single = record["grid"]["cells"][f"p{GRID_PROCESSES[0]}_c{busiest}"]
+    multi = record["grid"]["cells"][f"p{GRID_PROCESSES[-1]}_c{busiest}"]
+    fleet_speedup = multi["requests_per_second"] / single["requests_per_second"]
+    record["grid"]["fleet_speedup"] = fleet_speedup
+
     to_json_file(record, results_dir / "serving.json")
     lines = [f"HTTP serving of per-role views (scale={BENCH_SCALE}, "
              f"{NUM_REQUESTS} requests/config)"]
-    for label in ("cold_cache", "warm_cache"):
+    for label in ("cold_cache", "warm_cache", "response_cache"):
         stats = record[label]
         lines.append(
             f"{label}\t{stats['requests_per_second']:.0f} req/s"
             f"\tp50 {stats['latency_ms']['p50']:.2f} ms"
             f"\tp99 {stats['latency_ms']['p99']:.2f} ms"
         )
+    revalidation = record["response_cache"]["revalidation_304"]
+    lines.append(
+        f"revalidation_304\t{revalidation['requests_per_second']:.0f} req/s"
+        f"\tp50 {revalidation['latency_ms']['p50']:.2f} ms"
+        f"\tp99 {revalidation['latency_ms']['p99']:.2f} ms"
+    )
     overload = record["overload"]
     lines.append(
         f"overload_2x\tshed {overload['shed_rate']:.0%} of {overload['requests']}"
         f"\tp50 {overload['served_latency_ms']['p50']:.2f} ms"
         f"\tp99 {overload['served_latency_ms']['p99']:.2f} ms"
     )
+    for cell_key, cell in record["grid"]["cells"].items():
+        lines.append(
+            f"grid {cell_key}\t{cell['requests_per_second']:.0f} req/s"
+            f"\t304s {cell['etag_hit_rate']:.0%}"
+            f"\tp99 {cell['latency_ms']['p99']:.2f} ms"
+        )
     save_text(results_dir / "serving.txt", "\n".join(lines))
     print("\n" + "\n".join(lines[1:]))
 
@@ -214,3 +395,35 @@ def test_bench_serving_throughput_and_latency(bench_graph, results_dir, tmp_path
     assert record["overload"]["shed"] >= 1
     assert record["overload"]["served"] >= 1
     assert record["overload"]["server_stats"]["shed"] == record["overload"]["shed"]
+
+    # The response byte cache must beat the serialise-every-request warm
+    # baseline: a warm cached GET does zero serialisation and zero store
+    # reads, so losing to the baseline means the cache is broken.
+    assert (
+        record["response_cache"]["requests_per_second"]
+        >= record["warm_cache"]["requests_per_second"]
+    )
+    # 304 throughput is recorded but not ranked against the 200 path: on
+    # loopback with small bodies the round-trip (and urllib's exception-path
+    # handling of 304) dominates, so the revalidation win is bytes saved,
+    # not closed-loop latency.
+    assert revalidation["requests"] == NUM_REQUESTS
+    served_gets = record["response_cache"]["server_stats"]["cache"]["hits"]
+    assert served_gets >= NUM_REQUESTS  # warm requests all hit the byte cache
+    assert record["response_cache"]["server_stats"]["gzip_responses"] >= 1
+    assert record["response_cache"]["server_stats"]["etag_hits"] >= NUM_REQUESTS
+
+    # The fleet speedup assertion is honest about its preconditions: it
+    # needs real spare cores and SO_REUSEPORT.  Everything above has already
+    # been recorded and asserted either way.
+    cores = os.cpu_count() or 1
+    if cores < MIN_CORES_FOR_FLEET_SPEEDUP or not reuseport_available():
+        pytest.skip(
+            f"fleet speedup recorded ({fleet_speedup:.2f}x) but the >= 2x "
+            f"assertion needs >= {MIN_CORES_FOR_FLEET_SPEEDUP} cores and "
+            f"SO_REUSEPORT (cores={cores})"
+        )
+    assert fleet_speedup >= 2.0, (
+        f"expected >= 2x from {GRID_PROCESSES[-1]} SO_REUSEPORT processes on "
+        f"{cores} cores, measured {fleet_speedup:.2f}x"
+    )

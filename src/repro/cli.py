@@ -223,6 +223,28 @@ def build_parser() -> argparse.ArgumentParser:
         dest="handler_timeout",
         help="per-request handler wall-clock bound in seconds (default none)",
     )
+    serve.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="serving processes sharing the port via SO_REUSEPORT "
+        "(default 1; falls back to 1 where SO_REUSEPORT is unavailable)",
+    )
+    serve.add_argument(
+        "--response-cache-size",
+        type=int,
+        default=None,
+        dest="response_cache_size",
+        help="routes whose response bytes (ETag + gzip variants) are cached "
+        "per process (default 256; 0 disables)",
+    )
+    serve.add_argument(
+        "--no-gzip",
+        action="store_false",
+        dest="gzip",
+        default=True,
+        help="never compress responses, even for Accept-Encoding: gzip clients",
+    )
 
     return parser
 
@@ -373,7 +395,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serving.server import DEFAULT_CACHE_SIZE, create_server
+    from repro.core.store import ReleaseStore
+    from repro.serving.fleet import ServerFleet, format_config_line
+    from repro.serving.respcache import DEFAULT_RESPONSE_CACHE_SIZE
+    from repro.serving.server import DEFAULT_CACHE_SIZE
 
     if not args.store.is_dir():
         print(f"serve: store directory {args.store} does not exist", file=sys.stderr)
@@ -382,28 +407,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"serve: policy file {args.policy} does not exist", file=sys.stderr)
         return 2
     cache_size = args.cache_size if args.cache_size is not None else DEFAULT_CACHE_SIZE
+    response_cache_size = (
+        args.response_cache_size
+        if args.response_cache_size is not None
+        else DEFAULT_RESPONSE_CACHE_SIZE
+    )
     try:
-        server = create_server(
-            store=args.store,
-            policy=args.policy,
+        fleet = ServerFleet(
+            args.store,
+            args.policy,
             host=args.host,
             port=args.port,
+            processes=args.processes,
             cache_size=cache_size,
+            response_cache_size=response_cache_size,
+            gzip_enabled=args.gzip,
             verbose=args.verbose,
             max_in_flight=args.max_in_flight,
             handler_timeout=args.handler_timeout,
-        )
+        ).start()
     except (OSError, KeyError, TypeError, ValueError) as error:
         print(f"serve: {error}", file=sys.stderr)
         return 2
-    keys = server.store.keys()
-    roles = server.policy.roles()
+    # One structured line on stderr with the *effective* configuration
+    # (post-fallback), so deployments are diagnosable from logs alone.
+    print(format_config_line(fleet.describe()), file=sys.stderr, flush=True)
+    keys = ReleaseStore(args.store, cache_size=0).keys()
+    roles = fleet.policy.roles()
     print(
-        f"serving {len(keys)} release(s) to {len(roles)} role(s) on {server.url}",
+        f"serving {len(keys)} release(s) to {len(roles)} role(s) "
+        f"from {fleet.processes} process(es) on {fleet.url}",
         flush=True,
     )
-    print(f"try: GET {server.url}/releases", flush=True)
-    server.serve_forever()
+    print(f"try: GET {fleet.url}/releases", flush=True)
+    fleet.serve_forever()
     return 0
 
 

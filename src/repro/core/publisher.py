@@ -20,7 +20,7 @@ from repro.core.config import DisclosureConfig
 from repro.core.discloser import MultiLevelDiscloser
 from repro.core.release import LevelRelease, MultiLevelRelease
 from repro.core.store import ReleaseStore
-from repro.exceptions import BudgetExceededError, DisclosureError
+from repro.exceptions import BudgetExceededError, DisclosureError, ValidationError
 from repro.graphs.bipartite import BipartiteGraph
 from repro.grouping.hierarchy import GroupHierarchy
 from repro.grouping.specialization import Specializer
@@ -230,19 +230,38 @@ class GraphPublisher:
         store: Union[ReleaseStore, str, Path],
         host: str = "127.0.0.1",
         port: int = 0,
+        processes: int = 1,
     ):
         """Persist ``release`` into ``store`` and return a ready (unstarted)
-        :class:`~repro.serving.server.ReleaseServer` for it.
+        server for it.
 
         The returned server holds no reference to the publisher, the graph,
         or the disclosure pipeline — only to the store and the policy — so
         once it is started the budget-spending half of the system can shut
         down entirely while consumers keep fetching their views.  Call
         ``.start()`` (non-blocking) or ``.serve_forever()`` on the result.
+
+        With ``processes > 1`` the result is a
+        :class:`~repro.serving.fleet.ServerFleet` — N ``SO_REUSEPORT``
+        worker processes over the store *directory* — so the store must be
+        directory-backed (each worker opens its own handle; an in-memory
+        store cannot cross process boundaries).  Otherwise a single
+        :class:`~repro.serving.server.ReleaseServer` is returned.
         """
         from repro.serving.server import DEFAULT_CACHE_SIZE, ReleaseServer
 
         if not isinstance(store, ReleaseStore):
             store = ReleaseStore(store, cache_size=DEFAULT_CACHE_SIZE)
         store.save(release)
+        if processes > 1:
+            from repro.serving.fleet import ServerFleet
+
+            if store.root is None:
+                raise ValidationError(
+                    "serve(processes>1) needs a directory-backed store: "
+                    f"{store.backend.describe()} cannot be shared across processes"
+                )
+            return ServerFleet(
+                store.root, policy, host=host, port=port, processes=processes
+            )
         return ReleaseServer(store=store, policy=policy, host=host, port=port)

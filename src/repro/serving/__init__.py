@@ -25,7 +25,20 @@ or from the command line with ``repro serve --store DIR --policy FILE``.
 """
 
 from repro.exceptions import ServingError
-from repro.serving.client import fetch_json, http_get
+from repro.serving.client import (
+    DEFAULT_MAX_BODY_BYTES,
+    ServedResponse,
+    fetch_json,
+    http_get,
+    http_get_response,
+)
+from repro.serving.fleet import ServerFleet, format_config_line, reuseport_available
+from repro.serving.respcache import (
+    DEFAULT_RESPONSE_CACHE_SIZE,
+    CachedResponse,
+    ResponseCache,
+    make_etag,
+)
 from repro.serving.server import (
     DEFAULT_CACHE_SIZE,
     ReleaseServer,
@@ -35,10 +48,20 @@ from repro.serving.server import (
 
 __all__ = [
     "ReleaseServer",
+    "ServerFleet",
     "ServingStats",
+    "ResponseCache",
+    "CachedResponse",
+    "ServedResponse",
     "create_server",
+    "reuseport_available",
+    "format_config_line",
+    "make_etag",
     "DEFAULT_CACHE_SIZE",
+    "DEFAULT_RESPONSE_CACHE_SIZE",
+    "DEFAULT_MAX_BODY_BYTES",
     "http_get",
+    "http_get_response",
     "fetch_json",
     "ServingError",
 ]

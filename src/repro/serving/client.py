@@ -1,16 +1,28 @@
 """Minimal stdlib client for the serving API (tests, examples, benchmarks).
 
-Deliberately tiny — two functions over :mod:`urllib.request` — so consumers
+Deliberately tiny — a few functions over :mod:`urllib.request` — so consumers
 of a served release need nothing beyond the standard library either (the
 optional retry support reuses :class:`~repro.execution.retry.RetryPolicy`,
 which is itself stdlib-only).
 
-Pass ``retry=RetryPolicy(...)`` to either function and the request rides
-out transient failures: transport errors (connection refused mid-restart,
-timeouts) and ``503`` load-shedding responses are retried with the policy's
-deterministic backoff, so a client survives a server that is briefly
-overloaded or restarting.  Definitive statuses (404, 403, 500 …) are never
-retried.
+The client speaks the server's caching dialect transparently:
+
+* every request advertises ``Accept-Encoding: gzip`` (disable with
+  ``accept_gzip=False``) and a gzip-encoded body is decoded before it is
+  returned, so callers always see the identity bytes;
+* a response claiming an encoding the client does not implement raises
+  :class:`ServingError` instead of handing back undecodable bytes;
+* bodies are capped at ``max_body_bytes`` — on the wire *and* after
+  decompression — so a misbehaving (or gzip-bombing) server cannot balloon
+  client memory;
+* pass ``etag=`` to revalidate: the request carries ``If-None-Match`` and a
+  ``304`` comes back as status 304 with an empty body.
+
+Pass ``retry=RetryPolicy(...)`` and the request rides out transient
+failures: transport errors (connection refused mid-restart, timeouts) and
+``503`` load-shedding responses are retried with the policy's deterministic
+backoff, so a client survives a server that is briefly overloaded or
+restarting.  Definitive statuses (404, 403, 500 …) are never retried.
 """
 
 from __future__ import annotations
@@ -19,30 +31,121 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Optional, Tuple
+import zlib
+from typing import Dict, NamedTuple, Optional, Tuple
 
 from repro.exceptions import ServingError
 from repro.execution.retry import RetryPolicy
 
+#: Default cap on a response body (identity bytes), on and off the wire.
+DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
 
-def _http_get_once(url: str, timeout: float) -> Tuple[int, bytes]:
+#: Read granularity for the capped body reader.
+_CHUNK = 65536
+
+#: Content encodings the client can decode ("" / identity = passthrough).
+_DECODABLE = ("", "identity", "gzip", "x-gzip")
+
+
+class ServedResponse(NamedTuple):
+    """One HTTP response, already decoded: status, identity body, headers."""
+
+    status: int
+    body: bytes
+    headers: Dict[str, str]
+
+    @property
+    def etag(self) -> Optional[str]:
+        """The response's ``ETag`` (pass back via ``etag=`` to revalidate)."""
+        return self.headers.get("etag")
+
+
+def _read_capped(response, max_body_bytes: int, url: str) -> bytes:
+    """Read the raw body, refusing to buffer more than ``max_body_bytes``."""
+    chunks = []
+    read = 0
+    while True:
+        chunk = response.read(_CHUNK)
+        if not chunk:
+            return b"".join(chunks)
+        read += len(chunk)
+        if read > max_body_bytes:
+            raise ServingError(
+                f"GET {url} exceeded max_body_bytes={max_body_bytes} on the wire"
+            )
+        chunks.append(chunk)
+
+
+def _decode_body(raw: bytes, encoding: str, max_body_bytes: int, url: str) -> bytes:
+    """Undo the transfer's ``Content-Encoding``, still honouring the cap.
+
+    gzip is inflated incrementally with a decompressed-size bound, so a
+    gzip bomb fails the cap instead of exhausting memory; any encoding
+    outside :data:`_DECODABLE` is an error, not silently-returned garbage.
+    """
+    encoding = encoding.strip().lower()
+    if encoding not in _DECODABLE:
+        raise ServingError(
+            f"GET {url} answered with unsupported Content-Encoding {encoding!r}"
+        )
+    if encoding in ("", "identity") or not raw:
+        return raw
+    decoder = zlib.decompressobj(16 + zlib.MAX_WBITS)  # gzip-wrapped deflate
     try:
-        with urllib.request.urlopen(url, timeout=timeout) as response:
-            return response.status, response.read()
+        body = decoder.decompress(raw, max_body_bytes + 1)
+    except zlib.error as error:
+        raise ServingError(f"GET {url} sent an undecodable gzip body: {error}") from error
+    if len(body) > max_body_bytes or decoder.unconsumed_tail:
+        raise ServingError(
+            f"GET {url} exceeded max_body_bytes={max_body_bytes} after gzip decoding"
+        )
+    return body
+
+
+def _http_get_once(
+    url: str,
+    timeout: float,
+    etag: Optional[str],
+    accept_gzip: bool,
+    max_body_bytes: int,
+) -> ServedResponse:
+    headers = {"Accept-Encoding": "gzip" if accept_gzip else "identity"}
+    if etag is not None:
+        headers["If-None-Match"] = etag
+    request = urllib.request.Request(url, headers=headers)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            raw = _read_capped(response, max_body_bytes, url)
+            status = response.status
+            header_map = {name.lower(): value for name, value in response.headers.items()}
     except urllib.error.HTTPError as error:
-        return error.code, error.read()
+        raw = _read_capped(error, max_body_bytes, url)
+        status = error.code
+        header_map = {name.lower(): value for name, value in error.headers.items()}
     except urllib.error.URLError as error:
         raise ServingError(f"GET {url} failed: {error.reason}") from error
+    body = _decode_body(raw, header_map.get("content-encoding", ""), max_body_bytes, url)
+    return ServedResponse(status, body, header_map)
 
 
-def http_get(
-    url: str, timeout: float = 10.0, retry: Optional[RetryPolicy] = None
-) -> Tuple[int, bytes]:
-    """``GET url`` and return ``(status, body bytes)``.
+def http_get_response(
+    url: str,
+    timeout: float = 10.0,
+    retry: Optional[RetryPolicy] = None,
+    etag: Optional[str] = None,
+    accept_gzip: bool = True,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+) -> ServedResponse:
+    """``GET url`` and return the full :class:`ServedResponse`.
+
+    The body is always identity bytes (gzip transfers are decoded), capped
+    at ``max_body_bytes``.  With ``etag``, the request revalidates via
+    ``If-None-Match`` and a not-modified answer is status ``304`` with an
+    empty body — read the fresh ``ETag`` off :attr:`ServedResponse.etag`.
 
     Non-2xx statuses are returned, not raised, so callers can assert on the
     API's error mapping; only transport failures (connection refused, DNS,
-    timeout) raise :class:`ServingError`.
+    timeout) and undecodable/oversized bodies raise :class:`ServingError`.
 
     With ``retry``, transport failures and ``503`` responses (the server's
     load-shedding and handler-timeout answers) are retried up to the
@@ -50,21 +153,45 @@ def http_get(
     attempt's outcome is returned (or raised) unchanged.
     """
     if retry is None:
-        return _http_get_once(url, timeout)
+        return _http_get_once(url, timeout, etag, accept_gzip, max_body_bytes)
     attempt = 0
     while True:
         attempt += 1
         try:
-            status, body = _http_get_once(url, timeout)
+            response = _http_get_once(url, timeout, etag, accept_gzip, max_body_bytes)
         except ServingError:
             if attempt >= retry.max_attempts:
                 raise
             time.sleep(retry.delay_for(attempt + 1, key=url))
             continue
-        if status == 503 and attempt < retry.max_attempts:
+        if response.status == 503 and attempt < retry.max_attempts:
             time.sleep(retry.delay_for(attempt + 1, key=url))
             continue
-        return status, body
+        return response
+
+
+def http_get(
+    url: str,
+    timeout: float = 10.0,
+    retry: Optional[RetryPolicy] = None,
+    etag: Optional[str] = None,
+    accept_gzip: bool = True,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+) -> Tuple[int, bytes]:
+    """``GET url`` and return ``(status, body bytes)``.
+
+    The historical two-tuple front of :func:`http_get_response` — same
+    decoding, capping, revalidation and retry semantics, minus the headers.
+    """
+    response = http_get_response(
+        url,
+        timeout=timeout,
+        retry=retry,
+        etag=etag,
+        accept_gzip=accept_gzip,
+        max_body_bytes=max_body_bytes,
+    )
+    return response.status, response.body
 
 
 def fetch_json(

@@ -1,0 +1,152 @@
+"""Fingerprint-keyed HTTP response cache for the serving layer.
+
+The serving hot path used to re-serialise the same release view on every
+request: load (or LRU-hit) the parsed release, apply the access policy, and
+run the canonical JSON writer over a payload that had not changed since the
+last request.  :class:`ResponseCache` removes all of that from the hot path
+by caching the *response bytes themselves*, keyed by route and validated by
+the store's per-key change fingerprint — the same cheap token the parsed-
+release LRU cache re-validates against (:meth:`ReleaseStore.fingerprint`).
+
+Per entry the cache keeps, computed **once per (route, fingerprint)**:
+
+* the identity body — the canonical JSON bytes exactly as an uncached
+  handler would produce them, so cached and uncached responses are
+  byte-identical;
+* the gzip variant — ``gzip.compress`` with ``mtime=0``, so the compressed
+  bytes are deterministic across processes (every member of a
+  :class:`~repro.serving.fleet.ServerFleet` serves identical gzip bytes);
+* a strong ``ETag`` derived from ``(store fingerprint, route)``, which is
+  what lets the server answer ``If-None-Match`` revalidations with an empty
+  ``304`` without touching the store at all.
+
+A lookup whose stored fingerprint no longer matches the store's current one
+drops the entry (counted as an invalidation), so a republished key is never
+served stale: the republish changes the backend fingerprint, the stale entry
+dies on its next lookup, and the following request rebuilds the bytes from
+the fresh artefact.
+
+The cache is a bounded LRU (``max_entries``) guarded by one lock; entries
+are immutable after construction, so serving a hit never copies or mutates.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, Optional
+
+from repro.exceptions import ValidationError
+
+#: Routes kept in the response cache by default.
+DEFAULT_RESPONSE_CACHE_SIZE = 256
+
+#: gzip compression level for the precomputed variant (speed/size balance).
+GZIP_LEVEL = 6
+
+
+def make_etag(fingerprint: str, route: str) -> str:
+    """A strong entity tag for ``route`` served at ``fingerprint``.
+
+    Strong by construction: the store fingerprint changes whenever the bytes
+    behind the key may have changed, and the route pins which projection of
+    those bytes the tag describes.
+    """
+    digest = hashlib.sha256(f"{fingerprint}|{route}".encode("utf-8")).hexdigest()
+    return f'"{digest[:32]}"'
+
+
+class CachedResponse:
+    """One immutable cached 200 response: identity + gzip bytes + ETag."""
+
+    __slots__ = ("fingerprint", "etag", "body", "gzip_body")
+
+    def __init__(self, fingerprint: str, route: str, body: bytes):
+        self.fingerprint = fingerprint
+        self.etag = make_etag(fingerprint, route)
+        self.body = body
+        # mtime=0 keeps the compressed bytes deterministic, so every fleet
+        # process (and every re-warm at the same fingerprint) serves
+        # identical gzip bytes.
+        self.gzip_body = gzip.compress(body, compresslevel=GZIP_LEVEL, mtime=0)
+
+
+class ResponseCache:
+    """Bounded LRU of :class:`CachedResponse` entries, keyed by route.
+
+    Parameters
+    ----------
+    max_entries:
+        Bound on cached routes; the least-recently-used entry is evicted
+        beyond it.  Must be >= 1 (construct no cache at all to disable
+        caching — the server treats ``response_cache_size=0`` that way).
+    on_invalidation:
+        Optional callback fired once per entry dropped because its
+        fingerprint went stale (the serving stats counter).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_RESPONSE_CACHE_SIZE,
+        on_invalidation: Optional[Callable[[], None]] = None,
+    ):
+        if int(max_entries) < 1:
+            raise ValidationError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[str, CachedResponse]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._invalidations = 0
+        self._on_invalidation = on_invalidation
+
+    def get(self, route: str, fingerprint: Optional[str]) -> Optional[CachedResponse]:
+        """The cached response for ``route`` at ``fingerprint``, or ``None``.
+
+        ``None`` fingerprints never hit (the key is absent, there is nothing
+        valid to serve); a stored entry whose fingerprint differs is dropped
+        and counted as an invalidation — the route was republished behind
+        the cache.
+        """
+        invalidated = False
+        with self._lock:
+            entry = self._entries.get(route)
+            if entry is not None and fingerprint is not None and entry.fingerprint == fingerprint:
+                self._entries.move_to_end(route)
+                self._hits += 1
+                return entry
+            if entry is not None:
+                del self._entries[route]
+                self._invalidations += 1
+                invalidated = True
+            self._misses += 1
+        if invalidated and self._on_invalidation is not None:
+            self._on_invalidation()
+        return None
+
+    def put(self, route: str, fingerprint: str, body: bytes) -> CachedResponse:
+        """Cache (and return) the response bytes for ``route`` at ``fingerprint``."""
+        entry = CachedResponse(fingerprint, route, body)
+        with self._lock:
+            self._entries[route] = entry
+            self._entries.move_to_end(route)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return entry
+
+    def stats(self) -> Dict[str, int]:
+        """JSON-ready counters (rendered under ``/healthz``'s cache section)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self._hits,
+                "misses": self._misses,
+                "invalidations": self._invalidations,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -37,6 +37,20 @@ Fault tolerance: the server degrades instead of collapsing.
 * ``/healthz`` reports ``"degraded"`` (plus shed/timeout/backend-error
   counters and the quarantined keys) whenever releases are quarantined.
 
+Hot-path response cache: per-release routes (``/releases/<key>...``) are
+served from a :class:`~repro.serving.respcache.ResponseCache` — the
+canonical JSON bytes (plus a precomputed gzip variant and a strong ``ETag``)
+are built **once per store fingerprint** and replayed directly from memory,
+so a warm cached ``GET`` performs zero JSON serialisation and zero store
+reads.  Every hit is re-validated against the store's per-key change
+fingerprint first, so a republished key is never served stale.  Clients
+holding a body revalidate with ``If-None-Match`` and get an empty ``304``;
+clients advertising ``Accept-Encoding: gzip`` get the compressed variant
+with ``Content-Encoding: gzip`` (all cacheable responses carry
+``Vary: Accept-Encoding``).  ``response_cache_size=0`` restores the
+serialise-per-request behaviour; ``gzip_enabled=False`` disables content
+negotiation while keeping the byte cache and ``304`` revalidation.
+
 The server is a stdlib :class:`~http.server.ThreadingHTTPServer` — one
 thread per connection, no framework — and the request path only ever reads
 from the store and applies the access policy.  Nothing here can spend
@@ -54,6 +68,11 @@ from urllib.parse import unquote, urlsplit
 from repro.core.access import AccessPolicy
 from repro.core.store import ReleaseStore
 from repro.exceptions import AccessLevelError, ReleaseIntegrityError, ValidationError
+from repro.serving.respcache import (
+    DEFAULT_RESPONSE_CACHE_SIZE,
+    CachedResponse,
+    ResponseCache,
+)
 from repro.utils.serialization import canonical_json_bytes as canonical_json
 from repro.utils.serialization import from_json_file
 
@@ -83,6 +102,9 @@ class ServingStats:
         self.shed = 0
         self.handler_timeouts = 0
         self.backend_errors = 0
+        self.etag_hits = 0
+        self.gzip_responses = 0
+        self.cache_invalidations = 0
         self._quarantine: Dict[str, Dict[str, Optional[str]]] = {}
 
     def record_shed(self) -> None:
@@ -92,6 +114,21 @@ class ServingStats:
     def record_handler_timeout(self) -> None:
         with self._lock:
             self.handler_timeouts += 1
+
+    def record_etag_hit(self) -> None:
+        """An ``If-None-Match`` revalidation answered with an empty 304."""
+        with self._lock:
+            self.etag_hits += 1
+
+    def record_gzip_response(self) -> None:
+        """A response body sent with ``Content-Encoding: gzip``."""
+        with self._lock:
+            self.gzip_responses += 1
+
+    def record_cache_invalidation(self) -> None:
+        """A cached response dropped because its store fingerprint went stale."""
+        with self._lock:
+            self.cache_invalidations += 1
 
     def quarantine(self, key: str, fingerprint: Optional[str], reason: str) -> None:
         """Mark ``key``'s stored artefact corrupt at ``fingerprint``."""
@@ -122,6 +159,9 @@ class ServingStats:
                 "shed": self.shed,
                 "handler_timeouts": self.handler_timeouts,
                 "backend_errors": self.backend_errors,
+                "etag_hits": self.etag_hits,
+                "gzip_responses": self.gzip_responses,
+                "cache_invalidations": self.cache_invalidations,
                 "quarantined": sorted(self._quarantine),
             }
 
@@ -167,6 +207,8 @@ class _ReleaseHTTPServer(ThreadingHTTPServer):
         verbose: bool,
         max_in_flight: Optional[int] = None,
         handler_timeout: Optional[float] = None,
+        response_cache_size: int = DEFAULT_RESPONSE_CACHE_SIZE,
+        gzip_enabled: bool = True,
     ):
         self.store = store
         self.policy = policy
@@ -176,6 +218,15 @@ class _ReleaseHTTPServer(ThreadingHTTPServer):
             threading.Semaphore(max_in_flight) if max_in_flight is not None else None
         )
         self.handler_timeout = handler_timeout
+        self.respcache = (
+            ResponseCache(
+                response_cache_size,
+                on_invalidation=self.stats.record_cache_invalidation,
+            )
+            if response_cache_size > 0
+            else None
+        )
+        self.gzip_enabled = gzip_enabled
         super().__init__(address, handler)
 
 
@@ -249,12 +300,85 @@ class ReleaseRequestHandler(BaseHTTPRequestHandler):
         # so load-balancer probes (`curl -I /healthz`) see a real 200.
         self.do_GET()
 
+    # -- response cache plumbing -----------------------------------------
+    def _cache_context(self, segments: List[str]) -> Optional[Tuple[str, Optional[str]]]:
+        """``(route, store fingerprint)`` when the route is cacheable.
+
+        Per-release routes (``/releases/<key>...``) are the cacheable ones:
+        their whole response is a pure function of the stored bytes behind
+        ``<key>`` (pinned by the backend fingerprint) and the fixed policy.
+        ``/``, ``/releases`` and ``/healthz`` stay uncached — they depend on
+        the store's full key set or on live counters.
+        """
+        if self.server.respcache is None:
+            return None
+        if len(segments) < 2 or segments[0] != "releases":
+            return None
+        return "/" + "/".join(segments), self.server.store.fingerprint(segments[1])
+
+    def _accepts_gzip(self) -> bool:
+        """Whether the request's ``Accept-Encoding`` admits gzip (q != 0)."""
+        wildcard = False
+        for clause in self.headers.get("Accept-Encoding", "").split(","):
+            parts = clause.strip().split(";")
+            coding = parts[0].strip().lower()
+            if coding not in ("gzip", "x-gzip", "*"):
+                continue
+            quality = 1.0
+            for param in parts[1:]:
+                param = param.strip()
+                if param.startswith("q="):
+                    try:
+                        quality = float(param[2:])
+                    except ValueError:
+                        quality = 0.0
+            if coding == "*":
+                wildcard = quality > 0
+                continue
+            return quality > 0  # an explicit gzip clause is definitive
+        return wildcard
+
+    def _if_none_match(self, etag: str) -> bool:
+        """Whether the request's ``If-None-Match`` matches ``etag``."""
+        header = self.headers.get("If-None-Match")
+        if not header:
+            return False
+        if header.strip() == "*":
+            return True
+        candidates = [tag.strip() for tag in header.split(",")]
+        return any(tag == etag or tag == f"W/{etag}" for tag in candidates)
+
+    def _send_cached(self, entry: CachedResponse) -> None:
+        """Answer from precomputed bytes: 304 on ETag match, else the
+        negotiated (identity or gzip) variant — no serialisation either way."""
+        if self._if_none_match(entry.etag):
+            self.server.stats.record_etag_hit()
+            # A 304 has no body by definition (keep-alive clients know not
+            # to read one), so no Content-Length is sent.
+            self.send_response(304)
+            self.send_header("ETag", entry.etag)
+            self.send_header("Vary", "Accept-Encoding")
+            self.end_headers()
+            return
+        use_gzip = self.server.gzip_enabled and self._accepts_gzip()
+        body = entry.gzip_body if use_gzip else entry.body
+        self.send_response(200)
+        self.send_header("ETag", entry.etag)
+        self.send_header("Vary", "Accept-Encoding")
+        if use_gzip:
+            self.server.stats.record_gzip_response()
+            self.send_header("Content-Encoding", "gzip")
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if self.command != "HEAD":
+            self.wfile.write(body)
+
     # -- routing ---------------------------------------------------------
     def do_GET(self) -> None:
         segments = [unquote(part) for part in urlsplit(self.path).path.split("/") if part]
         try:
-            status, payload, headers = self._respond(segments)
-            self._send_json(status, payload, extra_headers=headers)
+            self._respond_and_send(segments)
         except BrokenPipeError:  # pragma: no cover - client hung up
             pass
         except Exception as exc:  # noqa: BLE001 - a bug must not drop the connection
@@ -262,6 +386,32 @@ class ReleaseRequestHandler(BaseHTTPRequestHandler):
                 self._send_error_json(500, f"internal error: {exc}")
             except Exception:  # pragma: no cover - response already in flight
                 pass
+
+    def _respond_and_send(self, segments: List[str]) -> None:
+        """Serve from the response cache when possible, else route and
+        (for a cacheable 200) cache the canonical bytes for the next hit.
+
+        A cache hit bypasses load shedding and the handler timeout the same
+        way ``/healthz`` does: it performs no store read and no handler work
+        worth bounding, only a fingerprint check and a socket write.
+        """
+        context = self._cache_context(segments)
+        if context is not None:
+            route, fingerprint = context
+            entry = self.server.respcache.get(route, fingerprint)
+            if entry is not None:
+                self._send_cached(entry)
+                return
+        status, payload, headers = self._respond(segments)
+        if context is not None and status == 200 and context[1] is not None and not headers:
+            # The fingerprint was read *before* the store was: if the
+            # artefacts changed mid-read, the stale token makes the next
+            # lookup invalidate and rebuild (same pattern as the parsed-
+            # release LRU cache).
+            entry = self.server.respcache.put(context[0], context[1], canonical_json(payload))
+            self._send_cached(entry)
+            return
+        self._send_json(status, payload, extra_headers=headers)
 
     def _respond(self, segments: List[str]) -> Response:
         """Apply load shedding and the handler timeout around the route.
@@ -367,12 +517,20 @@ class ReleaseRequestHandler(BaseHTTPRequestHandler):
         store: ReleaseStore = self.server.store
         policy: AccessPolicy = self.server.policy
         fault_tolerance = self.server.stats.snapshot()
+        respcache = self.server.respcache
+        response_cache: Dict[str, object] = {
+            "enabled": respcache is not None,
+            "gzip": self.server.gzip_enabled,
+        }
+        if respcache is not None:
+            response_cache.update(respcache.stats())
         return self._ok(
             {
                 "status": "degraded" if fault_tolerance["quarantined"] else "ok",
                 "releases": len(store.keys()),
                 "roles": policy.roles(),
                 "cache": store.cache_info(),
+                "response_cache": response_cache,
                 "fault_tolerance": fault_tolerance,
             }
         )
@@ -477,10 +635,22 @@ class ReleaseServer:
     max_in_flight:
         Bound on concurrently-handled requests; requests beyond it are shed
         with ``503`` + ``Retry-After`` instead of queueing without bound
-        (``/healthz`` is exempt).  ``None`` (default) disables shedding.
+        (``/healthz`` and response-cache hits are exempt).  ``None``
+        (default) disables shedding.
     handler_timeout:
         Wall-clock seconds one request's handler work may take before the
         request answers ``503`` (``None`` disables — the default).
+    response_cache_size:
+        Routes kept in the fingerprint-keyed response byte cache (default
+        :data:`~repro.serving.respcache.DEFAULT_RESPONSE_CACHE_SIZE`).  A
+        cached route serves precomputed canonical bytes — with a strong
+        ``ETag``, ``If-None-Match`` → ``304`` revalidation and a gzip
+        variant — and performs zero serialisation and zero store reads;
+        ``0`` disables the cache (and with it ETag/gzip support).
+    gzip_enabled:
+        Whether cached routes negotiate ``Content-Encoding: gzip`` via
+        ``Accept-Encoding`` (default on; the identity and gzip variants are
+        byte-stable either way).
 
     Examples
     --------
@@ -499,11 +669,17 @@ class ReleaseServer:
         verbose: bool = False,
         max_in_flight: Optional[int] = None,
         handler_timeout: Optional[float] = None,
+        response_cache_size: int = DEFAULT_RESPONSE_CACHE_SIZE,
+        gzip_enabled: bool = True,
     ):
         if max_in_flight is not None and int(max_in_flight) < 1:
             raise ValidationError(f"max_in_flight must be >= 1, got {max_in_flight}")
         if handler_timeout is not None and float(handler_timeout) <= 0:
             raise ValidationError(f"handler_timeout must be > 0, got {handler_timeout}")
+        if int(response_cache_size) < 0:
+            raise ValidationError(
+                f"response_cache_size must be >= 0, got {response_cache_size}"
+            )
         self.store = store
         self.policy = policy
         self._http = _ReleaseHTTPServer(
@@ -514,13 +690,21 @@ class ReleaseServer:
             verbose,
             max_in_flight=int(max_in_flight) if max_in_flight is not None else None,
             handler_timeout=float(handler_timeout) if handler_timeout is not None else None,
+            response_cache_size=int(response_cache_size),
+            gzip_enabled=bool(gzip_enabled),
         )
         self._thread: Optional[threading.Thread] = None
 
     @property
     def stats(self) -> ServingStats:
-        """Live degradation counters (sheds, timeouts, quarantine)."""
+        """Live degradation + cache counters (sheds, timeouts, quarantine,
+        ETag hits, gzip responses, cache invalidations)."""
         return self._http.stats
+
+    @property
+    def response_cache(self) -> Optional[ResponseCache]:
+        """The fingerprint-keyed response byte cache (``None`` when disabled)."""
+        return self._http.respcache
 
     # -- address -----------------------------------------------------------
     @property
@@ -579,6 +763,8 @@ def create_server(
     verbose: bool = False,
     max_in_flight: Optional[int] = None,
     handler_timeout: Optional[float] = None,
+    response_cache_size: int = DEFAULT_RESPONSE_CACHE_SIZE,
+    gzip_enabled: bool = True,
 ) -> ReleaseServer:
     """Build a :class:`ReleaseServer` from objects or from on-disk paths.
 
@@ -586,7 +772,8 @@ def create_server(
     ``cache_size`` releases) and ``policy`` a JSON file in the
     :meth:`AccessPolicy.to_dict` format — exactly what ``repro serve`` passes
     through from its command line (including the ``max_in_flight`` /
-    ``handler_timeout`` degradation knobs).
+    ``handler_timeout`` degradation knobs and the response-cache / gzip
+    switches).
     """
     if not isinstance(store, ReleaseStore):
         store = ReleaseStore(store, cache_size=cache_size)
@@ -600,4 +787,6 @@ def create_server(
         verbose=verbose,
         max_in_flight=max_in_flight,
         handler_timeout=handler_timeout,
+        response_cache_size=response_cache_size,
+        gzip_enabled=gzip_enabled,
     )

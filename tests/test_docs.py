@@ -70,3 +70,18 @@ class TestArchitecture:
         text = README.read_text(encoding="utf-8")
         for switch in ("RetryPolicy", "task_timeout", "journal", "max_in_flight"):
             assert switch in text, f"README.md does not mention {switch!r}"
+
+    def test_architecture_covers_serving_at_scale(self):
+        text = ARCHITECTURE.read_text(encoding="utf-8")
+        for term in ("ResponseCache", "ServerFleet", "SO_REUSEPORT", "ETag", "304"):
+            assert term in text, f"ARCHITECTURE.md does not mention {term!r}"
+
+    def test_readme_covers_the_serving_scale_switches(self):
+        text = README.read_text(encoding="utf-8")
+        for switch in (
+            "--processes",
+            "--no-gzip",
+            "response_cache_size",
+            "ServerFleet",
+        ):
+            assert switch in text, f"README.md does not mention {switch!r}"
