@@ -85,7 +85,10 @@ artefact without touching the graph again.
 
 The store sits on a pluggable :class:`~repro.core.store.StoreBackend`
 (a directory of JSON+npz pairs with a persisted O(1) key index by default,
-or :meth:`ReleaseStore.in_memory` for tests and caches) and can keep an LRU
+a single queryable SQLite file when the path ends in ``.db`` —
+:class:`~repro.core.sqlite_backend.SqliteBackend`, inspected with
+``repro query`` / :class:`~repro.core.catalog.ReleaseCatalog` — or
+:meth:`ReleaseStore.in_memory` for tests and caches) and can keep an LRU
 read-through cache of parsed releases (``cache_size=...``) whose hits are
 re-validated against the backend's change fingerprint.
 
@@ -143,6 +146,8 @@ from repro.privacy.guarantees import (
     PrivacyGuarantee,
     PrivacyUnit,
 )
+from repro.core.catalog import ReleaseCatalog, ReleaseFilter
+from repro.core.sqlite_backend import SqliteBackend
 from repro.core.store import DirectoryBackend, MemoryBackend, StoreBackend
 from repro.exceptions import ServingError
 from repro.serving.client import fetch_json, http_get
@@ -171,6 +176,9 @@ __all__ = [
     "StoreBackend",
     "DirectoryBackend",
     "MemoryBackend",
+    "SqliteBackend",
+    "ReleaseCatalog",
+    "ReleaseFilter",
     # serving
     "ReleaseServer",
     "create_server",

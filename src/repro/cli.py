@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands cover the common publisher workflows without writing any
+Seven subcommands cover the common publisher workflows without writing any
 Python:
 
 * ``repro generate`` — build a synthetic dataset and write it as an edge list;
@@ -12,6 +12,10 @@ Python:
   Monte-Carlo, parallelisable with ``--executor process``);
 * ``repro report``   — re-render Figure-1-style per-level metrics from a
   release persisted in a store, without re-disclosing;
+* ``repro query``    — filter a store's release catalog by mechanism,
+  epsilon, graph fingerprint, key glob or created-at lower bound, rendered
+  as a table, CSV or canonical JSON; an indexed SQL lookup on SQLite stores
+  and a full-scan fallback on directory stores;
 * ``repro sweep``    — disclose an ``epsilon-g`` × ``levels`` grid into a
   store with checkpointed resume: ``--journal`` records each combination's
   state so an interrupted sweep resumes instead of re-disclosing, and
@@ -29,7 +33,8 @@ operational failures (:class:`~repro.exceptions.ValidationError`,
 :class:`~repro.exceptions.SweepInterrupted`,
 :class:`~repro.exceptions.EvaluationError` — e.g. a journal belonging to a
 different run) into a one-line stderr message and a nonzero exit — never a
-traceback.
+traceback.  ``Ctrl-C`` gets the same treatment: a one-line message and the
+conventional exit status 130 instead of a ``KeyboardInterrupt`` traceback.
 """
 
 from __future__ import annotations
@@ -40,6 +45,13 @@ from functools import partial
 from pathlib import Path
 from typing import List, Optional
 
+from repro.core.catalog import (
+    OUTPUT_FORMATS,
+    ReleaseCatalog,
+    ReleaseFilter,
+    format_rows,
+    system_clock,
+)
 from repro.core.config import DisclosureConfig
 from repro.core.discloser import MultiLevelDiscloser
 from repro.core.certificate import verify_release
@@ -105,7 +117,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     disclose.add_argument("--output", type=Path, help="release JSON to write")
     disclose.add_argument(
-        "--store", type=Path, help="release-store directory to persist the release into"
+        "--store",
+        type=Path,
+        help="release store to persist the release into (directory, or SQLite file for *.db paths)",
+    )
+    disclose.add_argument(
+        "--key", help="store key for the release (defaults to <dataset>-<content hash>)"
     )
 
     figure1 = subparsers.add_parser("figure1", help="reproduce the paper's Figure 1 table")
@@ -136,6 +153,36 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--store", type=Path, required=True, help="release-store directory")
     report.add_argument("--key", help="release key (omit to list the stored keys)")
     report.add_argument("--output", type=Path, help="optional JSON file for the metrics rows")
+
+    query = subparsers.add_parser(
+        "query", help="filter a store's release catalog (SQL-indexed on SQLite stores)"
+    )
+    query.add_argument(
+        "--store", type=Path, required=True, help="release store (directory or .db file)"
+    )
+    query.add_argument(
+        "--epsilon", type=float, help="exact per-level budget (epsilon-g) filter"
+    )
+    query.add_argument("--mechanism", help="exact mechanism filter (e.g. gaussian)")
+    query.add_argument(
+        "--graph", help="exact graph-fingerprint filter (the catalog's 'graph' column)"
+    )
+    query.add_argument(
+        "--key-glob",
+        dest="key_glob",
+        help="shell-style key pattern (*, ?, [...] classes; case-sensitive)",
+    )
+    query.add_argument(
+        "--since",
+        help="ISO-8601 lower bound on created_at; releases stored without a "
+        "timestamp never match",
+    )
+    query.add_argument(
+        "--format",
+        choices=list(OUTPUT_FORMATS),
+        default="table",
+        help="table (aligned, human), csv, or json (canonical, machine-diffable)",
+    )
 
     sweep = subparsers.add_parser(
         "sweep",
@@ -277,7 +324,7 @@ def _cmd_disclose(args: argparse.Namespace) -> int:
         to_json_file(release.to_dict(), args.output)
         print(f"wrote release with levels {release.levels()} to {args.output}")
     if args.store is not None:
-        key = ReleaseStore(args.store).save(release)
+        key = ReleaseStore(args.store, clock=system_clock).save(release, key=args.key)
         print(f"stored release under key {key!r} in {args.store}")
     certificate = verify_release(release)
     print("\n".join(certificate.summary_lines()))
@@ -328,6 +375,24 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_query(args: argparse.Namespace) -> int:
+    if not args.store.exists():
+        # Querying must never materialise an empty store at the given path.
+        print(f"query: store {args.store} does not exist", file=sys.stderr)
+        return 2
+    store = ReleaseStore(args.store)
+    release_filter = ReleaseFilter(
+        mechanism=args.mechanism,
+        epsilon=args.epsilon,
+        graph=args.graph,
+        key_glob=args.key_glob,
+        since=args.since,
+    )
+    rows = ReleaseCatalog(store).rows(release_filter)
+    print(format_rows(rows, args.format))
+    return 0
+
+
 def _sweep_runner(
     epsilon_g: float,
     levels: int,
@@ -350,7 +415,7 @@ def _sweep_runner(
     release = MultiLevelDiscloser(config=config, rng=seed).disclose(graph)
     key = f"sweep-{dataset}-{scale}-l{levels}-eps{epsilon_g}-seed{seed}"
     if store is not None:
-        ReleaseStore(store).save(release, key=key)
+        ReleaseStore(store, clock=system_clock).save(release, key=key)
     rows = figure1_metrics_from_release(release)
     expected = [row["expected_rer"] for row in rows if row.get("expected_rer") is not None]
     return {
@@ -400,8 +465,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving.respcache import DEFAULT_RESPONSE_CACHE_SIZE
     from repro.serving.server import DEFAULT_CACHE_SIZE
 
-    if not args.store.is_dir():
-        print(f"serve: store directory {args.store} does not exist", file=sys.stderr)
+    # A store is either a release directory or a SQLite database file.
+    if not (args.store.is_dir() or args.store.is_file()):
+        print(
+            f"serve: store directory or file {args.store} does not exist",
+            file=sys.stderr,
+        )
         return 2
     if not args.policy.is_file():
         print(f"serve: policy file {args.policy} does not exist", file=sys.stderr)
@@ -449,6 +518,7 @@ _COMMANDS = {
     "disclose": _cmd_disclose,
     "figure1": _cmd_figure1,
     "report": _cmd_report,
+    "query": _cmd_query,
     "sweep": _cmd_sweep,
     "serve": _cmd_serve,
 }
@@ -462,6 +532,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     (:class:`~repro.exceptions.ServingError`) and a fail-fast sweep stop
     (:class:`~repro.exceptions.SweepInterrupted`) — exit nonzero with a
     one-line message instead of a traceback; genuine bugs still raise.
+    ``Ctrl-C`` anywhere in a subcommand exits 130 (the conventional
+    SIGINT status) with a one-line message, never a traceback.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -470,6 +542,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (EvaluationError, ValidationError, ServingError, SweepInterrupted) as error:
         print(f"repro {args.command}: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        print(f"repro {args.command}: interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via the console script

@@ -19,6 +19,11 @@ persist every release and *serve* it rather than re-disclose.
   memory — the natural backend for tests and for serving-layer caches — and
   produces byte-identical documents, so a release stored through either
   backend serialises identically.
+* :class:`~repro.core.sqlite_backend.SqliteBackend` (selected by a
+  ``.db``/``.sqlite`` path) keeps the same artefacts in one SQLite file,
+  plus extracted catalog columns that make the store queryable by
+  mechanism/epsilon/graph fingerprint (``repro query``,
+  :mod:`repro.core.catalog`).
 
 On top of the backend, :class:`ReleaseStore` optionally keeps an LRU
 read-through cache of parsed releases (``cache_size``).  Every cache hit is
@@ -234,13 +239,21 @@ class DirectoryBackend(StoreBackend):
 
     # -- index maintenance --------------------------------------------
     def _scan_keys(self) -> List[str]:
-        """O(n) directory scan — the rebuild path, not the hot path."""
+        """O(n) directory scan — the rebuild path, not the hot path.
+
+        A complete release is the *pair* of artefacts: ``put`` renames the
+        answers into place before the document, so a directory holding a
+        document without its sibling answers file is a torn pair (the
+        answers were deleted behind the store) and must not be listed —
+        loading it could only fail later.
+        """
         if not self.root.is_dir():
             return []
         return sorted(
             entry.name
             for entry in self.root.iterdir()
             if (entry / self.DOCUMENT_NAME).is_file()
+            and (entry / self.ANSWERS_NAME).is_file()
         )
 
     def _write_index(self, keys: List[str]) -> None:
@@ -349,6 +362,16 @@ class DirectoryBackend(StoreBackend):
     def get_answers(self, key: str) -> Optional[bytes]:
         path = self.path_for(key) / self.ANSWERS_NAME
         if not path.is_file():
+            if (self.path_for(key) / self.DOCUMENT_NAME).is_file():
+                # Torn pair: the document survived but its sibling answers
+                # file was deleted out from under the store.  ``put`` writes
+                # answers before the document, so this can never be a write
+                # in flight — read-repair the index so keys() stops
+                # advertising an entry load() can only fail on.  Document-only
+                # reads (serving metadata/roles) keep working regardless.
+                indexed = self._read_index()
+                if indexed is not None and key in indexed:
+                    self._index_discard(key)
             return None
         return path.read_bytes()
 
@@ -452,9 +475,12 @@ class ReleaseStore:
     Parameters
     ----------
     root:
-        Either a directory path (a :class:`DirectoryBackend` is created for
-        it — the historical constructor, unchanged) or any
-        :class:`StoreBackend` instance.
+        Either a path or any :class:`StoreBackend` instance.  A path ending
+        in ``.db``/``.sqlite``/``.sqlite3`` — or an existing file carrying
+        the SQLite magic header — selects a
+        :class:`~repro.core.sqlite_backend.SqliteBackend` (one queryable
+        database file); every other path keeps the historical behaviour and
+        creates a :class:`DirectoryBackend` for it.
     cache_size:
         When positive, keep up to this many parsed releases in an LRU
         read-through cache.  Hits are re-validated against the backend's
@@ -462,6 +488,12 @@ class ReleaseStore:
         the stored artefacts behind the store is always detected.  The
         default (0) disables caching, preserving load-always-reads
         semantics; the serving layer enables it.
+    clock:
+        Optional zero-argument callable returning a created-at string,
+        forwarded to backends that record one (currently the SQLite
+        backend).  ``None`` (the default) stores no timestamp — backends
+        never read the wall clock themselves.  Ignored when ``root`` is
+        already a :class:`StoreBackend` instance.
 
     Examples
     --------
@@ -481,15 +513,28 @@ class ReleaseStore:
     DOCUMENT_NAME = DirectoryBackend.DOCUMENT_NAME
     ANSWERS_NAME = DirectoryBackend.ANSWERS_NAME
 
-    def __init__(self, root: Union[PathLike, StoreBackend], cache_size: int = 0):
+    def __init__(
+        self,
+        root: Union[PathLike, StoreBackend],
+        cache_size: int = 0,
+        clock: Optional[Callable[[], str]] = None,
+    ):
         if isinstance(root, StoreBackend):
             self.backend = root
         else:
-            self.backend = DirectoryBackend(root)
+            # Imported lazily: sqlite_backend imports this module (it
+            # subclasses StoreBackend), so a module-level import would cycle.
+            from repro.core.sqlite_backend import SqliteBackend, is_sqlite_path
+
+            if is_sqlite_path(root):
+                self.backend = SqliteBackend(root, clock=clock)
+            else:
+                self.backend = DirectoryBackend(root)
         self.root = getattr(self.backend, "root", None)
         self.cache_size = int(cache_size)
         self._cache: "OrderedDict[str, Tuple[Optional[str], MultiLevelRelease]]" = OrderedDict()
         self._cache_lock = threading.Lock()
+        self._cache_lookups = 0
         self._cache_hits = 0
         self._cache_misses = 0
 
@@ -537,9 +582,16 @@ class ReleaseStore:
     # Cache plumbing
     # ------------------------------------------------------------------
     def cache_info(self) -> Dict[str, int]:
-        """Hit/miss/size counters of the read-through cache."""
+        """Hit/miss/size counters of the read-through cache.
+
+        ``hits + misses == lookups`` by construction: every cache-enabled
+        load counts exactly one lookup resolving to exactly one hit or
+        miss (a stale-fingerprint drop is that lookup's single miss, not
+        an extra one).
+        """
         with self._cache_lock:
             return {
+                "lookups": self._cache_lookups,
                 "hits": self._cache_hits,
                 "misses": self._cache_misses,
                 "size": len(self._cache),
@@ -550,6 +602,7 @@ class ReleaseStore:
         if self.cache_size <= 0:
             return None
         with self._cache_lock:
+            self._cache_lookups += 1
             entry = self._cache.get(key)
             if entry is None:
                 self._cache_misses += 1

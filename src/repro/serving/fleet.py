@@ -156,10 +156,12 @@ class ServerFleet:
     Parameters
     ----------
     store_path:
-        The release-store *directory* every worker opens read-only.  A
-        directory (not a live :class:`ReleaseStore`) is required: stores
-        carry locks and caches that must not cross process boundaries, and
-        an in-memory store cannot be shared between processes at all.
+        The release store every worker opens read-only: either a release
+        directory or a SQLite store file (``.db``; WAL mode makes its
+        concurrent readers safe).  A *path* (not a live
+        :class:`ReleaseStore`) is required: stores carry locks and caches
+        that must not cross process boundaries, and an in-memory store
+        cannot be shared between processes at all.
     policy:
         An :class:`AccessPolicy`, its ``to_dict()`` mapping, or a JSON file
         path in that format.
@@ -210,9 +212,10 @@ class ServerFleet:
         if int(max_respawns) < 0:
             raise ValidationError(f"max_respawns must be >= 0, got {max_respawns}")
         store_path = Path(store_path)
-        if not store_path.is_dir():
+        if not (store_path.is_dir() or store_path.is_file()):
             raise ValidationError(
-                f"store_path must be an existing release-store directory, got {store_path}"
+                "store_path must be an existing release-store directory or "
+                f"SQLite store file, got {store_path}"
             )
         if isinstance(policy, AccessPolicy):
             policy_dict = policy.to_dict()
@@ -420,12 +423,14 @@ class ServerFleet:
             self._queue = None
 
     def serve_forever(self) -> None:
-        """Blocking front for the CLI: wait until interrupted, then stop."""
+        """Blocking front for the CLI: wait until interrupted, then stop.
+
+        ``KeyboardInterrupt`` propagates after the graceful stop, so the CLI
+        reports the uniform one-line message and exit status 130.
+        """
         try:
             while True:
                 time.sleep(0.5)
-        except KeyboardInterrupt:
-            pass
         finally:
             self.stop()
 

@@ -26,6 +26,14 @@ served stale: the republish changes the backend fingerprint, the stale entry
 dies on its next lookup, and the following request rebuilds the bytes from
 the fresh artefact.
 
+Counter semantics (the audit invariant ``/healthz`` numbers must satisfy):
+every :meth:`ResponseCache.get` call is exactly one *lookup* and resolves
+to exactly one of *hit* or *miss* — ``hits + misses == lookups`` always.  A
+stale-fingerprint drop additionally counts one *invalidation*, but the
+lookup that dropped it is still the same single miss; the rebuild that
+follows (:meth:`ResponseCache.put`) touches no counter at all, so an
+invalidate-and-rebuild request is never double-counted.
+
 The cache is a bounded LRU (``max_entries``) guarded by one lock; entries
 are immutable after construction, so serving a hit never copies or mutates.
 """
@@ -97,6 +105,7 @@ class ResponseCache:
         self.max_entries = int(max_entries)
         self._entries: "OrderedDict[str, CachedResponse]" = OrderedDict()
         self._lock = threading.Lock()
+        self._lookups = 0
         self._hits = 0
         self._misses = 0
         self._invalidations = 0
@@ -109,9 +118,15 @@ class ResponseCache:
         valid to serve); a stored entry whose fingerprint differs is dropped
         and counted as an invalidation — the route was republished behind
         the cache.
+
+        Exactly one lookup and one hit *or* miss is counted per call —
+        never both, and the stale-drop path counts its invalidation on top
+        of the same single miss, so ``hits + misses == lookups`` holds
+        through any mix of hits, cold misses and invalidations.
         """
         invalidated = False
         with self._lock:
+            self._lookups += 1
             entry = self._entries.get(route)
             if entry is not None and fingerprint is not None and entry.fingerprint == fingerprint:
                 self._entries.move_to_end(route)
@@ -137,11 +152,16 @@ class ResponseCache:
         return entry
 
     def stats(self) -> Dict[str, int]:
-        """JSON-ready counters (rendered under ``/healthz``'s cache section)."""
+        """JSON-ready counters (rendered under ``/healthz``'s cache section).
+
+        Satisfies ``hits + misses == lookups``; invalidations are a subset
+        of the misses, not an extra bucket.
+        """
         with self._lock:
             return {
                 "entries": len(self._entries),
                 "max_entries": self.max_entries,
+                "lookups": self._lookups,
                 "hits": self._hits,
                 "misses": self._misses,
                 "invalidations": self._invalidations,

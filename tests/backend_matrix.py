@@ -1,0 +1,59 @@
+"""Store-backend parameterization helpers shared by the test suite.
+
+Lives in its own uniquely-named module (not ``conftest.py``) because the
+test and benchmark trees each have a ``conftest`` and a bare
+``import conftest`` resolves to whichever directory pytest put on
+``sys.path`` first.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, List, Optional
+
+from repro.core.store import ReleaseStore
+
+#: Every store-backend kind the parameterized suites can target.
+STORE_BACKEND_KINDS = ("directory", "memory", "sqlite")
+
+
+def store_backend_matrix(*kinds: str) -> List[str]:
+    """The parameter list for backend-parameterized tests.
+
+    Defaults to ``kinds`` (or every kind), but honours the
+    ``REPRO_STORE_BACKEND`` environment pin: CI re-runs the store and
+    serving-cache suites with the pin set to ``sqlite``, collapsing each
+    parameterized test to the SQLite backend only — same assertions, one
+    backend — without a separate test file.
+    """
+    kinds = kinds or STORE_BACKEND_KINDS
+    for kind in kinds:
+        if kind not in STORE_BACKEND_KINDS:
+            raise ValueError(f"unknown store backend kind {kind!r}")
+    pinned = os.environ.get("REPRO_STORE_BACKEND")
+    if pinned in kinds:
+        return [pinned]
+    return list(kinds)
+
+
+def make_release_store(
+    kind: str,
+    tmp_path: Path,
+    cache_size: int = 0,
+    clock: Optional[Callable[[], str]] = None,
+) -> ReleaseStore:
+    """One fresh :class:`ReleaseStore` of the requested backend kind.
+
+    Directory and SQLite stores land under ``tmp_path`` (``releases/`` and
+    ``releases.db``); the memory kind ignores the path.  Construction goes
+    through the public ``ReleaseStore(root=...)`` detection, so these
+    stores exercise exactly what users get from a path.
+    """
+    if kind == "directory":
+        return ReleaseStore(tmp_path / "releases", cache_size=cache_size, clock=clock)
+    if kind == "sqlite":
+        return ReleaseStore(tmp_path / "releases.db", cache_size=cache_size, clock=clock)
+    if kind == "memory":
+        return ReleaseStore.in_memory(cache_size=cache_size)
+    raise ValueError(f"unknown store backend kind {kind!r}")

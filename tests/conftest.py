@@ -9,6 +9,11 @@ from __future__ import annotations
 
 import pytest
 
+from backend_matrix import (  # noqa: F401  (re-exported for fixture use)
+    STORE_BACKEND_KINDS,
+    make_release_store,
+    store_backend_matrix,
+)
 from repro.core.config import DisclosureConfig
 from repro.core.discloser import MultiLevelDiscloser
 from repro.datasets.dblp_like import generate_dblp_like

@@ -219,3 +219,112 @@ class TestSweepCommand:
         assert err.startswith("repro sweep:")
         assert "different run" in err
         assert "Traceback" not in err
+
+class TestQueryCommand:
+    """`repro query` — the catalog CLI — over both store backends."""
+
+    def _seed(self, store_path):
+        """Disclose two releases (different epsilon) into `store_path`."""
+        for epsilon, seed in (("0.5", "2"), ("1.0", "3")):
+            code = main(
+                [
+                    "disclose", "--scale", "tiny", "--levels", "4",
+                    "--epsilon-g", epsilon, "--seed", seed,
+                    "--key", f"rel-eps{epsilon}",
+                    "--store", str(store_path),
+                ]
+            )
+            assert code == 0
+
+    def test_table_output_lists_catalog_columns(self, tmp_path, capsys):
+        store = tmp_path / "releases.db"
+        self._seed(store)
+        capsys.readouterr()
+        assert main(["query", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        for column in ("key", "mechanism", "epsilon", "levels", "graph", "created_at"):
+            assert column in out
+        assert "rel-eps0.5" in out and "rel-eps1.0" in out
+        # The CLI write path stamps wall-clock created_at timestamps.
+        assert out.count("T") >= 2
+
+    def test_epsilon_filter_and_json_output(self, tmp_path, capsys):
+        store = tmp_path / "releases.db"
+        self._seed(store)
+        capsys.readouterr()
+        assert main(["query", "--store", str(store), "--epsilon", "0.5", "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["key"] for row in rows] == ["rel-eps0.5"]
+        assert rows[0]["epsilon"] == 0.5
+        assert rows[0]["mechanism"] == "gaussian"
+
+    def test_key_glob_and_csv_output(self, tmp_path, capsys):
+        store = tmp_path / "store-dir"
+        self._seed(store)
+        capsys.readouterr()
+        assert main(["query", "--store", str(store), "--key-glob", "*eps1.0", "--format", "csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("key,")
+        assert len(lines) == 2 and lines[1].startswith("rel-eps1.0,")
+
+    def test_empty_result_prints_placeholder(self, tmp_path, capsys):
+        store = tmp_path / "releases.db"
+        self._seed(store)
+        capsys.readouterr()
+        assert main(["query", "--store", str(store), "--mechanism", "laplace"]) == 0
+        assert "(no matching releases)" in capsys.readouterr().out
+
+    def test_missing_store_is_exit_2_not_a_fresh_store(self, tmp_path, capsys):
+        missing = tmp_path / "nowhere.db"
+        assert main(["query", "--store", str(missing)]) == 2
+        assert "does not exist" in capsys.readouterr().err
+        # Querying must never materialise an empty store on disk.
+        assert not missing.exists()
+
+    def test_json_output_identical_across_backends(self, tmp_path, capsys):
+        """Acceptance criterion: `repro query --epsilon 0.5 --format json`
+        returns byte-identical output for a directory store and a SQLite
+        store seeded with the same releases."""
+        from repro.core.store import ReleaseStore
+
+        from backend_matrix import make_release_store
+
+        outputs = {}
+        for kind in ("directory", "sqlite"):
+            store = make_release_store(kind, tmp_path / kind)
+            for epsilon, key in ((0.5, "rel-a"), (1.0, "rel-b")):
+                from repro.core.config import DisclosureConfig
+                from repro.core.discloser import MultiLevelDiscloser
+                from repro.datasets.dblp_like import generate_dblp_like
+                from repro.grouping.specialization import SpecializationConfig
+
+                release = MultiLevelDiscloser(
+                    DisclosureConfig(
+                        epsilon_g=epsilon,
+                        specialization=SpecializationConfig(num_levels=4),
+                    ),
+                    rng=9,
+                ).disclose(generate_dblp_like(num_authors=60, seed=4))
+                store.save(release, key=key)
+            capsys.readouterr()
+            root = store.backend.root
+            assert main(["query", "--store", str(root), "--epsilon", "0.5", "--format", "json"]) == 0
+            outputs[kind] = capsys.readouterr().out
+        assert outputs["directory"] == outputs["sqlite"]
+        rows = json.loads(outputs["sqlite"])
+        assert [row["key"] for row in rows] == ["rel-a"]
+
+
+class TestKeyboardInterrupt:
+    def test_ctrl_c_is_exit_130_with_one_line_message(self, capsys, monkeypatch):
+        import repro.cli as cli_module
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(cli_module._COMMANDS, "figure1", interrupted)
+        code = main(["figure1", "--scale", "tiny"])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert err == "repro figure1: interrupted\n"
+        assert "Traceback" not in err

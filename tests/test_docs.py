@@ -85,3 +85,28 @@ class TestArchitecture:
             "ServerFleet",
         ):
             assert switch in text, f"README.md does not mention {switch!r}"
+
+    def test_architecture_covers_the_release_catalog(self):
+        text = ARCHITECTURE.read_text(encoding="utf-8")
+        for term in (
+            "SqliteBackend",
+            "ReleaseCatalog",
+            "ReleaseFilter",
+            "schema_version",
+            "MIGRATIONS",
+            "BEGIN IMMEDIATE",
+            "graph fingerprint",
+        ):
+            assert term in text, f"ARCHITECTURE.md does not mention {term!r}"
+
+    def test_readme_covers_the_query_cli_and_sqlite_store(self):
+        text = README.read_text(encoding="utf-8")
+        for switch in (
+            "catalog.db",
+            "SqliteBackend",
+            "--key-glob",
+            "--since",
+            "--format json",
+            "repro query",
+        ):
+            assert switch in text, f"README.md does not mention {switch!r}"

@@ -12,6 +12,7 @@ from types import SimpleNamespace
 
 import pytest
 
+from backend_matrix import make_release_store, store_backend_matrix
 from repro.core.access import AccessPolicy
 from repro.core.config import DisclosureConfig
 from repro.core.discloser import MultiLevelDiscloser
@@ -119,6 +120,42 @@ class TestResponseCacheUnit:
             ResponseCache(max_entries=0)
         with pytest.raises(ValidationError):
             ResponseCache(max_entries=-1)
+
+
+class TestCounterAudit:
+    """The accounting invariant: every lookup is exactly one hit or miss
+    (``hits + misses == lookups``), and an invalidate-and-rebuild request
+    is one miss plus one invalidation — never double-counted."""
+
+    def test_hits_plus_misses_equals_lookups(self):
+        cache = ResponseCache(max_entries=4)
+        cache.get("/r", "fp-1")  # cold miss
+        cache.put("/r", "fp-1", b"x")
+        cache.get("/r", "fp-1")  # hit
+        cache.get("/r", "fp-2")  # stale: one invalidation, same single miss
+        cache.put("/r", "fp-2", b"y")  # rebuild: touches no counter
+        cache.get("/r", "fp-2")  # hit
+        cache.get("/r", None)  # absent key: entry dropped, one miss
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == stats["lookups"]
+        assert stats["lookups"] == 5
+        assert stats["hits"] == 2
+        assert stats["misses"] == 3
+        assert stats["invalidations"] == 2
+
+    def test_stale_rebuild_counts_one_miss_and_one_invalidation(self):
+        cache = ResponseCache(max_entries=4)
+        cache.put("/r", "fp-1", b"old")
+        cache.get("/r", "fp-1")
+        before = cache.stats()
+        # One republished-key request: stale lookup, then rebuild.
+        assert cache.get("/r", "fp-2") is None
+        cache.put("/r", "fp-2", b"new")
+        after = cache.stats()
+        assert after["lookups"] == before["lookups"] + 1
+        assert after["misses"] == before["misses"] + 1
+        assert after["invalidations"] == before["invalidations"] + 1
+        assert after["hits"] == before["hits"]
 
 
 class TestConditionalGet:
@@ -248,20 +285,35 @@ class TestInvalidationOnRepublish:
             assert after.etag != before.etag
             assert after.body != before.body
 
+    def test_republish_invalidates_on_a_sqlite_backend_too(
+        self, release, other_release, policy, tmp_path
+    ):
+        store = ReleaseStore(tmp_path / "store.db")
+        key = store.save(release)
+        with ReleaseServer(store, policy, port=0) as server:
+            url = f"{server.url}/releases/{key}/views/analyst"
+            before = http_get_response(url)
+            store.save(other_release, key=key)  # revision column bumps
+            after = http_get_response(url)
+            assert after.etag != before.etag
+            assert after.body != before.body
+
 
 class TestBackendParityWithCache:
+    @pytest.mark.parametrize("backend_kind", store_backend_matrix("memory", "sqlite"))
     def test_cached_bodies_byte_identical_across_backends(
-        self, release, policy, tmp_path
+        self, release, policy, tmp_path, backend_kind
     ):
-        """With the response cache on, directory- and memory-backed servers
-        still serve byte-identical bodies (their ETags differ — fingerprints
-        are backend-specific — but the canonical bytes cannot)."""
+        """With the response cache on, a directory-backed server and a
+        server on any other backend still serve byte-identical bodies
+        (their ETags differ — fingerprints are backend-specific — but the
+        canonical bytes cannot)."""
         directory_store = ReleaseStore(tmp_path / "store")
-        memory_store = ReleaseStore.in_memory()
+        other_store = make_release_store(backend_kind, tmp_path)
         key = directory_store.save(release)
-        assert memory_store.save(release) == key
+        assert other_store.save(release) == key
         with ReleaseServer(directory_store, policy, port=0) as on_disk:
-            with ReleaseServer(memory_store, policy, port=0) as in_memory:
+            with ReleaseServer(other_store, policy, port=0) as other:
                 for path in (
                     f"/releases/{key}",
                     f"/releases/{key}/views/analyst",
@@ -269,7 +321,7 @@ class TestBackendParityWithCache:
                 ):
                     for _ in range(2):  # cold then cached
                         body_a = http_get_response(on_disk.url + path).body
-                        body_b = http_get_response(in_memory.url + path).body
+                        body_b = http_get_response(other.url + path).body
                         assert body_a == body_b, path
 
     def test_cached_body_matches_cache_disabled_body(self, release, policy, tmp_path):
@@ -346,15 +398,18 @@ class TestZeroWorkWhenWarm:
     """The acceptance criterion: a warm cached GET does zero JSON
     serialisation and zero store reads — only a fingerprint check."""
 
-    @pytest.mark.parametrize("backend_kind", ["directory", "memory"])
+    @pytest.mark.parametrize("backend_kind", store_backend_matrix())
     def test_warm_cached_get_reads_nothing_and_serialises_nothing(
         self, release, policy, tmp_path, monkeypatch, backend_kind
     ):
+        from repro.core.sqlite_backend import SqliteBackend
         from repro.core.store import DirectoryBackend
         from repro.serving import server as server_module
 
         if backend_kind == "directory":
             inner = DirectoryBackend(tmp_path / "store")
+        elif backend_kind == "sqlite":
+            inner = SqliteBackend(tmp_path / "store.db")
         else:
             inner = MemoryBackend()
         backend = FaultInjectingBackend(inner)
@@ -430,6 +485,26 @@ class TestHealthzCacheCounters:
         assert fault_tolerance["etag_hits"] >= 1
         assert fault_tolerance["gzip_responses"] >= 1
         assert "cache_invalidations" in fault_tolerance
+
+    def test_healthz_response_cache_counters_add_up(
+        self, release, other_release, policy, tmp_path
+    ):
+        """Through a real request mix — cold fill, warm hits, a 304, and an
+        invalidate-and-rebuild after a republish — the ``/healthz`` numbers
+        must satisfy ``hits + misses == lookups``."""
+        store = ReleaseStore(tmp_path / "store", cache_size=8)
+        key = store.save(release)
+        with ReleaseServer(store, policy, port=0) as server:
+            url = f"{server.url}/releases/{key}/views/public"
+            first = http_get_response(url)  # miss + fill
+            http_get_response(url)  # hit
+            http_get_response(url, etag=first.etag)  # 304 off the cached entry
+            store.save(other_release, key=key)  # republish behind the server
+            http_get_response(url)  # invalidation + single miss + rebuild
+            cache = fetch_json(server.url, "/healthz")["response_cache"]
+            assert cache["hits"] + cache["misses"] == cache["lookups"]
+            assert cache["invalidations"] >= 1
+            assert cache["misses"] >= 2
 
     def test_healthz_reports_disabled_cache(self, release, policy):
         store = ReleaseStore.in_memory()

@@ -283,3 +283,22 @@ class TestCliServeFleet:
         finally:
             process.terminate()
             process.wait(timeout=15)
+
+
+class TestServeForeverInterrupt:
+    def test_interrupt_stops_the_fleet_then_propagates(self, monkeypatch):
+        """Ctrl-C must shut the fleet down gracefully *and* reach the CLI's
+        top-level handler, which turns it into the uniform exit status 130."""
+        import repro.serving.fleet as fleet_module
+
+        fleet = ServerFleet.__new__(ServerFleet)
+        stopped = []
+        fleet.stop = lambda: stopped.append(True)
+
+        def interrupted_sleep(seconds):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(fleet_module.time, "sleep", interrupted_sleep)
+        with pytest.raises(KeyboardInterrupt):
+            fleet.serve_forever()
+        assert stopped == [True]

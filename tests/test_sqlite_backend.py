@@ -1,0 +1,317 @@
+"""Tests for the SQLite store backend: schema migrations (with the v1 → v2
+catalog backfill), WAL crash-safety under kill -9 (reusing the
+:class:`KillWorkerFault` toolkit), monotonic revision fingerprints, and the
+SQL catalog path's parity with the full-scan fallback."""
+
+import multiprocessing
+import sqlite3
+import threading
+
+import pytest
+
+from repro.core.catalog import (
+    ReleaseCatalog,
+    ReleaseFilter,
+    catalog_row,
+    graph_fingerprint,
+)
+from repro.core.config import DisclosureConfig
+from repro.core.discloser import MultiLevelDiscloser
+from repro.core.sqlite_backend import (
+    SQLITE_MAGIC,
+    SqliteBackend,
+    is_sqlite_path,
+)
+from repro.core import sqlite_backend as sqlite_backend_module
+from repro.core.store import ReleaseStore
+from repro.exceptions import ReleaseIntegrityError
+from repro.grouping.specialization import SpecializationConfig
+
+
+@pytest.fixture(scope="module")
+def release(dblp_graph):
+    config = DisclosureConfig(
+        epsilon_g=0.5, specialization=SpecializationConfig(num_levels=4)
+    )
+    return MultiLevelDiscloser(config, rng=11).disclose(dblp_graph)
+
+
+@pytest.fixture(scope="module")
+def laplace_release(dblp_graph):
+    config = DisclosureConfig(
+        epsilon_g=1.0,
+        mechanism="laplace",
+        specialization=SpecializationConfig(num_levels=4),
+    )
+    return MultiLevelDiscloser(config, rng=11).disclose(dblp_graph)
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return tmp_path / "releases.db"
+
+
+class TestPathDetection:
+    def test_db_suffix_selects_sqlite_even_before_the_file_exists(self, db_path):
+        assert is_sqlite_path(db_path)
+        store = ReleaseStore(db_path)
+        assert isinstance(store.backend, SqliteBackend)
+
+    def test_magic_header_detected_whatever_the_name(self, tmp_path, release):
+        oddly_named = tmp_path / "releases.store"
+        seed = ReleaseStore(tmp_path / "seed.db")
+        seed.save(release, key="k")
+        # Fold the WAL into the main file so a byte copy is self-contained.
+        seed.backend._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        seed.backend.close()
+        oddly_named.write_bytes((tmp_path / "seed.db").read_bytes())
+        assert oddly_named.read_bytes().startswith(SQLITE_MAGIC)
+        assert is_sqlite_path(oddly_named)
+        assert ReleaseStore(oddly_named).keys() == ["k"]
+
+    def test_plain_directory_path_still_gets_a_directory_backend(self, tmp_path):
+        from repro.core.store import DirectoryBackend
+
+        store = ReleaseStore(tmp_path / "releases")
+        assert isinstance(store.backend, DirectoryBackend)
+
+    def test_existing_directory_named_like_a_db_stays_a_directory(self, tmp_path):
+        from repro.core.store import DirectoryBackend
+
+        trap = tmp_path / "releases.db"
+        trap.mkdir()
+        assert not is_sqlite_path(trap)
+        assert isinstance(ReleaseStore(trap).backend, DirectoryBackend)
+
+
+class TestSchemaMigrations:
+    def test_fresh_store_is_at_the_latest_version(self, db_path):
+        backend = SqliteBackend(db_path)
+        assert backend.schema_version() == sqlite_backend_module.SCHEMA_VERSION
+
+    def test_reopen_is_idempotent(self, db_path, release):
+        ReleaseStore(db_path).save(release, key="k")
+        again = ReleaseStore(db_path)
+        assert again.keys() == ["k"]
+        assert again.load("k").to_dict() == release.to_dict()
+
+    def test_v1_database_is_upgraded_and_backfilled(self, db_path, release):
+        """A database created at schema v1 (bytes only, no catalog columns)
+        must upgrade on open and answer catalog queries identically to a
+        store written at v2 from the start."""
+        seed = ReleaseStore.in_memory()
+        key = seed.save(release, key="legacy")
+        document = seed.backend.get_document(key)
+        answers = seed.backend.get_answers(key)
+
+        conn = sqlite3.connect(str(db_path))
+        conn.execute("CREATE TABLE schema_version (version INTEGER NOT NULL)")
+        sqlite_backend_module._migration_1_initial(conn)
+        conn.execute("INSERT INTO schema_version (version) VALUES (1)")
+        conn.execute("UPDATE meta SET value = 1 WHERE name = 'revision'")
+        conn.execute(
+            "INSERT INTO releases (key, document, answers, revision, created_at)"
+            " VALUES (?, ?, ?, 1, NULL)",
+            (key, sqlite3.Binary(document), sqlite3.Binary(answers)),
+        )
+        conn.commit()
+        conn.close()
+
+        backend = SqliteBackend(db_path)
+        assert backend.schema_version() == 2
+        (row,) = backend.query_catalog(ReleaseFilter())
+        assert row == catalog_row(key, document, created_at=None)
+        assert row["mechanism"] == "gaussian"
+        assert row["epsilon"] == 0.5
+
+    def test_newer_schema_is_refused(self, db_path):
+        SqliteBackend(db_path)
+        conn = sqlite3.connect(str(db_path))
+        conn.execute("INSERT INTO schema_version (version) VALUES (99)")
+        conn.commit()
+        conn.close()
+        with pytest.raises(ReleaseIntegrityError, match="newer"):
+            SqliteBackend(db_path)
+
+    def test_wal_mode_is_on(self, db_path):
+        backend = SqliteBackend(db_path)
+        (mode,) = backend._conn.execute("PRAGMA journal_mode").fetchone()
+        assert mode == "wal"
+
+
+class TestRevisionFingerprints:
+    def test_revisions_are_store_wide_monotonic(self, db_path, release):
+        store = ReleaseStore(db_path)
+        store.save(release, key="a")
+        store.save(release, key="b")
+        assert store.fingerprint("a") == "rev:1"
+        assert store.fingerprint("b") == "rev:2"
+        store.save(release, key="a")
+        assert store.fingerprint("a") == "rev:3"
+
+    def test_delete_and_reput_never_reuses_a_revision(self, db_path, release):
+        store = ReleaseStore(db_path)
+        store.save(release, key="a")
+        first = store.fingerprint("a")
+        store.delete("a")
+        assert store.fingerprint("a") is None
+        store.save(release, key="a")
+        assert store.fingerprint("a") not in (None, first)
+
+
+class TestForeignBytes:
+    def test_unparseable_document_keeps_byte_contract_with_null_catalog(
+        self, db_path
+    ):
+        """The backend contract is bytes-in bytes-out; catalog extraction
+        must not make it reject non-JSON documents (fault-injection tests
+        store garbage on purpose)."""
+        backend = SqliteBackend(db_path)
+        backend.put("junk", b"not json", b"not npz")
+        assert backend.get_document("junk") == b"not json"
+        assert backend.get_answers("junk") == b"not npz"
+        (row,) = backend.query_catalog(ReleaseFilter())
+        assert row["mechanism"] is None and row["epsilon"] is None
+
+    def test_threaded_readers_each_get_their_own_connection(self, db_path, release):
+        store = ReleaseStore(db_path)
+        key = store.save(release, key="k")
+        document = store.backend.get_document(key)
+        failures = []
+
+        def read():
+            try:
+                for _ in range(5):
+                    assert store.backend.get_document(key) == document
+            except Exception as exc:  # pragma: no cover - failure path
+                failures.append(exc)
+
+        threads = [threading.Thread(target=read) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert failures == []
+
+
+def _crashy_put_worker(db_path: str, document: bytes, answers: bytes) -> None:
+    """Forked child: start a put transaction, die (kill -9 style) pre-COMMIT.
+
+    Replays the backend's own put sequence — revision bump plus row upsert
+    inside ``BEGIN IMMEDIATE`` — then dies via :class:`KillWorkerFault`
+    (``os._exit``) with the transaction still open, which is what a power
+    cut or OOM-kill mid-``put`` looks like to the database file.
+    """
+    from repro.execution.faults import KillWorkerFault
+
+    backend = SqliteBackend(db_path)
+    conn = backend._conn
+    conn.execute("BEGIN IMMEDIATE")
+    conn.execute("UPDATE meta SET value = value + 1 WHERE name = 'revision'")
+    conn.execute(
+        "INSERT OR REPLACE INTO releases"
+        " (key, document, answers, revision, created_at,"
+        "  dataset, mechanism, epsilon, levels, graph_fingerprint)"
+        " VALUES ('victim', ?, ?, 1, NULL, NULL, NULL, NULL, NULL, NULL)",
+        (sqlite3.Binary(document), sqlite3.Binary(answers)),
+    )
+    KillWorkerFault(attempts=(1,)).trigger(0, 1)  # os._exit: COMMIT never runs
+
+
+class TestCrashSafety:
+    def test_kill_nine_mid_put_rolls_back_and_retry_is_bit_identical(
+        self, db_path, release, tmp_path
+    ):
+        """The satellite acceptance: a writer killed -9 mid-``put`` leaves a
+        database that reopens clean, without the half-written release, and a
+        retried ``put`` under the same key lands bit-identically."""
+        seed = ReleaseStore.in_memory()
+        seed.save(release, key="victim")
+        document = seed.backend.get_document("victim")
+        answers = seed.backend.get_answers("victim")
+
+        SqliteBackend(db_path)  # create + migrate before the writer forks
+        context = multiprocessing.get_context("fork")
+        writer = context.Process(
+            target=_crashy_put_worker, args=(str(db_path), document, answers)
+        )
+        writer.start()
+        writer.join(timeout=30)
+        assert writer.exitcode == 17  # KillWorkerFault's os._exit status
+
+        # The database reopens clean and the half-written release is absent.
+        store = ReleaseStore(db_path)
+        assert store.keys() == []
+        assert not store.exists("victim")
+        assert store.fingerprint("victim") is None
+
+        # A retried put under the same key succeeds, bit-identically.
+        assert store.save(release, key="victim") == "victim"
+        assert store.backend.get_document("victim") == document
+        assert store.backend.get_answers("victim") == answers
+        assert store.load("victim").to_dict() == release.to_dict()
+
+
+class TestCatalogParity:
+    """The SQL path and the full-scan fallback must return identical rows
+    for identically seeded stores — the tentpole acceptance criterion."""
+
+    @pytest.fixture
+    def seeded(self, tmp_path, release, laplace_release):
+        sqlite_store = ReleaseStore(tmp_path / "cat.db")
+        directory_store = ReleaseStore(tmp_path / "cat-dir")
+        for store in (sqlite_store, directory_store):
+            store.save(release, key="gauss-half")
+            store.save(laplace_release, key="laplace-one")
+        return sqlite_store, directory_store
+
+    @pytest.mark.parametrize(
+        "release_filter",
+        [
+            ReleaseFilter(),
+            ReleaseFilter(epsilon=0.5),
+            ReleaseFilter(mechanism="laplace"),
+            ReleaseFilter(mechanism="laplace", epsilon=0.5),  # conjunction: empty
+            ReleaseFilter(key_glob="gauss-*"),
+            ReleaseFilter(key_glob="*-o?e"),
+            ReleaseFilter(key_glob="[gl]*"),
+            ReleaseFilter(since="2020-01-01"),  # no clock: nothing matches
+            ReleaseFilter(epsilon=99.0),
+        ],
+        ids=lambda f: repr(f)[:60],
+    )
+    def test_sql_and_scan_paths_agree(self, seeded, release_filter):
+        sqlite_store, directory_store = seeded
+        sql_rows = ReleaseCatalog(sqlite_store).rows(release_filter)
+        scan_rows = ReleaseCatalog(directory_store).rows(release_filter)
+        assert sql_rows == scan_rows
+
+    def test_graph_filter_agrees_and_spans_mechanisms(self, seeded, release):
+        sqlite_store, directory_store = seeded
+        fingerprint = graph_fingerprint(release.to_dict())
+        release_filter = ReleaseFilter(graph=fingerprint)
+        sql_rows = ReleaseCatalog(sqlite_store).rows(release_filter)
+        assert sql_rows == ReleaseCatalog(directory_store).rows(release_filter)
+        # Same graph + same specialization ⇒ same fingerprint for both
+        # mechanisms, so the graph filter finds both releases.
+        assert [row["key"] for row in sql_rows] == ["gauss-half", "laplace-one"]
+
+    def test_clocked_store_supports_since(self, tmp_path, release):
+        ticks = iter(["2026-01-01T00:00:00+00:00", "2026-06-01T00:00:00+00:00"])
+        store = ReleaseStore(tmp_path / "clocked.db", clock=lambda: next(ticks))
+        store.save(release, key="old")
+        store.save(release, key="new")
+        rows = ReleaseCatalog(store).rows(ReleaseFilter(since="2026-03-01"))
+        assert [row["key"] for row in rows] == ["new"]
+        assert rows[0]["created_at"] == "2026-06-01T00:00:00+00:00"
+
+    def test_query_catalog_reads_no_document_blobs(self, seeded, monkeypatch):
+        """The indexed path answers from catalog columns alone."""
+        sqlite_store, _ = seeded
+
+        def forbidden(key):
+            raise AssertionError("query_catalog read a document blob")
+
+        monkeypatch.setattr(sqlite_store.backend, "get_document", forbidden)
+        rows = ReleaseCatalog(sqlite_store).rows(ReleaseFilter(epsilon=0.5))
+        assert [row["key"] for row in rows] == ["gauss-half"]

@@ -7,6 +7,7 @@ import shutil
 
 import pytest
 
+from backend_matrix import make_release_store, store_backend_matrix
 from repro.core.config import DisclosureConfig
 from repro.core.discloser import MultiLevelDiscloser
 from repro.core.store import DirectoryBackend, MemoryBackend, ReleaseStore
@@ -142,6 +143,146 @@ class TestPersistedIndex:
         assert store.backend.index_path.is_file()
         assert store.keys() == ["alpha"]
         assert store.backend.rebuild_index() == ["alpha"]
+
+
+class TestBackendContract:
+    """The seven-method StoreBackend contract, run over every backend kind.
+
+    One parameterized suite instead of per-backend copies: whatever backend
+    ``REPRO_STORE_BACKEND`` pins (CI re-runs this SQLite-only), the same
+    assertions must hold.
+    """
+
+    @pytest.fixture(params=store_backend_matrix())
+    def any_store(self, request, tmp_path):
+        return make_release_store(request.param, tmp_path, cache_size=4)
+
+    @pytest.fixture(params=store_backend_matrix("memory", "sqlite"))
+    def revision_store(self, request, tmp_path):
+        """Backends whose fingerprint is a monotonic revision counter.
+
+        The directory backend's mtime+size token is only as fine as the
+        filesystem clock (two rewrites inside one tick can share it), so
+        the strict changes-on-every-republish property is asserted for the
+        counter-based backends.
+        """
+        return make_release_store(request.param, tmp_path, cache_size=4)
+
+    def test_round_trip_is_lossless(self, any_store, release):
+        key = any_store.save(release)
+        assert any_store.load(key).to_dict() == release.to_dict()
+
+    def test_keys_exists_delete(self, any_store, release):
+        any_store.save(release, key="beta")
+        any_store.save(release, key="alpha")
+        assert any_store.keys() == ["alpha", "beta"]
+        assert any_store.exists("alpha")
+        any_store.delete("alpha")
+        assert not any_store.exists("alpha")
+        assert any_store.keys() == ["beta"]
+        any_store.delete("alpha")  # idempotent
+
+    def test_fingerprint_absent_is_none(self, any_store):
+        assert any_store.fingerprint("nope") is None
+
+    def test_fingerprint_changes_on_republish(self, revision_store, release):
+        key = revision_store.save(release, key="run")
+        before = revision_store.fingerprint(key)
+        assert before is not None
+        revision_store.save(release, key="run")
+        assert revision_store.fingerprint(key) != before
+
+    def test_fingerprint_never_reused_across_delete_and_reput(
+        self, revision_store, release
+    ):
+        """delete + re-put must yield a fresh token — a reused one would
+        let the LRU/response caches serve the old entry for the new bytes."""
+        key = revision_store.save(release, key="run")
+        first = revision_store.fingerprint(key)
+        revision_store.delete(key)
+        revision_store.save(release, key="run")
+        assert revision_store.fingerprint(key) != first
+
+    def test_cache_invalidated_by_republish(self, any_store, release):
+        key = any_store.save(release, key="run")
+        first = any_store.load(key)
+        any_store.save(release, key="run")
+        second = any_store.load(key)
+        assert second is not first  # re-read, not served stale
+        assert second.to_dict() == first.to_dict()
+
+    def test_document_bytes_identical_to_directory_backend(
+        self, any_store, release, tmp_path
+    ):
+        reference = ReleaseStore(tmp_path / "reference-store")
+        key = reference.save(release, key="same")
+        any_store.save(release, key="same")
+        assert any_store.backend.get_document(key) == reference.backend.get_document(
+            key
+        )
+
+    def test_missing_key_raises_integrity_error(self, any_store):
+        with pytest.raises(ReleaseIntegrityError):
+            any_store.load("nope")
+
+    def test_cache_info_adds_up(self, any_store, release):
+        """The LRU audit invariant: hits + misses == lookups through a mix
+        of cold loads, warm hits and an invalidating republish."""
+        key = any_store.save(release, key="run")
+        any_store.load(key)  # miss
+        any_store.load(key)  # hit
+        any_store.save(release, key="run")
+        any_store.load(key)  # miss (fresh fingerprint)
+        any_store.load(key)  # hit
+        info = any_store.cache_info()
+        assert info["hits"] + info["misses"] == info["lookups"]
+        assert info["lookups"] == 4
+        assert (info["hits"], info["misses"]) == (2, 2)
+
+
+class TestTornPairReadRepair:
+    """An answers file deleted out from under the store makes the pair torn:
+    keys() must stop listing it and the failed load must read-repair the
+    index, exactly like a fully vanished release."""
+
+    def test_keys_skip_torn_pair_on_rebuild(self, store, release):
+        store.save(release, key="whole")
+        store.save(release, key="torn")
+        (store.path_for("torn") / ReleaseStore.ANSWERS_NAME).unlink()
+        assert store.backend.rebuild_index() == ["whole"]
+        assert store.keys() == ["whole"]
+
+    def test_failed_load_drops_torn_index_entry(self, store, release):
+        store.save(release, key="whole")
+        store.save(release, key="torn")
+        (store.path_for("torn") / ReleaseStore.ANSWERS_NAME).unlink()
+        assert store.keys() == ["torn", "whole"]  # stale index, by design
+        with pytest.raises(ReleaseIntegrityError):
+            store.load("torn")
+        # The failed load read-repaired the index, like a vanished release.
+        assert store.keys() == ["whole"]
+
+    def test_document_only_reads_survive_the_torn_pair(self, store, release):
+        """Serving metadata/roles read only the document, so a torn pair must
+        not break them — the repair happens on the answers path alone."""
+        store.save(release, key="torn")
+        (store.path_for("torn") / ReleaseStore.ANSWERS_NAME).unlink()
+        document = store.load_document("torn")
+        assert set(document["levels"]) == {str(level) for level in release.levels()}
+        # The document-only read did not touch the index...
+        assert store.keys() == ["torn"]
+        # ...but the first answers read repairs it.
+        assert store.backend.get_answers("torn") is None
+        assert store.keys() == []
+
+    def test_torn_key_can_be_republished(self, store, release):
+        store.save(release, key="torn")
+        (store.path_for("torn") / ReleaseStore.ANSWERS_NAME).unlink()
+        with pytest.raises(ReleaseIntegrityError):
+            store.load("torn")
+        store.save(release, key="torn")
+        assert store.keys() == ["torn"]
+        assert store.load("torn").to_dict() == release.to_dict()
 
 
 class TestDocumentOnlyLoad:
