@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands cover the common publisher workflows without writing any
+Eight subcommands cover the common publisher workflows without writing any
 Python:
 
 * ``repro generate`` — build a synthetic dataset and write it as an edge list;
@@ -20,6 +20,12 @@ Python:
   store with checkpointed resume: ``--journal`` records each combination's
   state so an interrupted sweep resumes instead of re-disclosing, and
   ``--on-error`` picks fail-fast or collect-and-continue;
+* ``repro refresh``  — incrementally re-disclose a *mutated* graph against a
+  stored release: per-level fingerprints are diffed and only the affected
+  levels are re-perturbed (unaffected levels are reused byte-for-byte at
+  zero extra privacy spend); the refreshed release is archived under a
+  revision-qualified key and republished at the live key, which clears the
+  serving layer's staleness verdict;
 * ``repro serve``    — serve the releases in a store over a read-only HTTP
   API, resolving each caller's role through an
   :class:`~repro.core.access.AccessPolicy` (no disclosure code runs while
@@ -232,6 +238,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-combination wall-clock bound in seconds (pool executors only)",
     )
     sweep.add_argument("--output", type=Path, help="optional JSON file for the result rows")
+
+    refresh = subparsers.add_parser(
+        "refresh",
+        help="incrementally re-disclose a mutated graph, republishing only affected levels",
+    )
+    refresh.add_argument(
+        "--store", type=Path, required=True, help="release store holding the release"
+    )
+    refresh.add_argument(
+        "--key", required=True, help="store key of the release to refresh (republished in place)"
+    )
+    refresh.add_argument(
+        "--input", type=Path, help="edge-list file of the current graph (omit for a synthetic dataset)"
+    )
+    refresh.add_argument("--dataset", choices=available_datasets(), default="dblp")
+    refresh.add_argument("--scale", default="tiny")
+    refresh.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="the original disclosure's seed — required for the refreshed release "
+        "to be bit-identical to a from-scratch disclosure of the mutated graph",
+    )
+    refresh.add_argument(
+        "--executor",
+        choices=list(EXECUTOR_NAMES),
+        default=None,
+        help="override the stored config's executor for the affected levels",
+    )
+    refresh.add_argument("--output", type=Path, help="optional JSON file for the refreshed release")
 
     serve = subparsers.add_parser(
         "serve", help="serve stored releases over a read-only HTTP API"
@@ -459,6 +495,53 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if result.errors else 0
 
 
+def _cmd_refresh(args: argparse.Namespace) -> int:
+    store = ReleaseStore(args.store, clock=system_clock)
+    try:
+        release = store.load(args.key)
+    except ReleaseIntegrityError as error:
+        print(f"refresh: {error}", file=sys.stderr)
+        return 2
+    if args.input is not None:
+        graph = read_edge_list(args.input, name=args.input.stem)
+    else:
+        graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    config = DisclosureConfig.from_dict(release.config)
+    if args.executor is not None:
+        config.executor = args.executor
+    # A re-loaded graph restarts its revision counter, so the new provenance
+    # revision is forced past the stored one — staleness must be monotonic.
+    stored_revision = release.provenance.get("graph_revision")
+    revision = graph.revision
+    if stored_revision is not None:
+        revision = max(revision, int(stored_revision) + 1)
+
+    discloser = MultiLevelDiscloser(config=config, rng=args.seed)
+    archive_key = f"{args.key}-r{revision}"
+    holder = {}
+
+    def builder():
+        holder["result"] = discloser.refresh(release, graph, revision=revision)
+        return holder["result"].release
+
+    stored, created = store.get_or_create(archive_key, builder)
+    if created:
+        result = holder["result"]
+        print(
+            f"refreshed {args.key!r}: re-perturbed level(s) "
+            f"{result.affected_levels or 'none'}, reused {result.reused_levels or 'none'} "
+            f"byte-for-byte (epsilon spent: {result.cost.epsilon:g})"
+        )
+    else:
+        print(f"revision {revision} already refreshed; reusing {archive_key!r} (zero spend)")
+    store.save(stored, key=args.key)
+    print(f"archived as {archive_key!r} and republished {args.key!r} (staleness cleared)")
+    if args.output is not None:
+        to_json_file(stored.to_dict(), args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.core.store import ReleaseStore
     from repro.serving.fleet import ServerFleet, format_config_line
@@ -520,6 +603,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "query": _cmd_query,
     "sweep": _cmd_sweep,
+    "refresh": _cmd_refresh,
     "serve": _cmd_serve,
 }
 

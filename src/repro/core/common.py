@@ -9,7 +9,8 @@ is wired up in exactly one place.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple, Union
+import hashlib
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Tuple, Union
 
 import numpy as np
 
@@ -22,6 +23,11 @@ from repro.queries.base import Query
 from repro.queries.counts import TotalAssociationCountQuery
 from repro.queries.workload import QueryWorkload
 from repro.utils.rng import RandomState, derive_seedseq
+from repro.utils.serialization import canonical_json_bytes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.grouping.partition import Partition
+    from repro.queries.base import QueryAnswer
 
 WorkloadLike = Union[None, Query, Iterable[Query], QueryWorkload]
 
@@ -76,6 +82,67 @@ def uses_l2_sensitivity(mechanism: str) -> bool:
     return mechanism in L2_MECHANISMS
 
 
+# ----------------------------------------------------------------------
+# Level fingerprints (the incremental-refresh contract)
+# ----------------------------------------------------------------------
+def fingerprint_partition(partition: "Partition") -> str:
+    """Content digest of a partition: its groups, members and levels.
+
+    Group order is normalised (sorted by group id) so two partitions with the
+    same content always digest identically, regardless of construction order.
+    The digest is memoised on the partition instance — hierarchies are built
+    once and reused across releases, so repeated disclosures pay the
+    serialization once per level.
+    """
+    cached = getattr(partition, "_content_digest", None)
+    if cached is not None:
+        return cached
+    groups = sorted(partition.to_dict()["groups"], key=lambda group: str(group.get("group_id")))
+    digest = hashlib.sha256(canonical_json_bytes({"groups": groups})).hexdigest()
+    try:
+        partition._content_digest = digest  # noqa: SLF001 - memo on our own type
+    except AttributeError:  # pragma: no cover - exotic partition subclass
+        pass
+    return digest
+
+
+def fingerprint_answers(true_answers: Dict[str, "QueryAnswer"]) -> str:
+    """Content digest of the workload's true answers on one graph."""
+    payload = {
+        name: answer.to_dict() for name, answer in sorted(true_answers.items(), key=lambda kv: kv[0])
+    }
+    return hashlib.sha256(canonical_json_bytes(payload)).hexdigest()
+
+
+def fingerprint_level(
+    *,
+    epsilon: float,
+    sensitivity: float,
+    mechanism: str,
+    delta: Optional[float],
+    partition_digest: str,
+    answers_digest: str,
+) -> str:
+    """Digest of everything that determines one level's released answers.
+
+    Given the level's derived noise seed, the perturbed output is a pure
+    function of exactly these inputs — so two disclosures of the same seed
+    whose fingerprints match for a level produce bit-identical
+    :class:`~repro.core.release.LevelRelease` objects for it.  That is the
+    invariant the refresh path (:mod:`repro.core.refresh`) relies on when it
+    reuses a stored level instead of re-perturbing (and re-spending) it.
+    """
+    payload = {
+        "epsilon": float(epsilon),
+        "sensitivity": float(sensitivity),
+        "mechanism": str(mechanism),
+        "delta": None if delta is None else float(delta),
+        "partition": partition_digest,
+        "answers": answers_digest,
+    }
+    return hashlib.sha256(canonical_json_bytes(payload)).hexdigest()
+
+
 class DiscloseSeedStream:
     """Derived noise-seed material, one independent stream per disclose call.
 
@@ -103,3 +170,22 @@ class DiscloseSeedStream:
         if self._root is None:
             return None
         return derive_seedseq(self._root, f"disclose-{self._calls}")
+
+    @property
+    def calls(self) -> int:
+        """How many seeds have been drawn so far."""
+        return self._calls
+
+    def seed_for(self, call_index: int) -> Optional[np.random.SeedSequence]:
+        """Re-derive the seed of an earlier (or future) draw, without drawing.
+
+        Pure with respect to the stream state: the root material is frozen at
+        construction, so ``seed_for(n)`` equals the value ``next()`` returned
+        (or will return) on its ``n``-th call.  The refresh path uses this to
+        perturb a release's affected levels with exactly the noise stream the
+        original disclosure drew — recorded in the release provenance as
+        ``noise_draw``.
+        """
+        if self._root is None:
+            return None
+        return derive_seedseq(self._root, f"disclose-{int(call_index)}")

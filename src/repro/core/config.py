@@ -151,6 +151,34 @@ class DisclosureConfig:
         }
 
     @classmethod
+    def from_dict(cls, data: dict) -> "DisclosureConfig":
+        """Rebuild from :meth:`to_dict` output — e.g. the ``config`` block of
+        a stored release, which is how ``repro refresh`` reconstructs the
+        original disclosure's configuration.  Unknown keys are ignored and
+        missing keys fall back to the defaults, so configs stored by older
+        versions still load."""
+        kwargs = {
+            key: data[key]
+            for key in (
+                "epsilon_g",
+                "delta",
+                "mechanism",
+                "budget_mode",
+                "allocation",
+                "allocation_ratio",
+                "engine",
+                "executor",
+                "max_workers",
+            )
+            if key in data
+        }
+        if data.get("specialization") is not None:
+            kwargs["specialization"] = SpecializationConfig.from_dict(data["specialization"])
+        if data.get("release_levels") is not None:
+            kwargs["release_levels"] = tuple(data["release_levels"])
+        return cls(**kwargs)
+
+    @classmethod
     def paper_defaults(cls, epsilon_g: float = 1.0, delta: float = 1e-5) -> "DisclosureConfig":
         """The configuration used for Figure 1: 9 levels, 4-way splits, Gaussian noise."""
         return cls(

@@ -8,6 +8,7 @@ from repro.accounting.budget import BudgetLedger
 from repro.core.common import DiscloseSeedStream, WorkloadLike, normalise_workload
 from repro.core.config import DisclosureConfig
 from repro.core.pipeline import DisclosurePipeline, PipelineContext
+from repro.core.refresh import RefreshResult, refresh_release
 from repro.core.release import MultiLevelRelease
 from repro.execution import ExecutorSpec, executor_name
 from repro.graphs.bipartite import BipartiteGraph
@@ -138,4 +139,67 @@ class MultiLevelDiscloser:
             config=self.config,
             release_config=release_config,
         )
-        return self.pipeline.run(context).release
+        release = self.pipeline.run(context).release
+        # Which stream draw fed this release: refresh re-derives the same
+        # seed material from it (DiscloseSeedStream.seed_for), so affected
+        # levels are re-perturbed with exactly the original noise streams.
+        release.provenance["noise_draw"] = self._noise_seeds.calls
+        return release
+
+    # ------------------------------------------------------------------
+    # Incremental re-disclosure
+    # ------------------------------------------------------------------
+    def refresh(
+        self,
+        release: MultiLevelRelease,
+        graph: BipartiteGraph,
+        hierarchy: Optional[GroupHierarchy] = None,
+        executor: ExecutorSpec = None,
+        revision: Optional[int] = None,
+    ) -> RefreshResult:
+        """Re-disclose a mutated ``graph``, re-perturbing only changed levels.
+
+        Diffs per-level content fingerprints against ``release``'s provenance
+        (see :func:`repro.core.refresh.refresh_release`): levels the mutation
+        did not affect are reused byte-for-byte with **zero** new privacy
+        spend, affected levels are re-perturbed under the original
+        disclosure's recorded noise draw — so the result is bit-identical to
+        a from-scratch :meth:`disclose` of the mutated graph under the same
+        seed.
+
+        Parameters
+        ----------
+        release:
+            An earlier release of the same family (normally loaded back from
+            a :class:`~repro.core.store.ReleaseStore`).
+        graph:
+            The mutated graph.
+        hierarchy:
+            The hierarchy to calibrate against.  When omitted, phase 1 runs
+            once via :meth:`build_hierarchy` (charging its specialization
+            budget) — the path a fresh process takes when refreshing a stored
+            release.
+        executor:
+            Per-call override of ``config.executor``, as in :meth:`disclose`.
+        revision:
+            Overrides the graph revision stamped into the refreshed
+            provenance.  A graph re-loaded from an edge list restarts its
+            revision counter at its construction mutations, so the CLI keeps
+            stored revisions monotonic by passing
+            ``max(graph.revision, stored revision + 1)``.
+        """
+        if hierarchy is None:
+            hierarchy = self.build_hierarchy(graph)
+        noise_draw = int(release.provenance.get("noise_draw", 1))
+        return refresh_release(
+            release,
+            graph,
+            hierarchy,
+            config=self.config,
+            workload=self.workload,
+            noise_seed=self._noise_seeds.seed_for(noise_draw),
+            ledger=self.ledger,
+            executor=executor if executor is not None else self.config.executor,
+            max_workers=self.config.max_workers,
+            revision=revision,
+        )

@@ -36,7 +36,13 @@ import numpy as np
 
 from repro.accounting.allocation import make_allocation
 from repro.accounting.budget import BudgetLedger
-from repro.core.common import build_mechanism, uses_l2_sensitivity
+from repro.core.common import (
+    build_mechanism,
+    fingerprint_answers,
+    fingerprint_level,
+    fingerprint_partition,
+    uses_l2_sensitivity,
+)
 from repro.core.release import LevelRelease, MultiLevelRelease
 from repro.exceptions import DisclosureError
 from repro.execution import Executor, executor_scope
@@ -415,8 +421,33 @@ class PerturbStage(PipelineStage):
         context.outcomes = executor.map(task, context.plans)
 
 
+def level_fingerprints_for(context: PipelineContext) -> Dict[str, str]:
+    """Per-level content fingerprints over the context's calibrated plans.
+
+    Keys are stringified level numbers (JSON-safe); values digest everything
+    that determines the level's released answers given its derived seed.
+    Empty when the context has no hierarchy or evaluated answers (a custom
+    pipeline without the compile/calibrate stages).
+    """
+    if context.hierarchy is None or context.true_answers is None:
+        return {}
+    answers_digest = fingerprint_answers(context.true_answers)
+    fingerprints: Dict[str, str] = {}
+    for plan in context.plans:
+        partition = context.hierarchy.partition_at(plan.level)
+        fingerprints[str(plan.level)] = fingerprint_level(
+            epsilon=plan.epsilon,
+            sensitivity=plan.sensitivity,
+            mechanism=plan.mechanism,
+            delta=plan.delta,
+            partition_digest=fingerprint_partition(partition),
+            answers_digest=answers_digest,
+        )
+    return fingerprints
+
+
 class AssembleStage(PipelineStage):
-    """Charge the ledger and assemble the multi-level release."""
+    """Charge the ledger, stamp provenance and assemble the release."""
 
     name = "assemble"
 
@@ -449,6 +480,10 @@ class AssembleStage(PipelineStage):
             else [],
             specialization_cost=context.specialization_cost,
             config=dict(context.release_config),
+            provenance={
+                "graph_revision": context.graph.revision,
+                "level_fingerprints": level_fingerprints_for(context),
+            },
         )
 
 

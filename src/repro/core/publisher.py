@@ -18,6 +18,7 @@ from repro.accounting.budget import BudgetLedger, PrivacyBudget
 from repro.core.access import AccessPolicy
 from repro.core.config import DisclosureConfig
 from repro.core.discloser import MultiLevelDiscloser
+from repro.core.refresh import RefreshResult
 from repro.core.release import LevelRelease, MultiLevelRelease
 from repro.core.store import ReleaseStore
 from repro.exceptions import BudgetExceededError, DisclosureError, ValidationError
@@ -73,6 +74,10 @@ class GraphPublisher:
         self._rng = derive_rng(rng, "graph-publisher")
         self._hierarchy: Optional[GroupHierarchy] = None
         self._releases: List[MultiLevelRelease] = []
+        # Per-release refresh material: the discloser that produced each
+        # release (its frozen noise-seed stream is what lets a refresh
+        # re-perturb affected levels with the original streams).
+        self._release_records: List[dict] = []
         self._release_counter = 0
 
     # ------------------------------------------------------------------
@@ -169,7 +174,111 @@ class GraphPublisher:
         release = discloser.disclose(self.graph, hierarchy=self._hierarchy)
         self.ledger.charge(cost, label=label or f"release-{self._release_counter}")
         self._releases.append(release)
+        self._release_records.append(
+            {"release": release, "discloser": discloser, "config": config}
+        )
         return release
+
+    def refresh(
+        self,
+        release: Optional[MultiLevelRelease] = None,
+        store: Optional[ReleaseStore] = None,
+        key: Optional[str] = None,
+        label: str = "",
+    ) -> RefreshResult:
+        """Re-disclose the (mutated) graph, re-perturbing only affected levels.
+
+        Diffs the current graph against ``release``'s provenance fingerprints
+        (:func:`repro.core.refresh.refresh_release`): levels the mutations
+        did not touch are reused byte-for-byte and spend **zero** new budget;
+        the ledger is charged only the worst affected level's cost — nothing
+        at all when no level moved.  The shared hierarchy is reused, so no
+        specialization budget is spent either.
+
+        Parameters
+        ----------
+        release:
+            Which of this publisher's releases to refresh (default: the most
+            recent).  Must have been produced by :meth:`release` — the
+            publisher keeps each release's frozen noise-seed material, which
+            is what makes the refreshed release bit-identical to disclosing
+            the mutated graph from scratch under the same seed.
+        store:
+            When given, the refreshed release is persisted twice: once under
+            a revision-qualified archive key (``<key>-r<revision>``, routed
+            through :meth:`ReleaseStore.get_or_create` so refreshing the
+            same revision twice reuses the stored artefact and spends
+            nothing), and once under ``key`` itself — the live alias the
+            serving layer watches, whose fingerprint change clears staleness
+            and invalidates response caches.
+        key:
+            Base store key (required with ``store``).
+        label:
+            Optional ledger label (default ``refresh-<n>``).
+        """
+        if release is None:
+            if not self._release_records:
+                raise DisclosureError("nothing to refresh: no release was produced yet")
+            record = self._release_records[-1]
+        else:
+            record = next(
+                (rec for rec in self._release_records if rec["release"] is release), None
+            )
+            if record is None:
+                raise ValidationError(
+                    "refresh requires a release produced by this publisher "
+                    "(its noise-seed material is needed to reproduce the levels)"
+                )
+        if self._hierarchy is None:  # pragma: no cover - release() always builds it
+            raise DisclosureError("cannot refresh without the shared hierarchy")
+        if store is not None and key is None:
+            raise ValidationError("refresh(store=...) requires an explicit key")
+
+        self._release_counter += 1
+        spend_label = label or f"refresh-{self._release_counter}"
+        discloser: MultiLevelDiscloser = record["discloser"]
+
+        def run_refresh() -> RefreshResult:
+            result = discloser.refresh(
+                record["release"], self.graph, hierarchy=self._hierarchy
+            )
+            if not self.ledger.can_spend(result.cost):
+                raise BudgetExceededError(result.cost.to_dict(), self._remaining_dict())
+            self.ledger.charge(result.cost, label=spend_label)
+            return result
+
+        if store is None:
+            result = run_refresh()
+            self._releases.append(result.release)
+            return result
+
+        archive_key = f"{key}-r{self.graph.revision}"
+        holder: Dict[str, RefreshResult] = {}
+
+        def builder() -> MultiLevelRelease:
+            holder["result"] = run_refresh()
+            return holder["result"].release
+
+        stored, created = store.get_or_create(archive_key, builder)
+        if created:
+            result = holder["result"]
+            result.release = stored
+            self._releases.append(stored)
+        else:
+            # This revision was already refreshed (possibly by another
+            # process): reuse the stored artefact, spend nothing.
+            provenance = stored.provenance
+            result = RefreshResult(
+                release=stored,
+                affected_levels=list(provenance.get("affected_levels", [])),
+                reused_levels=list(provenance.get("reused_levels", [])),
+                reused_from_store=True,
+            )
+        # Republish the live alias so serving sees the refresh (fingerprint
+        # change -> response-cache invalidation, staleness cleared).
+        store.save(result.release, key=key)
+        result.store_key = archive_key
+        return result
 
     def releases(self) -> List[MultiLevelRelease]:
         """All releases produced so far, in order."""

@@ -104,6 +104,15 @@ class MultiLevelRelease:
         Privacy cost of phase 1.
     config:
         The disclosure configuration, as a plain dictionary.
+    provenance:
+        Where the release came from: the source graph's mutation revision
+        (``graph_revision``), one content fingerprint per released level
+        (``level_fingerprints``, see :func:`repro.core.refresh.fingerprint_level`)
+        and — for refreshed releases — which levels the refresh re-perturbed.
+        This is what :meth:`GraphPublisher.refresh` diffs to decide which
+        levels a mutated graph actually affected, and what the serving layer
+        reads to report staleness.  Contains only counters and hashes, never
+        group memberships or true answers.
     """
 
     dataset_name: str
@@ -111,6 +120,7 @@ class MultiLevelRelease:
     level_statistics: List[LevelStatistics] = field(default_factory=list)
     specialization_cost: PrivacyCost = field(default_factory=lambda: PrivacyCost(0.0, 0.0))
     config: dict = field(default_factory=dict)
+    provenance: dict = field(default_factory=dict)
 
     def levels(self) -> List[int]:
         """Released levels, ascending (finest first)."""
@@ -158,6 +168,7 @@ class MultiLevelRelease:
             "level_statistics": [stats.to_dict() for stats in self.level_statistics],
             "specialization_cost": self.specialization_cost.to_dict(),
             "config": dict(self.config),
+            "provenance": dict(self.provenance),
         }
 
     @classmethod
@@ -184,6 +195,7 @@ class MultiLevelRelease:
                 level_statistics=statistics,
                 specialization_cost=PrivacyCost(cost_data["epsilon"], cost_data.get("delta", 0.0)),
                 config=dict(data.get("config", {})),
+                provenance=dict(data.get("provenance", {})),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ReleaseIntegrityError(f"malformed release document: {exc}") from exc

@@ -21,8 +21,13 @@ class GraphError(ReproError):
     """Base class for errors raised by the bipartite-graph substrate."""
 
 
-class NodeNotFoundError(GraphError, KeyError):
-    """A referenced node does not exist in the graph."""
+class NodeNotFoundError(GraphError, ValidationError, KeyError):
+    """A referenced node does not exist in the graph.
+
+    Also a :class:`ValidationError`: every graph-mutation error shares that
+    shape, so callers (and the CLI's one-line error mapping) can treat a
+    mutation against a missing node exactly like any other invalid argument.
+    """
 
     def __init__(self, node, side=None):
         self.node = node
@@ -31,8 +36,11 @@ class NodeNotFoundError(GraphError, KeyError):
         super().__init__(f"node {node!r} not found{suffix}")
 
 
-class EdgeNotFoundError(GraphError, KeyError):
-    """A referenced association (edge) does not exist in the graph."""
+class EdgeNotFoundError(GraphError, ValidationError, KeyError):
+    """A referenced association (edge) does not exist in the graph.
+
+    Also a :class:`ValidationError` — see :class:`NodeNotFoundError`.
+    """
 
     def __init__(self, left, right):
         self.left = left
@@ -40,8 +48,11 @@ class EdgeNotFoundError(GraphError, KeyError):
         super().__init__(f"association ({left!r}, {right!r}) not found")
 
 
-class DuplicateNodeError(GraphError, ValueError):
-    """A node was added twice (possibly on different sides)."""
+class DuplicateNodeError(GraphError, ValidationError):
+    """A node was added twice (possibly on different sides).
+
+    Also a :class:`ValidationError` — see :class:`NodeNotFoundError`.
+    """
 
     def __init__(self, node):
         self.node = node

@@ -22,7 +22,21 @@ disclosure pipeline operates on.
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, Dict, Hashable, Iterable, Iterator, Mapping, Optional, Set, Tuple
+from collections import deque
+from typing import (
+    TYPE_CHECKING,
+    Deque,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.exceptions import (
     DuplicateNodeError,
@@ -36,6 +50,36 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 Node = Hashable
 Association = Tuple[Node, Node]
+
+
+#: Default bound on the in-memory mutation log.  Past this many structural
+#: mutations without a recompile, :meth:`BipartiteGraph.mutations_since` can
+#: no longer reconstruct the delta and incremental consumers fall back to a
+#: full rebuild — exactly what they would do anyway once the delta stops
+#: being "small".
+DEFAULT_MUTATION_LOG_LIMIT = 4096
+
+
+class Mutation(NamedTuple):
+    """One structural mutation, keyed by the revision it produced.
+
+    ``op`` is one of ``"add_node"``, ``"remove_node"``, ``"add_edge"``,
+    ``"remove_edge"``.  For node records ``a`` is the node id and ``b`` the
+    :class:`Side` value; ``neighbors`` carries the neighbour ids a removed
+    node was still attached to (the edges that died with it).  For edge
+    records ``a``/``b`` are the left/right endpoints.
+
+    Exactly one record exists per revision: every structural mutation bumps
+    the revision once and appends one record, so the log's revisions are
+    contiguous and a consumer holding arrays at revision ``r`` can replay
+    precisely the records with revision ``> r``.
+    """
+
+    revision: int
+    op: str
+    a: "Node"
+    b: object
+    neighbors: Tuple["Node", ...] = ()
 
 
 class Side(str, enum.Enum):
@@ -67,7 +111,11 @@ class BipartiteGraph:
     1
     """
 
-    def __init__(self, name: str = "bipartite-graph"):
+    def __init__(
+        self,
+        name: str = "bipartite-graph",
+        mutation_log_limit: int = DEFAULT_MUTATION_LOG_LIMIT,
+    ):
         self.name = str(name)
         self._left: Dict[Node, dict] = {}
         self._right: Dict[Node, dict] = {}
@@ -76,14 +124,23 @@ class BipartiteGraph:
         self._num_associations = 0
         self._revision = 0
         self._arrays: Optional["GraphArrays"] = None
+        self._mutation_log: Deque[Mutation] = deque(maxlen=int(mutation_log_limit))
 
     def __getstate__(self) -> dict:
         # The compiled array view holds weakrefs (not picklable); drop it and
         # let the unpickled graph recompile lazily on first use, so graphs can
-        # cross process boundaries for the parallel executors.
+        # cross process boundaries for the parallel executors.  The mutation
+        # log is copied (never shared) so the unpickled twin evolves its own
+        # history.
         state = self.__dict__.copy()
         state["_arrays"] = None
+        state["_mutation_log"] = deque(self._mutation_log, maxlen=self._mutation_log.maxlen)
         return state
+
+    def __setstate__(self, state: dict) -> None:
+        # Graphs pickled by older versions predate the mutation log.
+        state.setdefault("_mutation_log", deque(maxlen=DEFAULT_MUTATION_LOG_LIMIT))
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------
     # Mutation tracking and the compiled array view
@@ -97,21 +154,56 @@ class BipartiteGraph:
         """
         return self._revision
 
-    def _mutated(self) -> None:
-        """Record a structural mutation, invalidating any compiled arrays."""
+    def _mutated(self, op: str, a: Node, b: object, neighbors: Tuple[Node, ...] = ()) -> None:
+        """Record a structural mutation, staling any compiled arrays.
+
+        Bumps the revision once and appends exactly one :class:`Mutation`
+        record, so log revisions stay contiguous.  The stale compiled view is
+        *kept* (not dropped): :meth:`arrays` uses it as the base for an
+        incremental :meth:`~repro.graphs.arrays.GraphArrays.delta_compile`,
+        and :meth:`cached_arrays` still reports it as absent because its
+        revision no longer matches.
+        """
         self._revision += 1
-        self._arrays = None
+        self._mutation_log.append(Mutation(self._revision, op, a, b, neighbors))
+
+    def mutations_since(self, revision: int) -> Optional[List[Mutation]]:
+        """The mutation records applied after ``revision``, oldest first.
+
+        Returns ``[]`` when the graph is still at ``revision``, and ``None``
+        when the delta can no longer be reconstructed — the bounded log was
+        truncated past ``revision``, or ``revision`` does not belong to this
+        graph's history.  ``None`` tells incremental consumers to fall back
+        to a full rebuild.
+        """
+        revision = int(revision)
+        if revision == self._revision:
+            return []
+        if revision > self._revision or revision < 0:
+            return None
+        log = self._mutation_log
+        if not log or log[0].revision > revision + 1:
+            return None
+        # Records are contiguous (one per revision), so the delta is a slice.
+        start = revision + 1 - log[0].revision
+        return [log[i] for i in range(start, len(log))]
 
     def arrays(self) -> "GraphArrays":
         """The compiled :class:`~repro.graphs.arrays.GraphArrays` view.
 
-        Compiled lazily and cached; any structural mutation invalidates the
-        cache, so the returned view always matches the current graph.
+        Compiled lazily and cached; any structural mutation stales the cache,
+        so the returned view always matches the current graph.  When a stale
+        view and a covering mutation log are available, the recompile is
+        incremental (:meth:`GraphArrays.delta_compile`) — it patches the CSR
+        arrays instead of rebuilding them, falling back to a full
+        :meth:`GraphArrays.compile` for large deltas or after log truncation.
         """
         from repro.graphs.arrays import GraphArrays
 
-        if self._arrays is None or self._arrays.revision != self._revision:
+        if self._arrays is None:
             self._arrays = GraphArrays.compile(self)
+        elif self._arrays.revision != self._revision:
+            self._arrays = GraphArrays.delta_compile(self._arrays, self)
         return self._arrays
 
     def cached_arrays(self) -> Optional["GraphArrays"]:
@@ -160,7 +252,7 @@ class BipartiteGraph:
         nodes[node] = dict(attrs)
         adj = self._adj_left if side is Side.LEFT else self._adj_right
         adj[node] = set()
-        self._mutated()
+        self._mutated("add_node", node, side)
 
     def remove_node(self, node: Node) -> None:
         """Remove a node and every association incident to it."""
@@ -174,7 +266,9 @@ class BipartiteGraph:
             other_adj[nb].discard(node)
         self._num_associations -= len(neighbours)
         del nodes[node]
-        self._mutated()
+        # One record (and one revision) per removal; the record carries the
+        # edges that died with the node so a replay can mark their endpoints.
+        self._mutated("remove_node", node, side, tuple(neighbours))
 
     def has_node(self, node: Node) -> bool:
         """Return ``True`` if ``node`` exists on either side."""
@@ -234,7 +328,7 @@ class BipartiteGraph:
         self._adj_left[left].add(right)
         self._adj_right[right].add(left)
         self._num_associations += 1
-        self._mutated()
+        self._mutated("add_edge", left, right)
         return True
 
     def remove_association(self, left: Node, right: Node) -> None:
@@ -247,7 +341,7 @@ class BipartiteGraph:
         self._adj_left[left].remove(right)
         self._adj_right[right].remove(left)
         self._num_associations -= 1
-        self._mutated()
+        self._mutated("remove_edge", left, right)
 
     def has_association(self, left: Node, right: Node) -> bool:
         """Return ``True`` if the association ``(left, right)`` exists."""
@@ -346,8 +440,18 @@ class BipartiteGraph:
         return added
 
     def copy(self, name: Optional[str] = None) -> "BipartiteGraph":
-        """Return a deep structural copy (attribute dicts are shallow-copied)."""
-        clone = BipartiteGraph(name=name if name is not None else self.name)
+        """Return a deep structural copy (attribute dicts are shallow-copied).
+
+        The clone shares **no** mutable state with the original: it starts
+        with its own empty mutation log, its own revision counter, and no
+        compiled :class:`~repro.graphs.arrays.GraphArrays` view, so mutating
+        either graph can never leak into the other
+        (``tests/test_graphs_bipartite.py::TestCopyIsolation``).
+        """
+        clone = BipartiteGraph(
+            name=name if name is not None else self.name,
+            mutation_log_limit=self._mutation_log.maxlen or DEFAULT_MUTATION_LOG_LIMIT,
+        )
         for node, attrs in self._left.items():
             clone.add_left_node(node, **attrs)
         for node, attrs in self._right.items():

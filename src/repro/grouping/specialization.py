@@ -124,6 +124,27 @@ class SpecializationConfig:
             "cut_fractions": list(self.cut_fractions),
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "SpecializationConfig":
+        """Rebuild from :meth:`to_dict` output (unknown keys are ignored,
+        missing keys fall back to the defaults — old stored configs load)."""
+        kwargs = {
+            key: data[key]
+            for key in (
+                "num_levels",
+                "left_fanout",
+                "right_fanout",
+                "single_side_fanout",
+                "epsilon",
+                "min_group_size",
+                "include_individual_level",
+            )
+            if key in data
+        }
+        if data.get("cut_fractions") is not None:
+            kwargs["cut_fractions"] = tuple(data["cut_fractions"])
+        return cls(**kwargs)
+
 
 @dataclass
 class SpecializationResult:

@@ -45,11 +45,13 @@ from repro.serving.server import (
     ServingStats,
     create_server,
 )
+from repro.serving.staleness import StalenessIndex
 
 __all__ = [
     "ReleaseServer",
     "ServerFleet",
     "ServingStats",
+    "StalenessIndex",
     "ResponseCache",
     "CachedResponse",
     "ServedResponse",

@@ -7,8 +7,10 @@ Endpoints (all ``GET``, all JSON):
 ``/healthz``                              liveness + store/policy summary
 ``/releases``                             stored release keys
 ``/releases/<key>``                       release metadata and provenance
-                                          (guarantees, noise scales, config —
-                                          everything except the answers)
+                                          (guarantees, noise scales, config,
+                                          refresh lineage and a ``staleness``
+                                          verdict — everything except the
+                                          answers)
 ``/releases/<key>/roles``                 the roles the policy can resolve
 ``/releases/<key>/views/<role>``          the single per-level view the role
                                           is entitled to, resolved through
@@ -73,6 +75,7 @@ from repro.serving.respcache import (
     CachedResponse,
     ResponseCache,
 )
+from repro.serving.staleness import StalenessIndex
 from repro.utils.serialization import canonical_json_bytes as canonical_json
 from repro.utils.serialization import from_json_file
 
@@ -227,6 +230,7 @@ class _ReleaseHTTPServer(ThreadingHTTPServer):
             else None
         )
         self.gzip_enabled = gzip_enabled
+        self.staleness = StalenessIndex(store)
         super().__init__(address, handler)
 
 
@@ -314,7 +318,15 @@ class ReleaseRequestHandler(BaseHTTPRequestHandler):
             return None
         if len(segments) < 2 or segments[0] != "releases":
             return None
-        return "/" + "/".join(segments), self.server.store.fingerprint(segments[1])
+        fingerprint = self.server.store.fingerprint(segments[1])
+        if len(segments) == 2 and fingerprint is not None:
+            # The metadata body embeds a staleness verdict that depends on
+            # *sibling* releases (a refresh republishing another key makes
+            # this one stale without touching its bytes), so its cache entry
+            # is pinned to the whole store's fingerprint set, not just the
+            # key's own.
+            fingerprint = f"{fingerprint}|{self.server.staleness.token()}"
+        return "/" + "/".join(segments), fingerprint
 
     def _accepts_gzip(self) -> bool:
         """Whether the request's ``Accept-Encoding`` admits gzip (q != 0)."""
@@ -532,6 +544,7 @@ class ReleaseRequestHandler(BaseHTTPRequestHandler):
                 "cache": store.cache_info(),
                 "response_cache": response_cache,
                 "fault_tolerance": fault_tolerance,
+                "staleness": self.server.staleness.summary(),
             }
         )
 
@@ -577,7 +590,10 @@ class ReleaseRequestHandler(BaseHTTPRequestHandler):
             return self._error(
                 500, f"stored key {key!r} holds a single level view, not a release"
             )
-        return self._ok(_release_metadata(key, document))
+        metadata = _release_metadata(key, document)
+        metadata["provenance"] = document.get("provenance", {})
+        metadata["staleness"] = self.server.staleness.staleness_for(key)
+        return self._ok(metadata)
 
     def _handle_roles(self, key: str) -> Response:
         if not self.server.store.exists(key):

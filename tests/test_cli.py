@@ -174,6 +174,108 @@ class TestCommands:
         assert code == 2
         assert "no release stored under key 'typo'" in capsys.readouterr().err
 
+class TestRefreshCommand:
+    def _publish(self, tmp_path, seed="9"):
+        """generate → disclose into a store; returns (edge list, store dir)."""
+        edges = tmp_path / "graph.tsv"
+        store_dir = tmp_path / "store"
+        assert (
+            main(
+                ["generate", "--dataset", "dblp", "--scale", "tiny", "--seed", "4", "--output", str(edges)]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "disclose",
+                    "--input", str(edges),
+                    "--levels", "4",
+                    "--seed", seed,
+                    "--store", str(store_dir),
+                    "--key", "live",
+                ]
+            )
+            == 0
+        )
+        return edges, store_dir
+
+    def test_refresh_after_mutation_republishes(self, tmp_path, capsys):
+        from repro.core.store import ReleaseStore
+
+        edges, store_dir = self._publish(tmp_path)
+        with edges.open("a") as handle:
+            handle.write("brand-new-author\tbrand-new-paper\n")
+        code = main(
+            ["refresh", "--store", str(store_dir), "--key", "live", "--input", str(edges), "--seed", "9"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "re-perturbed level(s) [0, 1, 2]" in out
+        assert "staleness cleared" in out
+
+        store = ReleaseStore(store_dir)
+        refreshed = store.load("live")
+        provenance = refreshed.provenance
+        assert provenance["affected_levels"] == [0, 1, 2]
+        assert provenance["refreshed_from_revision"] is not None
+        assert provenance["graph_revision"] > provenance["refreshed_from_revision"]
+        # Archived under the revision-qualified key as well.
+        archive_key = f"live-r{provenance['graph_revision']}"
+        assert archive_key in store.keys()
+
+    def test_refresh_matches_from_scratch_disclosure(self, tmp_path, capsys):
+        from repro.core.store import ReleaseStore
+
+        edges, store_dir = self._publish(tmp_path)
+        with edges.open("a") as handle:
+            handle.write("brand-new-author\tbrand-new-paper\n")
+        assert (
+            main(
+                ["refresh", "--store", str(store_dir), "--key", "live", "--input", str(edges), "--seed", "9"]
+            )
+            == 0
+        )
+        # From-scratch disclosure of the *mutated* graph under the same seed.
+        assert (
+            main(
+                [
+                    "disclose",
+                    "--input", str(edges),
+                    "--levels", "4",
+                    "--seed", "9",
+                    "--store", str(store_dir),
+                    "--key", "scratch",
+                ]
+            )
+            == 0
+        )
+        store = ReleaseStore(store_dir)
+        refreshed = store.load("live").to_dict()
+        scratch = store.load("scratch").to_dict()
+        refreshed.pop("provenance")
+        scratch.pop("provenance")
+        assert refreshed == scratch
+
+    def test_noop_refresh_spends_nothing(self, tmp_path, capsys):
+        edges, store_dir = self._publish(tmp_path)
+        code = main(
+            ["refresh", "--store", str(store_dir), "--key", "live", "--input", str(edges), "--seed", "9"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "re-perturbed level(s) none" in out
+        assert "epsilon spent: 0" in out
+
+    def test_refresh_unknown_key_fails_cleanly(self, tmp_path, capsys):
+        edges, store_dir = self._publish(tmp_path)
+        code = main(
+            ["refresh", "--store", str(store_dir), "--key", "typo", "--input", str(edges)]
+        )
+        assert code == 2
+        assert "typo" in capsys.readouterr().err
+
+
 class TestSweepCommand:
     def _run(self, tmp_path, extra=()):
         return main(

@@ -110,3 +110,26 @@ class TestArchitecture:
             "repro query",
         ):
             assert switch in text, f"README.md does not mention {switch!r}"
+
+    def test_architecture_covers_incremental_redisclosure(self):
+        text = ARCHITECTURE.read_text(encoding="utf-8")
+        for term in (
+            "mutation log",
+            "delta_compile",
+            "fingerprint_level",
+            "refresh_release",
+            "StalenessIndex",
+            "bit-identical",
+            "repro refresh",
+        ):
+            assert term in text, f"ARCHITECTURE.md does not mention {term!r}"
+
+    def test_readme_covers_the_refresh_switches(self):
+        text = README.read_text(encoding="utf-8")
+        for switch in (
+            "GraphPublisher.refresh",
+            "repro refresh",
+            "staleness",
+            "revision-qualified",
+        ):
+            assert switch in text, f"README.md does not mention {switch!r}"

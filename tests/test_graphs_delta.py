@@ -1,0 +1,322 @@
+"""The incremental-recompile path: mutation log and ``delta_compile``.
+
+The contract under test is *bit-identity*: a view produced by
+:meth:`GraphArrays.delta_compile` must be indistinguishable — same arrays,
+same dtypes, same id orders, same index maps — from a full
+:meth:`GraphArrays.compile` of the mutated graph.  The hypothesis suite
+drives random interleavings of node/edge adds and removes through both
+paths and compares everything.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import (
+    DuplicateNodeError,
+    EdgeNotFoundError,
+    NodeNotFoundError,
+    ValidationError,
+)
+from repro.graphs.arrays import GraphArrays
+from repro.graphs.bipartite import BipartiteGraph, Mutation, Side
+
+
+def assert_views_identical(actual: GraphArrays, expected: GraphArrays) -> None:
+    """Every observable of the two compiled views must match bit-for-bit."""
+    assert actual.revision == expected.revision
+    assert actual.left_ids == expected.left_ids
+    assert actual.right_ids == expected.right_ids
+    assert actual.left_index == expected.left_index
+    assert actual.right_index == expected.right_index
+    assert actual.global_index == expected.global_index
+    for name in (
+        "edge_left",
+        "edge_right",
+        "left_indptr",
+        "left_degrees",
+        "right_degrees",
+        "degrees",
+        "edge_right_global",
+    ):
+        got, want = getattr(actual, name), getattr(expected, name)
+        assert got.dtype == want.dtype, name
+        assert np.array_equal(got, want), name
+        assert not got.flags.writeable, name
+
+
+def small_graph() -> BipartiteGraph:
+    graph = BipartiteGraph(name="delta")
+    for i in range(4):
+        graph.add_left_node(f"L{i}")
+    for j in range(5):
+        graph.add_right_node(f"R{j}")
+    graph.add_associations([("L0", "R0"), ("L0", "R2"), ("L1", "R1"), ("L3", "R4")])
+    return graph
+
+
+class TestMutationLog:
+    def test_one_record_per_revision_and_contiguous(self):
+        graph = small_graph()
+        log = list(graph._mutation_log)
+        assert [rec.revision for rec in log] == list(range(1, graph.revision + 1))
+
+    def test_mutations_since_returns_exact_suffix(self):
+        graph = small_graph()
+        rev = graph.revision
+        graph.add_association("L2", "R3")
+        graph.remove_association("L0", "R0")
+        records = graph.mutations_since(rev)
+        assert [rec.op for rec in records] == ["add_edge", "remove_edge"]
+        assert records[0].a == "L2" and records[0].b == "R3"
+
+    def test_mutations_since_current_revision_is_empty(self):
+        graph = small_graph()
+        assert graph.mutations_since(graph.revision) == []
+
+    def test_future_or_negative_revision_is_unrecoverable(self):
+        graph = small_graph()
+        assert graph.mutations_since(graph.revision + 1) is None
+        assert graph.mutations_since(-1) is None
+
+    def test_truncated_log_is_unrecoverable(self):
+        graph = BipartiteGraph(mutation_log_limit=4)
+        for i in range(10):
+            graph.add_left_node(i)
+        assert graph.mutations_since(0) is None
+        # The last four mutations are still replayable.
+        assert len(graph.mutations_since(graph.revision - 4)) == 4
+
+    def test_remove_node_is_one_record_carrying_its_edges(self):
+        graph = small_graph()
+        rev = graph.revision
+        graph.remove_node("L0")
+        records = graph.mutations_since(rev)
+        assert len(records) == 1
+        (record,) = records
+        assert record.op == "remove_node" and record.b is Side.LEFT
+        assert sorted(record.neighbors) == ["R0", "R2"]
+
+    def test_attribute_merge_logs_nothing(self):
+        graph = small_graph()
+        rev = graph.revision
+        graph.add_left_node("L0", colour="red")
+        assert graph.revision == rev and graph.mutations_since(rev) == []
+
+    def test_duplicate_association_logs_nothing(self):
+        graph = small_graph()
+        rev = graph.revision
+        assert graph.add_association("L0", "R0") is False
+        assert graph.mutations_since(rev) == []
+
+    def test_log_survives_pickling_without_sharing(self):
+        graph = small_graph()
+        twin = pickle.loads(pickle.dumps(graph))
+        graph.add_association("L2", "R3")
+        assert twin.revision == graph.revision - 1
+        assert twin.mutations_since(twin.revision) == []
+        assert twin._mutation_log.maxlen == graph._mutation_log.maxlen
+
+
+class TestDeltaCompile:
+    def test_edge_only_delta_reuses_index_maps(self):
+        graph = small_graph()
+        old = graph.arrays()
+        graph.add_association("L2", "R3")
+        fresh = graph.arrays()
+        assert fresh.compiled_incrementally
+        assert fresh.left_index is old.left_index
+        assert fresh.right_index is old.right_index
+        assert_views_identical(fresh, GraphArrays.compile(graph))
+
+    def test_node_delta_rebuilds_index_maps(self):
+        graph = small_graph()
+        graph.arrays()
+        graph.add_left_node("L9")
+        graph.add_association("L9", "R0")
+        fresh = graph.arrays()
+        assert fresh.compiled_incrementally
+        assert_views_identical(fresh, GraphArrays.compile(graph))
+
+    def test_right_removal_remaps_clean_rows(self):
+        graph = small_graph()
+        old = graph.arrays()
+        graph.remove_node("R1")
+        fresh = GraphArrays.delta_compile(old, graph)
+        assert fresh.compiled_incrementally
+        assert_views_identical(fresh, GraphArrays.compile(graph))
+
+    def test_fallback_on_truncated_log(self):
+        graph = BipartiteGraph(mutation_log_limit=2)
+        for i in range(3):
+            graph.add_left_node(i)
+        graph.add_right_node("r")
+        old = graph.arrays()
+        for i in range(3):
+            graph.add_association(i, "r")
+        assert graph.mutations_since(old.revision) is None
+        fresh = graph.arrays()
+        assert not fresh.compiled_incrementally
+        assert_views_identical(fresh, GraphArrays.compile(graph))
+
+    def test_fallback_past_size_threshold(self):
+        graph = small_graph()
+        old = graph.arrays()
+        for i in range(40):
+            graph.add_association(f"L{i % 4}", f"R{i % 5}")
+            graph.remove_association(f"L{i % 4}", f"R{i % 5}")
+        fresh = GraphArrays.delta_compile(old, graph)
+        assert not fresh.compiled_incrementally
+        assert_views_identical(fresh, GraphArrays.compile(graph))
+
+    def test_same_revision_returns_the_old_view(self):
+        graph = small_graph()
+        old = graph.arrays()
+        assert GraphArrays.delta_compile(old, graph) is old
+
+    def test_cached_arrays_still_reports_stale_views_absent(self):
+        graph = small_graph()
+        graph.arrays()
+        graph.add_association("L2", "R3")
+        assert graph.cached_arrays() is None
+        graph.arrays()
+        assert graph.cached_arrays() is not None
+
+
+# Random mutation programs for the hypothesis parity suite.  Each step is a
+# (kind, payload) pair decoded against the *current* graph state, so removals
+# target live nodes/edges and adds collide with existing ids often.
+steps = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=11)),
+    min_size=1,
+    max_size=30,
+)
+
+
+def apply_step(graph: BipartiteGraph, kind: int, payload: int) -> None:
+    lefts = list(graph.left_nodes())
+    rights = list(graph.right_nodes())
+    if kind == 0:
+        graph.add_left_node(f"L{payload}")
+    elif kind == 1:
+        graph.add_right_node(f"R{payload}")
+    elif kind == 2 and lefts and rights:
+        graph.add_association(lefts[payload % len(lefts)], rights[payload % len(rights)])
+    elif kind == 3:
+        edges = sorted(graph.associations())
+        if edges:
+            graph.remove_association(*edges[payload % len(edges)])
+    elif kind == 4 and lefts:
+        graph.remove_node(lefts[payload % len(lefts)])
+    elif kind == 5 and rights:
+        graph.remove_node(rights[payload % len(rights)])
+
+
+class TestDeltaCompileParity:
+    @given(pairs=st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=40), program=steps)
+    @settings(max_examples=120, deadline=None)
+    def test_delta_compile_matches_full_compile(self, pairs, program):
+        graph = BipartiteGraph(name="parity")
+        for left, right in pairs:
+            graph.add_association(f"L{left}", f"R{right}", auto_add=True)
+        old = GraphArrays.compile(graph)
+        for kind, payload in program:
+            apply_step(graph, kind, payload)
+        # max_fraction high enough that the delta path always runs, so the
+        # parity claim is exercised even for large deltas.
+        delta = GraphArrays.delta_compile(old, graph, max_fraction=1e9)
+        expected = GraphArrays.compile(graph)
+        if graph.revision != old.revision:
+            assert delta.compiled_incrementally
+        assert_views_identical(delta, expected)
+        graph.validate()
+
+    @given(pairs=st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=40), program=steps)
+    @settings(max_examples=60, deadline=None)
+    def test_arrays_accessor_stays_fresh_through_mutations(self, pairs, program):
+        graph = BipartiteGraph(name="accessor")
+        for left, right in pairs:
+            graph.add_association(f"L{left}", f"R{right}", auto_add=True)
+        graph.arrays()
+        for kind, payload in program:
+            apply_step(graph, kind, payload)
+        assert_views_identical(graph.arrays(), GraphArrays.compile(graph))
+
+
+class TestCopyIsolation:
+    def test_copy_shares_no_arrays_or_log(self):
+        graph = small_graph()
+        original_view = graph.arrays()
+        clone = graph.copy()
+        assert clone._arrays is None
+        assert clone._mutation_log is not graph._mutation_log
+
+        clone.add_association("L2", "R3")
+        # The original's compiled view and log are untouched by the clone.
+        assert graph.arrays() is original_view
+        assert graph.has_association("L2", "R3") is False
+
+        graph.remove_node("L0")
+        assert clone.has_node("L0")
+        assert_views_identical(clone.arrays(), GraphArrays.compile(clone))
+
+    def test_copy_preserves_log_limit(self):
+        graph = BipartiteGraph(mutation_log_limit=7)
+        graph.add_left_node("a")
+        assert graph.copy()._mutation_log.maxlen == 7
+
+    def test_pickle_round_trip_drops_arrays_but_not_structure(self):
+        graph = small_graph()
+        graph.arrays()
+        twin = pickle.loads(pickle.dumps(graph))
+        assert twin._arrays is None
+        assert sorted(twin.associations()) == sorted(graph.associations())
+        assert_views_identical(twin.arrays(), GraphArrays.compile(twin))
+
+
+class TestUnifiedMutationErrors:
+    """Every graph-mutation error is a ValidationError (satellite task)."""
+
+    def test_remove_missing_node_is_a_validation_error(self):
+        graph = small_graph()
+        with pytest.raises(ValidationError):
+            graph.remove_node("ghost")
+        with pytest.raises(NodeNotFoundError):
+            graph.remove_node("ghost")
+
+    def test_remove_missing_association_is_a_validation_error(self):
+        graph = small_graph()
+        with pytest.raises(ValidationError):
+            graph.remove_association("L0", "R4")
+        with pytest.raises(EdgeNotFoundError):
+            graph.remove_association("ghost", "R0")
+
+    def test_duplicate_node_is_a_validation_error(self):
+        graph = small_graph()
+        with pytest.raises(ValidationError):
+            graph.add_right_node("L0")
+        with pytest.raises(DuplicateNodeError):
+            graph.add_left_node("R0")
+
+    def test_failed_mutations_log_nothing(self):
+        graph = small_graph()
+        rev = graph.revision
+        for mutation in (
+            lambda: graph.remove_node("ghost"),
+            lambda: graph.remove_association("L0", "R4"),
+            lambda: graph.add_right_node("L0"),
+            lambda: graph.add_association("ghost", "R0"),
+        ):
+            with pytest.raises(ValidationError):
+                mutation()
+        assert graph.revision == rev
+        assert graph.mutations_since(rev) == []
+
+    def test_mutation_record_shape(self):
+        graph = BipartiteGraph()
+        graph.add_left_node("a")
+        (record,) = graph.mutations_since(0)
+        assert record == Mutation(1, "add_node", "a", Side.LEFT, ())

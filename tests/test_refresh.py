@@ -1,0 +1,321 @@
+"""Tests for incremental re-disclosure (`repro.core.refresh`).
+
+The contract under test: a refresh re-perturbs **only** the levels whose
+content fingerprints moved, reuses every other level byte-for-byte at zero
+privacy cost, and — because affected levels re-derive the *original*
+disclosure's noise streams — produces a release bit-identical to disclosing
+the mutated graph from scratch under the same seed.
+"""
+
+import pytest
+
+from repro.accounting.budget import PrivacyBudget
+from repro.core.config import DisclosureConfig
+from repro.core.discloser import MultiLevelDiscloser
+from repro.core.publisher import GraphPublisher
+from repro.core.refresh import RefreshResult, refresh_release
+from repro.core.release import MultiLevelRelease
+from repro.core.store import ReleaseStore
+from repro.exceptions import DisclosureError, ValidationError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.grouping.hierarchy import GroupHierarchy
+from repro.grouping.partition import Group, Partition
+from repro.grouping.specialization import SpecializationConfig
+from repro.queries.counts import GroupedAssociationCountQuery
+
+
+def release_payload(release):
+    """A release's full content with the lineage-bearing provenance removed.
+
+    Refreshed releases intentionally record extra lineage keys
+    (``refreshed_from_revision`` etc.), so bit-parity is asserted on
+    everything *except* provenance — plus a separate check that the level
+    fingerprints themselves agree.
+    """
+    payload = release.to_dict()
+    payload.pop("provenance")
+    return payload
+
+
+@pytest.fixture
+def config():
+    return DisclosureConfig(epsilon_g=0.5, specialization=SpecializationConfig(num_levels=4))
+
+
+@pytest.fixture
+def mutated(dblp_graph):
+    """A private copy of the shared graph, safe to mutate."""
+    return dblp_graph.copy()
+
+
+class TestRefreshParity:
+    def test_refresh_matches_from_scratch_disclosure(self, mutated, config):
+        discloser = MultiLevelDiscloser(config=config, rng=123)
+        hierarchy = discloser.build_hierarchy(mutated)
+        release = discloser.disclose(mutated, hierarchy=hierarchy)
+
+        left = next(iter(mutated.left_nodes()))
+        right = next(iter(mutated.right_nodes()))
+        if mutated.has_association(left, right):
+            mutated.remove_association(left, right)
+        else:
+            mutated.add_association(left, right)
+
+        result = discloser.refresh(release, mutated, hierarchy=hierarchy)
+
+        # A brand-new discloser with the same seed, disclosing the mutated
+        # graph from scratch against the same hierarchy, must agree exactly.
+        scratch = MultiLevelDiscloser(config=config, rng=123)
+        expected = scratch.disclose(mutated, hierarchy=hierarchy)
+
+        assert release_payload(result.release) == release_payload(expected)
+        assert (
+            result.release.provenance["level_fingerprints"]
+            == expected.provenance["level_fingerprints"]
+        )
+
+    def test_refresh_is_deterministic(self, mutated, config):
+        discloser = MultiLevelDiscloser(config=config, rng=9)
+        hierarchy = discloser.build_hierarchy(mutated)
+        release = discloser.disclose(mutated, hierarchy=hierarchy)
+        left = next(iter(mutated.left_nodes()))
+        mutated.add_right_node("brand-new-paper")
+        mutated.add_association(left, "brand-new-paper")
+        first = discloser.refresh(release, mutated, hierarchy=hierarchy)
+        second = discloser.refresh(release, mutated, hierarchy=hierarchy)
+        assert release_payload(first.release) == release_payload(second.release)
+
+
+class TestNoOpRefresh:
+    def test_unmutated_graph_reuses_every_level(self, mutated, config):
+        discloser = MultiLevelDiscloser(config=config, rng=5)
+        hierarchy = discloser.build_hierarchy(mutated)
+        release = discloser.disclose(mutated, hierarchy=hierarchy)
+        before = discloser.ledger.spent().epsilon
+
+        result = discloser.refresh(release, mutated, hierarchy=hierarchy)
+
+        assert result.affected_levels == []
+        assert result.reused_levels == release.levels()
+        assert result.levels_reperturbed == 0
+        assert result.cost.epsilon == 0.0 and result.cost.delta == 0.0
+        # Reused levels are the *same objects* — nothing was recomputed ...
+        for level in release.levels():
+            assert result.release.level_releases[level] is release.level_releases[level]
+        # ... and nothing was charged.
+        assert discloser.ledger.spent().epsilon == pytest.approx(before)
+
+    def test_empty_graph_rejected(self, mutated, config):
+        discloser = MultiLevelDiscloser(config=config, rng=5)
+        hierarchy = discloser.build_hierarchy(mutated)
+        release = discloser.disclose(mutated, hierarchy=hierarchy)
+        with pytest.raises(DisclosureError):
+            discloser.refresh(release, BipartiteGraph(), hierarchy=hierarchy)
+
+    def test_release_without_fingerprints_refreshes_every_level(self, mutated, config):
+        discloser = MultiLevelDiscloser(config=config, rng=5)
+        hierarchy = discloser.build_hierarchy(mutated)
+        release = discloser.disclose(mutated, hierarchy=hierarchy)
+        # A legacy release (stored before fingerprints existed) round-trips
+        # with empty provenance: the refresh must conservatively re-perturb
+        # everything rather than reuse unverifiable levels.
+        legacy = MultiLevelRelease.from_dict(release.to_dict())
+        legacy.provenance = {}
+        result = discloser.refresh(legacy, mutated, hierarchy=hierarchy)
+        assert result.affected_levels == release.levels()
+        assert result.reused_levels == []
+
+
+class TestPartialRefresh:
+    """Only the levels whose sensitivity or answers moved are re-perturbed."""
+
+    @staticmethod
+    def build_scene():
+        """A hand-built graph + 2-level hierarchy with a known worst group.
+
+        Left groups: {a, b} (3 incident associations) and {c, d} (1).  The
+        mutation adds ``c--r3``: the root's incident count moves 4 -> 5
+        (level 1 affected) while level 0's max stays 3 (level 0 reused).
+        The query partition excludes ``c`` and ``r3`` entirely, so the true
+        answers are unchanged by the mutation.
+        """
+        graph = BipartiteGraph(name="partial-refresh")
+        graph.add_left_nodes(["a", "b", "c", "d"])
+        graph.add_right_nodes(["r1", "r2", "r3", "r4"])
+        graph.add_associations([("a", "r1"), ("a", "r2"), ("b", "r1"), ("c", "r4")])
+        level1 = Partition([Group("root", ["a", "b", "c", "d"], level=1)])
+        level0 = Partition(
+            [Group("root/0", ["a", "b"], level=0), Group("root/1", ["c", "d"], level=0)]
+        )
+        hierarchy = GroupHierarchy({0: level0, 1: level1})
+        query = GroupedAssociationCountQuery(
+            Partition([Group("probe", ["a", "r1", "r2"], side="mixed")])
+        )
+        config = DisclosureConfig(
+            epsilon_g=1.0,
+            mechanism="laplace",
+            specialization=SpecializationConfig(num_levels=1),
+            release_levels=[0, 1],
+        )
+        return graph, hierarchy, query, config
+
+    def test_only_sensitivity_shifted_levels_reperturbed(self):
+        graph, hierarchy, query, config = self.build_scene()
+        discloser = MultiLevelDiscloser(config=config, queries=query, rng=77)
+        release = discloser.disclose(graph, hierarchy=hierarchy)
+
+        graph.add_association("c", "r3")
+        result = discloser.refresh(release, graph, hierarchy=hierarchy)
+
+        assert result.affected_levels == [1]
+        assert result.reused_levels == [0]
+        assert result.release.level_releases[0] is release.level_releases[0]
+        assert result.release.level_releases[1] is not release.level_releases[1]
+        assert result.cost.epsilon == pytest.approx(1.0)
+        # The refreshed level-1 release still matches a from-scratch run.
+        scratch = MultiLevelDiscloser(config=config, queries=query, rng=77)
+        expected = scratch.disclose(graph, hierarchy=hierarchy)
+        assert release_payload(result.release) == release_payload(expected)
+
+    def test_answer_only_mutation_refreshes_all_levels(self):
+        graph, hierarchy, query, config = self.build_scene()
+        discloser = MultiLevelDiscloser(config=config, queries=query, rng=77)
+        release = discloser.disclose(graph, hierarchy=hierarchy)
+        # b--r2 lands inside the probe group's induced subgraph: the answers
+        # move, so every level's fingerprint moves.
+        graph.add_association("b", "r2")
+        result = discloser.refresh(release, graph, hierarchy=hierarchy)
+        assert result.affected_levels == [0, 1]
+
+
+class TestRefreshProvenance:
+    def test_lineage_recorded(self, mutated, config):
+        discloser = MultiLevelDiscloser(config=config, rng=2)
+        hierarchy = discloser.build_hierarchy(mutated)
+        release = discloser.disclose(mutated, hierarchy=hierarchy)
+        original_revision = release.provenance["graph_revision"]
+        left = next(iter(mutated.left_nodes()))
+        mutated.add_right_node("fresh-right")
+        mutated.add_association(left, "fresh-right")
+
+        result = discloser.refresh(release, mutated, hierarchy=hierarchy)
+        provenance = result.release.provenance
+        assert provenance["graph_revision"] == mutated.revision
+        assert provenance["refreshed_from_revision"] == original_revision
+        assert provenance["affected_levels"] == result.affected_levels
+        assert provenance["reused_levels"] == result.reused_levels
+        assert provenance["noise_draw"] == release.provenance["noise_draw"]
+        assert set(provenance["level_fingerprints"]) == {
+            str(level) for level in release.levels()
+        }
+
+    def test_revision_override_for_file_loaded_graphs(self, mutated, config):
+        discloser = MultiLevelDiscloser(config=config, rng=2)
+        hierarchy = discloser.build_hierarchy(mutated)
+        release = discloser.disclose(mutated, hierarchy=hierarchy)
+        result = refresh_release(
+            release,
+            mutated,
+            hierarchy,
+            config=config,
+            noise_seed=discloser._noise_seeds.seed_for(1),
+            revision=4242,
+        )
+        assert result.release.provenance["graph_revision"] == 4242
+
+    def test_provenance_survives_store_round_trip(self, mutated, config, tmp_path):
+        discloser = MultiLevelDiscloser(config=config, rng=2)
+        hierarchy = discloser.build_hierarchy(mutated)
+        release = discloser.disclose(mutated, hierarchy=hierarchy)
+        store = ReleaseStore(tmp_path)
+        key = store.save(release, key="live")
+        loaded = store.load(key)
+        assert loaded.provenance == release.provenance
+        # A refresh driven by the *loaded* release behaves identically.
+        result = discloser.refresh(loaded, mutated, hierarchy=hierarchy)
+        assert result.affected_levels == []
+
+
+class TestPublisherRefresh:
+    @pytest.fixture
+    def publisher(self, mutated, config):
+        return GraphPublisher(
+            mutated,
+            total_budget=PrivacyBudget(epsilon=50.0, delta=1e-2),
+            base_config=config,
+            rng=7,
+        )
+
+    def test_noop_refresh_spends_nothing(self, publisher):
+        publisher.release()
+        before = publisher.spent().epsilon
+        result = publisher.refresh()
+        assert result.affected_levels == []
+        assert publisher.spent().epsilon == pytest.approx(before)
+
+    def test_mutation_refresh_charges_once(self, publisher, mutated):
+        release = publisher.release()
+        before = publisher.spent().epsilon
+        left = next(iter(mutated.left_nodes()))
+        mutated.add_right_node("late-paper")
+        mutated.add_association(left, "late-paper")
+        result = publisher.refresh(release=release)
+        assert result.affected_levels  # the count workload moved
+        # Charged exactly the worst affected level's epsilon, once.
+        assert publisher.spent().epsilon == pytest.approx(before + result.cost.epsilon)
+        assert result.release in publisher.releases()
+
+    def test_foreign_release_rejected(self, publisher, mutated, config):
+        publisher.release()
+        foreign = MultiLevelDiscloser(config=config, rng=1)
+        other = foreign.disclose(mutated, hierarchy=foreign.build_hierarchy(mutated))
+        with pytest.raises(ValidationError):
+            publisher.refresh(release=other)
+
+    def test_refresh_before_any_release_rejected(self, publisher):
+        with pytest.raises(DisclosureError):
+            publisher.refresh()
+
+    def test_store_routing_archives_and_republishes(self, publisher, mutated, tmp_path):
+        release = publisher.release()
+        store = ReleaseStore(tmp_path)
+        store.save(release, key="live")
+        stale_fingerprint = store.fingerprint("live")
+
+        left = next(iter(mutated.left_nodes()))
+        mutated.add_right_node("late-paper")
+        mutated.add_association(left, "late-paper")
+        result = publisher.refresh(release=release, store=store, key="live")
+
+        # Archived under a revision-qualified key AND republished at the
+        # live alias, whose fingerprint change is what serving watches.
+        assert result.store_key == f"live-r{mutated.revision}"
+        assert result.store_key in store.keys()
+        assert store.fingerprint("live") != stale_fingerprint
+        assert not result.reused_from_store
+        assert (
+            store.load_document("live")["provenance"]["graph_revision"] == mutated.revision
+        )
+
+    def test_store_repeat_refresh_reuses_artifact_zero_spend(
+        self, publisher, mutated, tmp_path
+    ):
+        release = publisher.release()
+        store = ReleaseStore(tmp_path)
+        store.save(release, key="live")
+        left = next(iter(mutated.left_nodes()))
+        mutated.add_right_node("late-paper")
+        mutated.add_association(left, "late-paper")
+        first = publisher.refresh(release=release, store=store, key="live")
+        spent = publisher.spent().epsilon
+
+        second = publisher.refresh(release=release, store=store, key="live")
+        assert second.reused_from_store
+        assert second.store_key == first.store_key
+        assert second.affected_levels == first.affected_levels
+        assert publisher.spent().epsilon == pytest.approx(spent)
+
+    def test_store_requires_key(self, publisher, tmp_path):
+        publisher.release()
+        with pytest.raises(ValidationError):
+            publisher.refresh(store=ReleaseStore(tmp_path))
