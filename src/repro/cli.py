@@ -18,8 +18,12 @@ Python:
   and a full-scan fallback on directory stores;
 * ``repro sweep``    — disclose an ``epsilon-g`` × ``levels`` grid into a
   store with checkpointed resume: ``--journal`` records each combination's
-  state so an interrupted sweep resumes instead of re-disclosing, and
-  ``--on-error`` picks fail-fast or collect-and-continue;
+  state so an interrupted sweep resumes instead of re-disclosing,
+  ``--on-error`` picks fail-fast or collect-and-continue, ``--progress``
+  streams one ``{"event": "sweep-progress", ...}`` JSON line per wave to
+  stderr, and ``--workers`` / ``--inner-workers`` / ``--worker-budget``
+  negotiate the outer × inner worker split through a
+  :class:`~repro.execution.scheduler.SweepScheduler`;
 * ``repro refresh``  — incrementally re-disclose a *mutated* graph against a
   stored release: per-level fingerprints are diffed and only the affected
   levels are re-perturbed (unaffected levels are reused byte-for-byte at
@@ -79,7 +83,7 @@ from repro.evaluation.figure1 import (
 )
 from repro.evaluation.reporting import format_table
 from repro.evaluation.sweep import ParameterSweep
-from repro.execution import EXECUTOR_NAMES
+from repro.execution import AUTO_INNER, EXECUTOR_NAMES, SweepScheduler
 from repro.graphs.io import read_edge_list, write_edge_list
 from repro.grouping.specialization import SpecializationConfig
 from repro.utils.serialization import to_json_file
@@ -236,6 +240,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         dest="task_timeout",
         help="per-combination wall-clock bound in seconds (pool executors only)",
+    )
+    sweep.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream one structured {\"event\": \"sweep-progress\", ...} JSON line "
+        "per wave to stderr",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="outer workers for the combination fan-out (validated against the "
+        "worker budget; pool executors only)",
+    )
+    sweep.add_argument(
+        "--inner-workers",
+        default=None,
+        dest="inner_workers",
+        help="per-combination threads for the nested per-level perturbation: a "
+        "count, or 'auto' to hand every leftover budget slot to the inner layer "
+        "(default 1)",
+    )
+    sweep.add_argument(
+        "--worker-budget",
+        type=int,
+        default=None,
+        dest="worker_budget",
+        help="total worker slots the outer x inner split must fit in "
+        "(default: CPU count)",
     )
     sweep.add_argument("--output", type=Path, help="optional JSON file for the result rows")
 
@@ -436,17 +469,23 @@ def _sweep_runner(
     scale: str = "tiny",
     seed: int = 0,
     store: Optional[str] = None,
+    inner_workers: int = 1,
 ) -> dict:
     """Disclose one sweep combination (module-level so it pickles).
 
     Persists the release under a parameter-derived key when a store is
     given — the artefact a resumed sweep serves instead of re-disclosing —
-    and returns summary columns for the sweep row.
+    and returns summary columns for the sweep row.  ``inner_workers`` > 1
+    runs the per-level perturbation on that many threads (the scheduler's
+    budget-negotiated inner layer); it is not part of the parameter grid,
+    so journal keys and store keys are identical across plans.
     """
     graph = load_dataset(dataset, scale=scale, seed=seed)
     config = DisclosureConfig(
         epsilon_g=epsilon_g,
         specialization=SpecializationConfig(num_levels=levels),
+        executor="thread" if inner_workers > 1 else "serial",
+        max_workers=inner_workers if inner_workers > 1 else None,
     )
     release = MultiLevelDiscloser(config=config, rng=seed).disclose(graph)
     key = f"sweep-{dataset}-{scale}-l{levels}-eps{epsilon_g}-seed{seed}"
@@ -461,25 +500,53 @@ def _sweep_runner(
     }
 
 
+def _parse_inner_workers(value):
+    """``--inner-workers``: ``None``, a positive count, or the 'auto' split."""
+    if value is None or value == AUTO_INNER:
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise ValidationError(
+            f"--inner-workers must be an integer or {AUTO_INNER!r}, got {value!r}"
+        ) from None
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    scheduler = SweepScheduler(
+        executor=args.executor,
+        workers=args.workers,
+        inner_workers=_parse_inner_workers(args.inner_workers),
+        budget=args.worker_budget,
+        task_timeout=args.task_timeout,
+    )
     runner = partial(
         _sweep_runner,
         dataset=args.dataset,
         scale=args.scale,
         seed=args.seed,
         store=str(args.store) if args.store is not None else None,
+        inner_workers=scheduler.plan.inner_workers,
     )
     sweep = ParameterSweep(
         runner,
         {"epsilon_g": args.epsilon_g, "levels": args.levels},
         name=f"cli-sweep-{args.dataset}-{args.scale}-seed{args.seed}",
     )
+    # The event stream lives beside the journal, so an interrupted sweep
+    # reopens with its full history on resume.
+    snapshot = Path(str(args.journal) + ".events.jsonl") if args.journal is not None else None
+    progress = None
+    if args.progress:
+        def progress(line: str) -> None:
+            print(line, file=sys.stderr, flush=True)
     result = sweep.run(
         record_time=True,
-        executor=args.executor,
-        task_timeout=args.task_timeout,
+        scheduler=scheduler,
         journal=args.journal,
         on_error=_ON_ERROR_CHOICES[args.on_error],
+        snapshot=snapshot,
+        progress=progress,
     )
     if result.rows:
         print(format_table(result.rows))

@@ -48,6 +48,12 @@ import re
 import threading
 from abc import ABC, abstractmethod
 from collections import OrderedDict
+from contextlib import contextmanager
+
+try:  # POSIX only; the index degrades to thread-level locking elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
@@ -275,13 +281,43 @@ class DirectoryBackend(StoreBackend):
         except (OSError, json.JSONDecodeError, KeyError, TypeError):
             return None
 
+    @contextmanager
+    def _exclusive_index(self):
+        """Serialise index read-modify-writes across threads *and* processes.
+
+        The thread lock alone cannot see other processes: four process-pool
+        workers saving releases through their own backend instances would
+        each read ``index.json``, append their own key and rename their copy
+        into place — the last rename wins and the other workers' entries are
+        silently lost, so ``keys()`` under-reports releases that are all on
+        disk.  An ``flock`` on a sidecar lock file (the index itself is
+        replaced on every write, so it cannot carry the lock) makes the
+        sequence atomic machine-wide.  Platforms without ``fcntl`` and
+        read-only mounts fall back to thread-level locking only.
+        """
+        with self._index_lock:
+            handle = None
+            if fcntl is not None and self.root.is_dir():
+                try:
+                    handle = open(self.root / (self.INDEX_NAME + ".lock"), "a")
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                except OSError:  # pragma: no cover - read-only filesystem
+                    if handle is not None:
+                        handle.close()
+                    handle = None
+            try:
+                yield
+            finally:
+                if handle is not None:
+                    handle.close()  # closing the fd releases the flock
+
     def rebuild_index(self) -> List[str]:
         """Rescan the directory tree and rewrite the index; returns the keys.
 
         The recovery path for legacy (pre-index) stores and for drift —
         release directories copied in or deleted behind the store's back.
         """
-        with self._index_lock:
+        with self._exclusive_index():
             keys = self._scan_keys()
             self._known_keys = set(keys)
             if self.root.is_dir():
@@ -289,7 +325,7 @@ class DirectoryBackend(StoreBackend):
             return keys
 
     def _index_add(self, key: str) -> None:
-        with self._index_lock:
+        with self._exclusive_index():
             keys = self._read_index()
             if keys is None:
                 keys = self._scan_keys()
@@ -302,7 +338,7 @@ class DirectoryBackend(StoreBackend):
             self._write_index(keys)
 
     def _index_discard(self, key: str) -> None:
-        with self._index_lock:
+        with self._exclusive_index():
             keys = self._read_index()
             if keys is None:
                 keys = self._scan_keys()
@@ -316,7 +352,7 @@ class DirectoryBackend(StoreBackend):
 
     # -- StoreBackend --------------------------------------------------
     def put(self, key: str, document: bytes, answers: bytes) -> None:
-        if key == self.INDEX_NAME:
+        if key in (self.INDEX_NAME, self.INDEX_NAME + ".lock"):
             raise ValidationError(
                 f"store key {key!r} is reserved for the key index"
             )
@@ -402,7 +438,7 @@ class DirectoryBackend(StoreBackend):
             keys = self._scan_keys()
             if self.root.is_dir():
                 try:
-                    with self._index_lock:
+                    with self._exclusive_index():
                         self._known_keys = set(keys)
                         self._write_index(keys)
                 except OSError:  # pragma: no cover - read-only filesystem

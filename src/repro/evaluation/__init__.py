@@ -22,6 +22,14 @@ from repro.evaluation.journal import (
     checkpointed_map,
     describe_error,
 )
+from repro.evaluation.snapshot import (
+    TASK_STATES,
+    TERMINAL_STATES,
+    SnapshotRecorder,
+    SweepSnapshot,
+    TaskEvent,
+    canonical_line,
+)
 from repro.evaluation.sweep import ParameterSweep, SweepResult, combination_key
 from repro.evaluation.figure1 import (
     Figure1Config,
@@ -49,6 +57,12 @@ __all__ = [
     "checkpointed_map",
     "combination_key",
     "describe_error",
+    "canonical_line",
+    "SnapshotRecorder",
+    "SweepSnapshot",
+    "TaskEvent",
+    "TASK_STATES",
+    "TERMINAL_STATES",
     "ParameterSweep",
     "SweepResult",
     "Figure1Config",

@@ -176,6 +176,7 @@ def checkpointed_map(
     on_error: str = "fail_fast",
     timeout: Optional[float] = None,
     on_result: Optional[Callable[[str, Any, Dict[str, Any]], Dict[str, Any]]] = None,
+    observer: Optional[Any] = None,
 ) -> Tuple[List[Optional[Dict[str, Any]]], List[Dict[str, Any]]]:
     """Map ``fn`` over ``items`` with journal checkpoints and an error policy.
 
@@ -187,6 +188,14 @@ def checkpointed_map(
     ``on_result(key, item, row)`` post-processes a fresh result before it is
     journaled (e.g. persisting a release into a store) and returns the row
     to record.
+
+    ``observer`` (typically a
+    :class:`~repro.evaluation.snapshot.SnapshotRecorder`) receives lifecycle
+    callbacks — ``on_schedule``/``on_reused``/``on_wave_start``/``on_done``/
+    ``on_failed``/``on_wave_end`` — and, while a wave is in flight, the
+    pool's ``on_retry`` hook is bridged to ``observer.on_retrying`` with
+    wave-local indices translated back to keys, so a crash-recovery
+    resubmission shows up as ``RETRYING`` instead of a silent gap.
 
     Returns ``(rows, errors)`` where ``rows`` is in item order (``None`` for
     items that failed) and ``errors`` lists error details with their keys.
@@ -200,11 +209,15 @@ def checkpointed_map(
     rows: List[Optional[Dict[str, Any]]] = [None] * len(items)
     errors: List[Dict[str, Any]] = []
 
+    if observer is not None:
+        observer.on_schedule(list(keys))
     pending: List[int] = []
     for index, key in enumerate(keys):
         recorded = journal.row(key) if journal is not None else None
         if recorded is not None:
             rows[index] = recorded
+            if observer is not None:
+                observer.on_reused(key, recorded)
         else:
             pending.append(index)
 
@@ -216,7 +229,25 @@ def checkpointed_map(
             for index in wave:
                 journal.mark(keys[index], "running")
             journal.flush()
-        outcomes = pool.map(task, [items[index] for index in wave], timeout=timeout)
+        if observer is not None:
+            observer.on_wave_start([keys[index] for index in wave])
+        previous_on_retry = getattr(pool, "on_retry", None)
+        if observer is not None:
+            def _bridge_retry(local_indices, _wave=wave):
+                observer.on_retrying([keys[_wave[local]] for local in local_indices])
+
+            try:
+                pool.on_retry = _bridge_retry
+            except AttributeError:  # pragma: no cover - read-only executor
+                pass
+        try:
+            outcomes = pool.map(task, [items[index] for index in wave], timeout=timeout)
+        finally:
+            if observer is not None:
+                try:
+                    pool.on_retry = previous_on_retry
+                except AttributeError:  # pragma: no cover - read-only executor
+                    pass
         failed: List[Dict[str, Any]] = []
         for index, (status, payload) in zip(wave, outcomes):
             key = keys[index]
@@ -225,14 +256,20 @@ def checkpointed_map(
                 rows[index] = row
                 if journal is not None:
                     journal.mark(key, "done", row=row)
+                if observer is not None:
+                    observer.on_done(key, row)
             else:
                 detail = {"key": key, **payload}
                 failed.append(detail)
                 errors.append(detail)
                 if journal is not None:
                     journal.mark(key, "failed", error=payload)
+                if observer is not None:
+                    observer.on_failed(key, payload)
         if journal is not None:
             journal.flush()
+        if observer is not None:
+            observer.on_wave_end()
         if failed and on_error == "fail_fast":
             first = failed[0]
             raise SweepInterrupted(

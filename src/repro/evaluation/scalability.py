@@ -28,6 +28,7 @@ from repro.evaluation.journal import (
     check_error_policy,
     checkpointed_map,
 )
+from repro.evaluation.snapshot import SnapshotRecorder, SweepSnapshot
 from repro.exceptions import EvaluationError
 from repro.execution import ExecutorSpec, executor_scope
 from repro.grouping.specialization import SpecializationConfig
@@ -156,6 +157,8 @@ def run_scalability(
     task_timeout: Optional[float] = None,
     journal: Union[None, PathLike, RunJournal] = None,
     on_error: str = "fail_fast",
+    snapshot: Union[None, PathLike, "SweepSnapshot"] = None,
+    progress: Optional[Any] = None,
 ) -> ScalabilityResult:
     """Time the full pipeline on DBLP-like graphs of increasing size.
 
@@ -195,6 +198,11 @@ def run_scalability(
     on_error:
         ``"fail_fast"`` (default) or ``"collect_errors"`` — see
         :meth:`~repro.evaluation.sweep.ParameterSweep.run`.
+    snapshot / progress:
+        Observe the run through a
+        :class:`~repro.evaluation.snapshot.SweepSnapshot` (instance or
+        stream-file path) and/or per-wave ``sweep-progress`` lines — same
+        contract as :meth:`~repro.evaluation.sweep.ParameterSweep.run`.
     """
     if not author_counts:
         raise EvaluationError("author_counts must not be empty")
@@ -228,6 +236,17 @@ def run_scalability(
                 author_counts, num_levels, epsilon_g, seed, engine
             ),
         )
+    observer = None
+    if snapshot is not None or progress is not None:
+        if isinstance(snapshot, SweepSnapshot):
+            snap = snapshot
+        elif snapshot is None:
+            snap = SweepSnapshot(name=f"scalability-{engine}", total=len(tasks))
+        else:
+            snap = SweepSnapshot.open(
+                snapshot, name=f"scalability-{engine}", total=len(tasks)
+            )
+        observer = SnapshotRecorder(snap, progress=progress)
     with executor_scope(executor) as pool:
         rows, errors = checkpointed_map(
             pool,
@@ -238,5 +257,6 @@ def run_scalability(
             on_error=on_error,
             timeout=task_timeout,
             on_result=persist,
+            observer=observer,
         )
     return ScalabilityResult(rows=[row for row in rows if row is not None], errors=errors)

@@ -14,11 +14,13 @@ import hashlib
 import itertools
 import json
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Union
 
 from repro.evaluation.journal import PathLike, RunJournal, check_error_policy, checkpointed_map
+from repro.evaluation.snapshot import SnapshotRecorder, SweepSnapshot
 from repro.exceptions import EvaluationError
 from repro.execution import ExecutorSpec, executor_scope
 
@@ -64,6 +66,9 @@ class SweepResult:
     name: str
     rows: List[Dict[str, Any]] = field(default_factory=list)
     errors: List[Dict[str, Any]] = field(default_factory=list)
+    #: The run's reduced :class:`~repro.evaluation.snapshot.SweepSnapshot`
+    #: when the run was observed (``snapshot=``/``progress=``), else ``None``.
+    snapshot: Optional[Any] = None
 
     def column(self, key: str) -> List[Any]:
         """All values of one column, in row order."""
@@ -155,6 +160,9 @@ class ParameterSweep:
         task_timeout: Optional[float] = None,
         journal: Union[None, PathLike, RunJournal] = None,
         on_error: str = "fail_fast",
+        scheduler: Optional[Any] = None,
+        snapshot: Union[None, PathLike, SweepSnapshot] = None,
+        progress: Optional[Callable[[str], None]] = None,
     ) -> SweepResult:
         """Execute the runner for every combination and collect rows.
 
@@ -178,19 +186,60 @@ class ParameterSweep:
         ``"collect_errors"`` records failures (see ``SweepResult.errors``)
         and keeps going.  ``task_timeout`` bounds each combination's
         wall-clock seconds on the pool executors.
+
+        Orchestration
+        -------------
+        ``scheduler`` (a :class:`~repro.execution.scheduler.SweepScheduler`)
+        replaces ``executor``/``max_workers``: the sweep fans out through
+        the scheduler's budget-negotiated plan, which is also stamped into
+        the snapshot.  ``snapshot`` (a
+        :class:`~repro.evaluation.snapshot.SweepSnapshot` or a stream-file
+        path) and/or ``progress`` (a callable receiving one canonical
+        ``sweep-progress`` JSON line per wave) turn the run into a monitored
+        job; the reduced snapshot comes back on ``SweepResult.snapshot``.
         """
         check_error_policy(on_error)
+        if scheduler is not None and (executor is not None or max_workers is not None):
+            raise EvaluationError("pass either scheduler= or executor=/max_workers=, not both")
+        if scheduler is not None and task_timeout is None:
+            task_timeout = scheduler.task_timeout
         task = partial(_run_combination, runner=self.runner, record_time=record_time)
         combinations = self.combinations()
-        if journal is None and on_error == "fail_fast":
+
+        plan = scheduler.plan.to_dict() if scheduler is not None else None
+        snap: Optional[SweepSnapshot] = None
+        observer = None
+        if snapshot is not None or progress is not None:
+            if isinstance(snapshot, SweepSnapshot):
+                snap = snapshot
+            elif snapshot is None:
+                snap = SweepSnapshot(name=self.name, total=len(combinations), plan=plan)
+            else:
+                snap = SweepSnapshot.open(
+                    snapshot, name=self.name, total=len(combinations), plan=plan
+                )
+            if snap.plan is None and plan is not None:
+                snap.plan = plan
+            observer = SnapshotRecorder(snap, progress=progress)
+
+        @contextmanager
+        def scope():
+            if scheduler is not None:
+                with scheduler.scope() as pool:
+                    yield pool
+            else:
+                with executor_scope(executor, max_workers=max_workers) as pool:
+                    yield pool
+
+        if journal is None and on_error == "fail_fast" and observer is None:
             # The historical path: the first failure propagates unwrapped.
-            with executor_scope(executor, max_workers=max_workers) as pool:
+            with scope() as pool:
                 rows = pool.map(task, combinations, timeout=task_timeout)
             return SweepResult(name=self.name, rows=rows)
         if not isinstance(journal, (RunJournal, type(None))):
             journal = RunJournal(journal, fingerprint=self.fingerprint())
         keys = [combination_key(params) for params in combinations]
-        with executor_scope(executor, max_workers=max_workers) as pool:
+        with scope() as pool:
             rows, errors = checkpointed_map(
                 pool,
                 task,
@@ -199,9 +248,11 @@ class ParameterSweep:
                 journal,
                 on_error=on_error,
                 timeout=task_timeout,
+                observer=observer,
             )
         return SweepResult(
             name=self.name,
             rows=[row for row in rows if row is not None],
             errors=errors,
+            snapshot=snap,
         )

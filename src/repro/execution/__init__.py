@@ -35,17 +35,29 @@ from repro.execution.retry import (
     RetryingTask,
     map_with_retries,
 )
+from repro.execution.scheduler import (
+    AUTO_INNER,
+    BudgetPlan,
+    ManagerExecutor,
+    SweepScheduler,
+    WorkerBudget,
+)
 
 __all__ = [
+    "AUTO_INNER",
     "EXECUTOR_NAMES",
     "DEFAULT_RETRYABLE",
+    "BudgetPlan",
     "Executor",
     "ExecutorSpec",
+    "ManagerExecutor",
     "SerialExecutor",
+    "SweepScheduler",
     "ThreadExecutor",
     "ProcessExecutor",
     "RetryPolicy",
     "RetryingTask",
+    "WorkerBudget",
     "check_executor_name",
     "default_max_workers",
     "executor_name",

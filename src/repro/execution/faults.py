@@ -178,6 +178,21 @@ class FaultInjectingExecutor(Executor):
         self._calls = 0
         self._lock = threading.Lock()
 
+    @property
+    def on_retry(self):
+        """Crash-recovery resubmission hook, delegated to the wrapped executor.
+
+        Orchestration layers set ``pool.on_retry`` on whatever executor they
+        were handed; delegating keeps a chaos-wrapped pool's injected worker
+        deaths visible as ``RETRYING`` snapshot events, exactly like an
+        unwrapped pool's.
+        """
+        return self.inner.on_retry
+
+    @on_retry.setter
+    def on_retry(self, callback) -> None:
+        self.inner.on_retry = callback
+
     def map(
         self, fn: Callable[[Any], Any], tasks: Iterable[Any], timeout: Optional[float] = None
     ) -> List[Any]:

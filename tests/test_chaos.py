@@ -11,6 +11,10 @@ Two properties anchor everything here (the PR's acceptance criteria):
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.core.config import DisclosureConfig
@@ -289,6 +293,143 @@ class TestSweepResume:
         other = ParameterSweep(runner, {"epsilon_g": [0.9], "levels": [3]}, name="a")
         with pytest.raises(EvaluationError, match="different run"):
             other.run(journal=journal_path)
+
+
+def _square_row(x):
+    """Pure picklable sweep runner for orchestration-visibility tests."""
+    return {"y": x * x}
+
+
+class _Victim100Runner:
+    """100-combination sweep runner: one real (tiny) disclosure per
+    combination, persisted into a store — with one scripted victim
+    combination that SIGKILLs its own worker on its first invocation.
+
+    Invocation counts live as marker files under ``state_dir`` (written
+    *before* the kill), so the test can prove a resumed sweep re-disclosed
+    nothing that had already completed.  Picklable: plain paths only.
+    """
+
+    def __init__(self, state_dir, store_dir, victim_eps=None):
+        self.state_dir = Path(state_dir)
+        self.store_dir = str(store_dir)
+        self.victim_eps = victim_eps
+
+    def __call__(self, epsilon_g):
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        marker = self.state_dir / f"run-eps{epsilon_g}"
+        count = int(marker.read_text()) if marker.is_file() else 0
+        marker.write_text(str(count + 1))
+        if self.victim_eps == epsilon_g and count == 0:
+            os._exit(17)  # die like a segfault: no cleanup, no journal entry
+        graph = generate_dblp_like(num_authors=30, seed=13)
+        config = DisclosureConfig(
+            epsilon_g=epsilon_g, specialization=SpecializationConfig(num_levels=3)
+        )
+        release = MultiLevelDiscloser(config=config, rng=13).disclose(graph)
+        key = f"rel-eps{epsilon_g}"
+        ReleaseStore(self.store_dir).save(release, key=key)
+        return {"store_key": key}
+
+    def invocations(self, epsilon_g) -> int:
+        marker = self.state_dir / f"run-eps{epsilon_g}"
+        return int(marker.read_text()) if marker.is_file() else 0
+
+
+class TestSweepOrchestrationUnderChaos:
+    """The PR's acceptance criterion: a 100-combination journaled sweep
+    killed mid-flight resumes with zero re-disclosed completed
+    combinations, its snapshot converges to consistent terminal states,
+    and the stored releases are bit-identical to an uninterrupted
+    same-seed run."""
+
+    EPSILONS = [round(0.1 * i, 1) for i in range(1, 101)]
+    VICTIM = 5.0  # the 50th combination: mid-flight, several waves in
+
+    def test_100_combination_kill_resume_bit_identity(self, tmp_path):
+        runner = _Victim100Runner(tmp_path / "state", tmp_path / "store", victim_eps=self.VICTIM)
+        sweep = ParameterSweep(runner, {"epsilon_g": self.EPSILONS}, name="chaos-100")
+        journal_path = tmp_path / "journal.json"
+        snapshot_path = tmp_path / "journal.json.events.jsonl"
+
+        # Phase 1: the victim combination SIGKILLs its worker; with a zero
+        # rebuild budget the sweep aborts mid-flight like a real crash.
+        pool = ProcessExecutor(max_workers=4, max_pool_rebuilds=0)
+        try:
+            with pytest.raises(WorkerCrashError):
+                sweep.run(executor=pool, journal=journal_path, snapshot=snapshot_path)
+        finally:
+            pool.close()
+
+        interrupted = RunJournal(journal_path)
+        done_keys = [
+            key for key in interrupted.entries if interrupted.status(key) == "done"
+        ]
+        assert 0 < len(done_keys) < 100  # genuinely mid-flight
+        from repro.evaluation.snapshot import SweepSnapshot
+
+        mid = SweepSnapshot.open(snapshot_path)
+        assert not mid.is_converged()  # the killed wave is still RUNNING
+        assert mid.counts()["RUNNING"] > 0
+
+        # Phase 2: resume with the same journal + snapshot stream.
+        result = sweep.run(
+            executor="process", max_workers=4, journal=journal_path, snapshot=snapshot_path
+        )
+        assert len(result.rows) == 100
+
+        # Snapshot converged: every task terminal, nothing stuck mid-state.
+        snap = result.snapshot
+        counts = snap.counts()
+        assert snap.is_converged()
+        assert counts["DONE"] == 100
+        assert counts["RUNNING"] == counts["RETRYING"] == counts["PENDING"] == 0
+        # The victim carries its crash history: attempt 2, not a silent gap.
+        victim_key = combination_key({"epsilon_g": self.VICTIM})
+        assert snap.attempt(victim_key) >= 2
+
+        # Zero re-disclosure: every combination journaled done before the
+        # kill ran exactly once across both phases.
+        for key in done_keys:
+            eps = json.loads(key)["epsilon_g"]
+            assert runner.invocations(eps) == 1, f"re-disclosed eps={eps}"
+
+        # Bit-identity: an uninterrupted same-seed sweep into a fresh store
+        # produces byte-for-byte the same artefacts for all 100 keys.
+        clean_runner = _Victim100Runner(tmp_path / "state-clean", tmp_path / "store-clean")
+        ParameterSweep(clean_runner, {"epsilon_g": self.EPSILONS}, name="chaos-100").run(
+            executor="process", max_workers=4
+        )
+        disturbed_store = ReleaseStore(tmp_path / "store")
+        clean_store = ReleaseStore(tmp_path / "store-clean")
+        assert sorted(disturbed_store.keys()) == sorted(clean_store.keys())
+        for key in clean_store.keys():
+            assert disturbed_store.backend.get_document(key) == clean_store.backend.get_document(
+                key
+            ), f"store artefact differs for {key}"
+
+    def test_in_run_pool_rebuild_surfaces_as_retrying(self, tmp_path):
+        """A worker death the pool recovers *within* the run must show up in
+        the snapshot as RETRYING history — never a silent gap."""
+        plan = FaultPlan({0: (KillWorkerFault(attempts=(1,)),)})
+        inner = ProcessExecutor(max_workers=2)  # default rebuild budget: recovers
+        chaos = FaultInjectingExecutor(inner, plan, tmp_path / "faults")
+        sweep = ParameterSweep(_square_row, {"x": [1, 2, 3, 4]}, name="retry-vis")
+        snapshot_path = tmp_path / "events.jsonl"
+        try:
+            result = sweep.run(
+                executor=chaos, journal=tmp_path / "journal.json", snapshot=snapshot_path
+            )
+        finally:
+            chaos.close()
+        assert [row["y"] for row in result.rows] == [1, 4, 9, 16]
+        snap = result.snapshot
+        assert snap.is_converged() and snap.counts()["DONE"] == 4
+        # The fault plan kills wave-local task 0 of each map call: the event
+        # stream records the RETRYING transition and the bumped attempt.
+        stream = snapshot_path.read_text()
+        assert '"state":"RETRYING"' in stream
+        assert any(snap.attempt(key) >= 2 for key in snap.tasks)
 
 
 class TestScalabilityResume:

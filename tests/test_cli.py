@@ -322,6 +322,70 @@ class TestSweepCommand:
         assert "different run" in err
         assert "Traceback" not in err
 
+class TestSweepOrchestrationFlags:
+    """The scheduler/snapshot switches: --progress, --workers, --worker-budget,
+    --inner-workers, --executor manager."""
+
+    def _run(self, tmp_path, extra=()):
+        return main(
+            [
+                "sweep", "--dataset", "dblp", "--scale", "tiny",
+                "--epsilon-g", "0.5", "1.0",
+                "--levels", "3", "--seed", "7",
+                "--store", str(tmp_path / "store"),
+                "--journal", str(tmp_path / "state.json"),
+                *extra,
+            ]
+        )
+
+    def test_progress_streams_canonical_json_lines_on_stderr(self, tmp_path, capsys):
+        assert self._run(tmp_path, extra=["--progress"]) == 0
+        err = capsys.readouterr().err
+        lines = [line for line in err.splitlines() if line.strip()]
+        assert lines, "expected sweep-progress lines on stderr"
+        for line in lines:
+            payload = json.loads(line)
+            assert payload["event"] == "sweep-progress"
+            assert payload["total"] == 2
+        final = json.loads(lines[-1])
+        assert final["done"] == 2
+        assert final["pending"] == final["running"] == 0
+
+    def test_progress_persists_the_event_stream_beside_the_journal(self, tmp_path, capsys):
+        assert self._run(tmp_path, extra=["--progress"]) == 0
+        stream = tmp_path / "state.json.events.jsonl"
+        assert stream.is_file()
+        states = [json.loads(line)["state"] for line in stream.read_text().splitlines()]
+        assert states.count("DONE") == 2
+
+    def test_workers_over_budget_is_a_one_line_exit_2(self, tmp_path, capsys):
+        code = self._run(
+            tmp_path,
+            extra=["--executor", "process", "--workers", "8", "--worker-budget", "2"],
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro sweep:")
+        assert "--workers 8 exceeds the worker budget of 2 slot(s)" in err
+        assert "raise --worker-budget" in err
+        assert "Traceback" not in err
+
+    def test_bogus_inner_workers_is_a_one_line_exit_2(self, tmp_path, capsys):
+        code = self._run(tmp_path, extra=["--inner-workers", "many"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro sweep:")
+        assert "--inner-workers must be an integer or 'auto'" in err
+
+    def test_manager_executor_runs_the_sweep(self, tmp_path, capsys):
+        assert self._run(
+            tmp_path,
+            extra=["--executor", "manager", "--workers", "2", "--worker-budget", "2"],
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 of 2 combination(s) done" in out
+
+
 class TestQueryCommand:
     """`repro query` — the catalog CLI — over both store backends."""
 

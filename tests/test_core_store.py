@@ -11,6 +11,14 @@ from repro.exceptions import ReleaseIntegrityError
 from repro.grouping.specialization import SpecializationConfig
 
 
+def _put_many(root, keys):
+    from repro.core.store import DirectoryBackend
+
+    backend = DirectoryBackend(root)
+    for key in keys:
+        backend.put(key, b"{}", b"npz")
+
+
 @pytest.fixture
 def release(dblp_graph):
     config = DisclosureConfig(
@@ -142,6 +150,29 @@ class TestBackendSurface:
         store = ReleaseStore.in_memory()
         key = store.save(release)
         assert store.load(key).to_dict() == release.to_dict()
+
+    def test_index_survives_concurrent_writer_processes(self, tmp_path):
+        """Regression: ``index.json`` maintenance is a read-modify-write, and
+        the in-process thread lock cannot serialise *separate processes* (a
+        process-pool sweep saving releases from four workers).  Without the
+        cross-process file lock, racing writers drop each other's entries and
+        ``keys()`` under-reports releases that are all on disk."""
+        import multiprocessing
+
+        from repro.core.store import DirectoryBackend
+
+        root = tmp_path / "shared"
+        all_keys = [f"rel-{i:03d}" for i in range(48)]
+        workers = [
+            multiprocessing.Process(target=_put_many, args=(root, all_keys[lane::4]))
+            for lane in range(4)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert all(worker.exitcode == 0 for worker in workers)
+        assert DirectoryBackend(root).keys() == sorted(all_keys)
 
 
 class TestGetOrCreate:

@@ -133,3 +133,31 @@ class TestArchitecture:
             "revision-qualified",
         ):
             assert switch in text, f"README.md does not mention {switch!r}"
+
+    def test_architecture_covers_sweep_orchestration(self):
+        text = ARCHITECTURE.read_text(encoding="utf-8")
+        for term in (
+            "SweepSnapshot",
+            "TaskEvent",
+            "RETRYING",
+            "WorkerBudget",
+            "SweepScheduler",
+            "ManagerExecutor",
+            "sweep-progress",
+            "on_retry",
+        ):
+            assert term in text, f"ARCHITECTURE.md does not mention {term!r}"
+
+    def test_readme_covers_the_sweep_orchestration_switches(self):
+        text = README.read_text(encoding="utf-8")
+        for switch in (
+            "--progress",
+            "--workers",
+            "--inner-workers",
+            "--worker-budget",
+            "--executor manager",
+            "sweep-progress",
+            "SweepScheduler",
+            "SweepSnapshot",
+        ):
+            assert switch in text, f"README.md does not mention {switch!r}"
